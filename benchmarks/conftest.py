@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates the data behind one of the paper's figures or
+headline tables, times the underlying computation with pytest-benchmark,
+prints the figure's series as a text table and writes it to a CSV under
+``benchmarks/output/``.
+
+The survey benchmarks share one synthetic fleet dataset.  Its size is
+controlled by the ``REPRO_BENCH_PAIRS`` environment variable (default 392 =
+28 devices x 14 metrics; set it to 1613 to regenerate the full paper-scale
+survey -- it is only a few times slower).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.survey import SurveyResult, run_survey
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+
+#: Where benchmark CSV outputs land.
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def bench_pair_count() -> int:
+    """Number of (metric, device) pairs used by the survey benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_PAIRS", "392"))
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def survey_dataset() -> FleetDataset:
+    """The synthetic stand-in for the paper's 1613-pair production survey."""
+    return FleetDataset(DatasetConfig(pair_count=bench_pair_count(), seed=7))
+
+
+@pytest.fixture(scope="session")
+def survey_result(survey_dataset: FleetDataset) -> SurveyResult:
+    """Survey analysis shared by the Figure 1/4/5 and headline benchmarks."""
+    return run_survey(survey_dataset)

@@ -1,0 +1,61 @@
+"""Aliasing made visible: the paper's Figure 2/3 walk-through.
+
+The illustrative signal of Figure 3 is the superposition of two sine waves
+at 400 Hz and 440 Hz (Nyquist rate 880 Hz).  This example samples it above
+and below that rate, shows where the spectral peaks land (aliasing moves
+them), runs the dual-frequency detector of Section 4.1 on each candidate
+rate, and reports the reconstruction error of each sampled version.
+
+Run with:  python examples/aliasing_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import DualRateAliasingDetector, compare, periodogram, reconstruct
+from repro.signals.generators import multi_tone, two_tone_figure3
+
+TONES = [400.0, 440.0]
+
+
+def sample_two_tone(rate: float, duration: float = 1.0):
+    """Sample the continuous 400+440 Hz signal at the given rate (no filtering)."""
+    return multi_tone(TONES, duration, rate, name=f"two_tone@{rate:g}Hz")
+
+
+def main() -> None:
+    original = two_tone_figure3(duration=1.0, sampling_rate=2000.0)
+    print(f"Original signal: 400 Hz + 440 Hz tones, sampled at {original.sampling_rate:g} Hz "
+          f"({len(original)} samples); Nyquist rate = 880 Hz")
+
+    detector = DualRateAliasingDetector(rate_ratio=1.6, threshold=0.1)
+    rows = []
+    for label, rate in [("above Nyquist (Fig 3b)", 890.0),
+                        ("slightly below (Fig 3c)", 800.0),
+                        ("far below (Fig 3d)", 600.0)]:
+        sampled = sample_two_tone(rate)
+        spectrum = periodogram(sampled)
+        peak = spectrum.without_dc().dominant_frequency()
+        # The §4.1 dual-frequency check: poll the signal independently at
+        # the candidate rate and at 1.6x that rate, compare the spectra.
+        verdict = detector.check_samples(sample_two_tone(rate),
+                                         sample_two_tone(rate * detector.rate_ratio))
+        reconstruction = reconstruct(sampled, original.sampling_rate)
+        error = compare(original, reconstruction)
+        rows.append({
+            "sampling": label,
+            "rate (Hz)": sampled.sampling_rate,
+            "strongest peak (Hz)": peak,
+            "dual-rate detector says aliased": verdict.aliased,
+            "reconstruction NRMSE": error.nrmse,
+        })
+    print()
+    print(format_table(rows))
+    print()
+    print("Above the Nyquist rate the peaks stay at 400/440 Hz and the signal is "
+          "recoverable; below it they fold to new frequencies and reconstruction "
+          "error jumps -- exactly the distortion Figure 3 illustrates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Ergodicity and canarying: when does watching a few devices stand in for the fleet?
+
+Section 6 of the paper ("Beyond Nyquist") asks whether datacenter metrics
+are ergodic -- whether the statistics of one device over time match the
+statistics of the whole fleet at an instant -- because canarying implicitly
+assumes they are.  This example builds a fleet of CPU-utilisation traces,
+measures the ergodicity gap as a function of observation time, and
+estimates the smallest canary whose mean tracks the fleet mean.
+
+Run with:  python examples/ergodicity_canary.py [--devices N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (ensemble_statistics, ergodicity_report, minimum_canary_size,
+                        time_statistics)
+from repro.telemetry import METRIC_CATALOG, build_fleet, draw_metric_parameters
+from repro.telemetry.models import generate_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=23)
+    args = parser.parse_args()
+
+    spec = METRIC_CATALOG["5-pct CPU util"]
+    duration = 86400.0
+    fleet_profiles = build_fleet(args.devices, seed=args.seed)
+
+    traces = []
+    for profile in fleet_profiles:
+        params = draw_metric_parameters(spec, profile, duration, broadband_fraction=0.0,
+                                        rng=np.random.default_rng(profile.seed))
+        traces.append(generate_trace(spec, params, duration,
+                                     rng=np.random.default_rng(profile.seed),
+                                     device_name=profile.device_id))
+
+    ensemble = ensemble_statistics(traces)
+    single = time_statistics(traces[0])
+    print(f"Fleet of {len(traces)} devices, metric: {spec.name}")
+    print(f"Ensemble (fleet at one instant): mean={ensemble['mean']:.1f}%, p95={ensemble['p95']:.1f}%")
+    print(f"Device 0 over one day:           mean={single['mean']:.1f}%, p95={single['p95']:.1f}%")
+
+    report = ergodicity_report(traces, device_index=0,
+                               fractions=(0.05, 0.1, 0.25, 0.5, 1.0))
+    rows = [{"observation_hours": duration_s / 3600.0, "relative_gap": gap}
+            for duration_s, gap in zip(report.durations, report.gaps)]
+    print("\nErgodicity gap (|device time-average - fleet mean| / fleet mean):")
+    print(format_table(rows))
+    converged = report.converged_duration(tolerance=0.15)
+    if converged is None:
+        print("This device's time average never comes within 15% of the fleet mean: "
+              "canary results from it would not generalise.")
+    else:
+        print(f"Within 15% of the fleet mean after {converged / 3600.0:.1f} h of observation.")
+
+    size = minimum_canary_size(traces, tolerance=0.05, rng=np.random.default_rng(1))
+    print(f"\nSmallest canary whose instantaneous mean stays within 5% of the fleet mean "
+          f"(worst case over 20 random draws): {size} of {len(traces)} devices")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment this repository targets has setuptools but not the
+``wheel`` package, so PEP 517 editable installs (which need to build an
+editable wheel) fail.  Keeping a ``setup.py`` lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro: reproduction of "Towards a Cost vs. Quality Sweet Spot for Monitoring Networks".
+
+The library treats datacenter monitoring metrics as sampled signals and
+provides:
+
+* :mod:`repro.core` -- Nyquist-rate estimation from traces (§3.2), dual-
+  frequency aliasing detection (§4.1), an adaptive sampling controller
+  (§4.2), low-pass reconstruction (§4.3) and the §6 extensions
+  (ergodicity, multivariate signals).
+* :mod:`repro.signals` -- the time-series substrate (containers, spectra,
+  generators, noise, filters).
+* :mod:`repro.telemetry` -- synthetic production telemetry for the 14
+  metric families of the paper's survey, standing in for the proprietary
+  traces.
+* :mod:`repro.network` -- datacenter topologies, monitoring deployments and
+  the collection/transmission/storage/analysis cost model.
+* :mod:`repro.pipeline` -- sampling policies (fixed-rate baseline,
+  Nyquist-static, adaptive) and the cost-vs-quality evaluator.
+* :mod:`repro.analysis` -- the fleet survey (Figures 1, 4, 5) and reporting
+  helpers.
+
+Quickstart::
+
+    from repro.signals import generators
+    from repro.core import estimate_nyquist_rate
+
+    trace = generators.multi_tone([0.001, 0.004], duration=6 * 3600, sampling_rate=1.0)
+    estimate = estimate_nyquist_rate(trace)
+    print(estimate.nyquist_rate, estimate.reduction_ratio)
+"""
+
+from . import analysis, core, network, pipeline, signals, telemetry
+from .core import (AdaptiveSamplingController, ControllerConfig, DualRateAliasingDetector,
+                   NyquistEstimate, NyquistEstimator, estimate_nyquist_rate,
+                   nyquist_round_trip, oversampling_ratio)
+from .signals import IrregularTimeSeries, Spectrum, TimeSeries
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "signals", "core", "telemetry", "network", "pipeline", "analysis",
+    "TimeSeries", "IrregularTimeSeries", "Spectrum",
+    "NyquistEstimator", "NyquistEstimate", "estimate_nyquist_rate", "oversampling_ratio",
+    "nyquist_round_trip", "AdaptiveSamplingController", "ControllerConfig",
+    "DualRateAliasingDetector",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: run the survey, the adaptive demo, and quick estimates.
+
+Installed as ``repro-monitor`` (see pyproject) and runnable as
+``python -m repro.cli``.  Three subcommands cover the common workflows:
+
+* ``survey``   -- run the Section 3.2 fleet survey and print Figures 1/4/5
+  style summaries (optionally exporting CSVs).
+* ``adaptive`` -- run the Section 4 adaptive controller on a synthetic
+  temperature trace and report the cost saving and reconstruction error.
+* ``estimate`` -- estimate the Nyquist rate of a trace stored in a CSV
+  file (columns: timestamp, value).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis.reporting import ascii_bar_chart, box_stats, format_table, write_csv
+from .analysis.survey import run_survey
+from .core.adaptive import AdaptiveSamplingController, ControllerConfig
+from .core.errors import compare
+from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
+from .core.reconstruction import nyquist_round_trip
+from .signals.timeseries import IrregularTimeSeries
+from .telemetry.dataset import DatasetConfig, FleetDataset
+from .telemetry.metrics import METRIC_CATALOG
+from .telemetry.models import generate_trace
+from .telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameters
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-monitor`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-monitor",
+        description="Nyquist-rate analysis and adaptive sampling for datacenter monitoring.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    survey = subparsers.add_parser("survey", help="run the fleet survey (Figures 1/4/5)")
+    survey.add_argument("--pairs", type=int, default=280,
+                        help="number of (metric, device) pairs to survey (default 280; "
+                             "the paper's full survey is 1613)")
+    survey.add_argument("--seed", type=int, default=7, help="dataset seed")
+    survey.add_argument("--energy-fraction", type=float, default=0.99,
+                        help="energy cut-off for the Nyquist estimator")
+    survey.add_argument("--csv-dir", type=Path, default=None,
+                        help="directory to write figure CSVs into")
+
+    adaptive = subparsers.add_parser("adaptive",
+                                     help="run the adaptive controller on a temperature trace")
+    adaptive.add_argument("--metric", default="Temperature", choices=sorted(METRIC_CATALOG))
+    adaptive.add_argument("--days", type=float, default=3.0, help="trace length in days")
+    adaptive.add_argument("--window-hours", type=float, default=6.0,
+                          help="adaptation window in hours")
+    adaptive.add_argument("--seed", type=int, default=42)
+
+    estimate = subparsers.add_parser("estimate",
+                                     help="estimate the Nyquist rate of a CSV trace")
+    estimate.add_argument("path", type=Path, help="CSV file with timestamp,value columns")
+    estimate.add_argument("--energy-fraction", type=float, default=0.99)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _command_survey(args: argparse.Namespace) -> int:
+    dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
+    estimator = NyquistEstimator(energy_fraction=args.energy_fraction)
+    result = run_survey(dataset, estimator=estimator)
+
+    print(f"Surveyed {len(result)} metric-device pairs "
+          f"({len(result.metrics())} metrics)\n")
+    print("Figure 1 -- fraction of devices sampled above the Nyquist rate:")
+    print(ascii_bar_chart(result.oversampled_fraction_by_metric(), maximum=1.0))
+    print()
+
+    print("Figure 5 -- Nyquist rate per metric (Hz):")
+    rows = []
+    for metric in result.metrics():
+        stats = box_stats(result.nyquist_rates(metric))
+        row = {"metric": metric}
+        row.update(stats.as_dict())
+        rows.append(row)
+    print(format_table(rows, ["metric", "min", "p25", "median", "p75", "max", "count"]))
+    print()
+
+    print("Headline statistics (cf. Section 3.2):")
+    headline_rows = [{"statistic": key, "value": value}
+                     for key, value in result.headline().items()]
+    print(format_table(headline_rows))
+
+    if args.csv_dir is not None:
+        write_csv(args.csv_dir / "figure1_oversampled_fraction.csv",
+                  [{"metric": metric, "fraction": fraction}
+                   for metric, fraction in result.oversampled_fraction_by_metric().items()])
+        write_csv(args.csv_dir / "figure5_nyquist_rates.csv", rows)
+        ratio_rows = [{"metric": record.metric_name, "device": record.device_id,
+                       "reduction_ratio": record.reduction_ratio}
+                      for record in result.records if record.reliable]
+        write_csv(args.csv_dir / "figure4_reduction_ratios.csv", ratio_rows)
+        print(f"\nCSV series written under {args.csv_dir}")
+    return 0
+
+
+def _command_adaptive(args: argparse.Namespace) -> int:
+    spec = METRIC_CATALOG[args.metric]
+    device = DeviceProfile(device_id="demo-device", role=DeviceRole.TOR_SWITCH, seed=args.seed)
+    duration = args.days * 86400.0
+    params = draw_metric_parameters(spec, device, duration, broadband_fraction=0.0,
+                                    rng=np.random.default_rng(args.seed))
+    reference = generate_trace(spec, params, duration, interval=spec.poll_interval / 4.0,
+                               rng=np.random.default_rng(args.seed))
+
+    controller = AdaptiveSamplingController(ControllerConfig(
+        initial_rate=spec.poll_rate / 8.0, max_rate=reference.sampling_rate))
+    run = controller.run(reference, window_duration=args.window_hours * 3600.0)
+
+    baseline_samples = int(duration / spec.poll_interval)
+    print(f"Metric: {spec.name} ({spec.units}); trace of {args.days:g} days")
+    print(f"Existing system samples every {spec.poll_interval:g}s -> {baseline_samples} samples")
+    print(f"Adaptive controller collected {run.total_samples_collected} samples "
+          f"({run.cost_reduction:.1f}x fewer than the reference trace)")
+    rows = [{"window_start_h": decision.window_start / 3600.0,
+             "mode": decision.mode.value,
+             "rate_hz": decision.sampling_rate,
+             "nyquist_estimate_hz": decision.nyquist_estimate,
+             "aliased": decision.aliased}
+            for decision in run.decisions]
+    print()
+    print("Per-window decisions (cf. Figure 7):")
+    print(format_table(rows))
+
+    round_trip = nyquist_round_trip(reference)
+    print()
+    print(f"One-shot Nyquist round trip: rate {round_trip.estimate.nyquist_rate:.3e} Hz, "
+          f"keeping {len(round_trip.downsampled)} of {len(reference)} samples, "
+          f"NRMSE {round_trip.error.nrmse:.4f}")
+    return 0
+
+
+def _command_estimate(args: argparse.Namespace) -> int:
+    timestamps = []
+    values = []
+    with args.path.open() as handle:
+        reader = csv.reader(handle)
+        for row in reader:
+            if not row or row[0].strip().lower() in ("timestamp", "time", "t"):
+                continue
+            timestamps.append(float(row[0]))
+            values.append(float(row[1]))
+    if len(values) < 2:
+        print("need at least two samples", file=sys.stderr)
+        return 1
+    series = IrregularTimeSeries(np.array(timestamps), np.array(values), name=str(args.path))
+    estimate = estimate_nyquist_rate(series, energy_fraction=args.energy_fraction)
+    print(f"samples:          {len(values)}")
+    print(f"current rate:     {estimate.current_rate:.6g} Hz")
+    if estimate.reliable:
+        print(f"nyquist rate:     {estimate.nyquist_rate:.6g} Hz")
+        print(f"reduction ratio:  {estimate.reduction_ratio:.3g}x")
+    else:
+        print(f"nyquist rate:     unreliable ({estimate.reason})")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "survey": _command_survey,
+        "adaptive": _command_adaptive,
+        "estimate": _command_estimate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

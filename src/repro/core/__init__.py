@@ -1,0 +1,62 @@
+"""Core algorithms: the paper's primary contribution.
+
+* :mod:`repro.core.psd` -- spectral estimation.
+* :mod:`repro.core.nyquist` -- the Section 3.2 Nyquist-rate estimator.
+* :mod:`repro.core.aliasing` -- dual-frequency aliasing detection (Section 4.1).
+* :mod:`repro.core.adaptive` -- the dynamic sampling controller (Section 4.2).
+* :mod:`repro.core.reconstruction` -- low-pass reconstruction (Section 4.3).
+* :mod:`repro.core.resampling` -- pre-cleaning, down/up-sampling.
+* :mod:`repro.core.quantization` -- quantisers and quantisation noise.
+* :mod:`repro.core.windowed` -- moving-window Nyquist inference (Figure 7).
+* :mod:`repro.core.ergodicity` / :mod:`repro.core.multivariate` -- the
+  Section 6 "beyond Nyquist" extensions.
+"""
+
+from .adaptive import (AdaptiveRun, AdaptiveSamplingController, ControllerConfig,
+                       ControllerMode, WindowDecision, adaptive_sample)
+from .aliasing import (AliasingVerdict, DualRateAliasingDetector, compare_spectra,
+                       detect_aliasing)
+from .errors import ReconstructionError, compare, l2_distance, max_abs_error, nrmse, rmse
+from .ergodicity import (ErgodicityReport, ensemble_statistics, ergodicity_gap,
+                         ergodicity_report, minimum_canary_size, time_statistics)
+from .multivariate import (MultivariateEstimate, correlation_matrix,
+                           correlation_preservation, estimate_joint_nyquist,
+                           joint_sampling_rate)
+from .nyquist import (ALIASED_SENTINEL, NyquistEstimate, NyquistEstimator,
+                      estimate_nyquist_rate, oversampling_ratio)
+from .psd import periodogram, power_spectrum, welch_psd
+from .quantization import UniformQuantizer, quantization_noise_std, quantize, sqnr_db
+from .reconstruction import RoundTripResult, nyquist_round_trip, reconstruct, upsample_to_length
+from .resampling import (downsample, fourier_resample, linear_resample,
+                         nearest_neighbor_resample, regularize, resample_to_rate)
+from .windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, WindowedEstimate,
+                       rate_stability, windowed_nyquist_rates)
+
+__all__ = [
+    # nyquist
+    "ALIASED_SENTINEL", "NyquistEstimate", "NyquistEstimator",
+    "estimate_nyquist_rate", "oversampling_ratio",
+    # psd
+    "periodogram", "welch_psd", "power_spectrum",
+    # aliasing
+    "AliasingVerdict", "DualRateAliasingDetector", "detect_aliasing", "compare_spectra",
+    # adaptive
+    "AdaptiveSamplingController", "ControllerConfig", "ControllerMode",
+    "AdaptiveRun", "WindowDecision", "adaptive_sample",
+    # reconstruction / errors
+    "RoundTripResult", "nyquist_round_trip", "reconstruct", "upsample_to_length",
+    "ReconstructionError", "compare", "l2_distance", "rmse", "nrmse", "max_abs_error",
+    # resampling
+    "regularize", "nearest_neighbor_resample", "downsample", "resample_to_rate",
+    "fourier_resample", "linear_resample",
+    # quantization
+    "UniformQuantizer", "quantize", "quantization_noise_std", "sqnr_db",
+    # windowed
+    "WindowedEstimate", "windowed_nyquist_rates", "rate_stability",
+    "FIGURE7_WINDOW_SECONDS", "FIGURE7_STEP_SECONDS",
+    # ergodicity / multivariate
+    "ErgodicityReport", "ensemble_statistics", "time_statistics", "ergodicity_gap",
+    "ergodicity_report", "minimum_canary_size",
+    "MultivariateEstimate", "estimate_joint_nyquist", "joint_sampling_rate",
+    "correlation_matrix", "correlation_preservation",
+]

@@ -1,0 +1,374 @@
+"""Dynamic (adaptive) sampling controller (Section 4.2).
+
+The strawman the paper proposes:
+
+* Initially the Nyquist rate of the signal is unknown, so the controller is
+  in **probe** mode: it samples at two rates (the dual-frequency trick of
+  §4.1) and, while aliasing is detected, multiplicatively increases the
+  rate.
+* Once aliasing is no longer detected it estimates the Nyquist rate with
+  the §3.2 method and settles in **steady** mode at that rate (plus a
+  configurable headroom).
+* If the signal quiets down, the controller adaptively decreases the rate;
+  if aliasing re-appears it ramps back up, using a *memory* of previously
+  observed maxima to re-ramp quickly ("we can even 'remember' previous
+  maximum Nyquist rates to ramp up more quickly in the future").
+
+The controller operates on successive time windows of the underlying
+signal.  In the library the "underlying signal" is a high-rate reference
+trace (either synthetic telemetry or an over-sampled production-style
+trace); the controller only ever *reads* the samples it would actually
+have collected at its chosen probe rates, so its cost accounting reflects a
+real deployment.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+from .aliasing import AliasingVerdict, DualRateAliasingDetector
+from .nyquist import NyquistEstimate, NyquistEstimator
+from .resampling import resample_to_rate
+
+__all__ = [
+    "ControllerMode",
+    "ControllerConfig",
+    "WindowDecision",
+    "AdaptiveRun",
+    "AdaptiveSamplingController",
+    "adaptive_sample",
+]
+
+
+class ControllerMode(enum.Enum):
+    """Operating mode of the adaptive controller."""
+
+    PROBE = "probe"
+    STEADY = "steady"
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning knobs of the adaptive controller (paper-guided defaults).
+
+    Attributes
+    ----------
+    initial_rate:
+        Sampling rate (Hz) the controller starts probing at.
+    min_rate / max_rate:
+        Hard bounds on the rate the controller may choose.  ``max_rate``
+        defaults to infinity and is clamped to the reference trace's rate
+        at run time (you cannot sample faster than the signal exists).
+    probe_multiplier:
+        Multiplicative increase applied while aliasing persists (§4.2
+        "multiplicatively increase the measurement rate").
+    decrease_factor:
+        Multiplicative decrease applied in steady mode when the estimated
+        Nyquist rate falls well below the current rate.
+    headroom:
+        Safety margin (>= 1) applied to the estimated Nyquist rate when
+        settling ("maintaining ample headroom may be helpful").
+    memory_decay:
+        Per-window decay applied to the remembered maximum Nyquist rate;
+        1.0 means "never forget", 0 disables memory.
+    dual_rate_ratio:
+        f1/f2 ratio used by the aliasing detector.
+    energy_fraction:
+        Energy threshold handed to the Nyquist estimator.
+    aliasing_check_interval:
+        In steady mode, run the (costly) dual-frequency aliasing check only
+        every this many windows; in between, only the primary stream is
+        collected and aliasing suspicion comes from the estimator itself.
+        §4.1 notes the dual stream "roughly doubles measurement cost", so
+        checking periodically rather than continuously is how a deployment
+        keeps the net saving.  Set to 1 to check every window.
+    """
+
+    initial_rate: float = 1.0 / 300.0
+    min_rate: float = 1.0 / 86400.0
+    max_rate: float = math.inf
+    probe_multiplier: float = 2.0
+    decrease_factor: float = 0.5
+    headroom: float = 1.2
+    memory_decay: float = 0.9
+    dual_rate_ratio: float = 1.6
+    aliasing_threshold: float = 0.1
+    energy_fraction: float = 0.99
+    aliasing_check_interval: int = 4
+
+    def __post_init__(self) -> None:
+        if self.initial_rate <= 0:
+            raise ValueError("initial_rate must be positive")
+        if self.min_rate <= 0:
+            raise ValueError("min_rate must be positive")
+        if self.max_rate <= self.min_rate:
+            raise ValueError("max_rate must exceed min_rate")
+        if self.probe_multiplier <= 1:
+            raise ValueError("probe_multiplier must be > 1")
+        if not 0 < self.decrease_factor < 1:
+            raise ValueError("decrease_factor must be in (0, 1)")
+        if self.headroom < 1:
+            raise ValueError("headroom must be >= 1")
+        if not 0 <= self.memory_decay <= 1:
+            raise ValueError("memory_decay must be in [0, 1]")
+        if self.aliasing_check_interval < 1:
+            raise ValueError("aliasing_check_interval must be >= 1")
+
+
+@dataclass(frozen=True)
+class WindowDecision:
+    """What the controller did for one time window."""
+
+    window_start: float
+    window_end: float
+    mode: ControllerMode
+    sampling_rate: float
+    samples_collected: int
+    aliased: bool
+    aliasing_discrepancy: float
+    nyquist_estimate: float
+    next_rate: float
+
+    @property
+    def window_duration(self) -> float:
+        return self.window_end - self.window_start
+
+
+@dataclass
+class AdaptiveRun:
+    """Full record of an adaptive-sampling run over a reference trace."""
+
+    reference: TimeSeries
+    decisions: list[WindowDecision] = field(default_factory=list)
+    collected: list[TimeSeries] = field(default_factory=list)
+
+    @property
+    def total_samples_collected(self) -> int:
+        """Samples the adaptive system actually collected (its cost)."""
+        return sum(decision.samples_collected for decision in self.decisions)
+
+    @property
+    def baseline_samples(self) -> int:
+        """Samples the existing (full-rate) system collects over the same span."""
+        return len(self.reference)
+
+    @property
+    def cost_reduction(self) -> float:
+        """Factor by which the adaptive system reduces sample count."""
+        collected = self.total_samples_collected
+        if collected == 0:
+            return float("inf")
+        return self.baseline_samples / collected
+
+    def inferred_rates(self) -> list[tuple[float, float]]:
+        """(window_start, inferred Nyquist rate) pairs -- the Figure 7 series."""
+        return [(decision.window_start, decision.nyquist_estimate)
+                for decision in self.decisions]
+
+    def sampling_rates(self) -> list[tuple[float, float]]:
+        """(window_start, rate the controller sampled at) pairs."""
+        return [(decision.window_start, decision.sampling_rate)
+                for decision in self.decisions]
+
+    def collected_series(self) -> TimeSeries:
+        """All collected samples concatenated into one (possibly uneven-rate) view.
+
+        The concatenation keeps the coarsest common interval so downstream
+        code can reconstruct; windows sampled at different rates are first
+        aligned to the finest interval used anywhere in the run.
+        """
+        if not self.collected:
+            return TimeSeries(np.empty(0), self.reference.interval,
+                              self.reference.start_time, self.reference.name)
+        finest = min(chunk.interval for chunk in self.collected if len(chunk))
+        pieces: list[np.ndarray] = []
+        for chunk in self.collected:
+            if len(chunk) == 0:
+                continue
+            repeat = max(int(round(chunk.interval / finest)), 1)
+            pieces.append(np.repeat(chunk.values, repeat))
+        values = np.concatenate(pieces) if pieces else np.empty(0)
+        return TimeSeries(values, finest, self.reference.start_time, self.reference.name)
+
+
+class AdaptiveSamplingController:
+    """State machine implementing the §4.2 adaptive sampling strawman."""
+
+    def __init__(self, config: ControllerConfig | None = None,
+                 estimator: NyquistEstimator | None = None,
+                 detector: DualRateAliasingDetector | None = None) -> None:
+        self.config = config or ControllerConfig()
+        # The controller estimates over short windows, where a slow trend
+        # that does not complete a cycle leaks energy across the spectrum
+        # and inflates the estimate; detrending plus a Hann taper keeps the
+        # windowed estimates honest (see NyquistEstimator docs).
+        self.estimator = estimator or NyquistEstimator(
+            energy_fraction=self.config.energy_fraction,
+            detrend=True, window="hann")
+        self.detector = detector or DualRateAliasingDetector(
+            rate_ratio=self.config.dual_rate_ratio,
+            threshold=self.config.aliasing_threshold)
+        self.mode = ControllerMode.PROBE
+        self.current_rate = self.config.initial_rate
+        self.remembered_max_rate = 0.0
+        self._windows_since_check = 0
+        self._floor_rate = self.config.min_rate
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return the controller to its initial state (keeps configuration)."""
+        self.mode = ControllerMode.PROBE
+        self.current_rate = self.config.initial_rate
+        self.remembered_max_rate = 0.0
+        self._windows_since_check = 0
+        self._floor_rate = self.config.min_rate
+
+    def minimum_viable_rate(self, window_duration: float) -> float:
+        """Lowest rate at which one window still feeds the estimator and detector.
+
+        Both the Nyquist estimator and the dual-frequency detector need a
+        minimum number of samples to say anything; a controller that drops
+        below ``min_samples / window_duration`` blinds its own safety net,
+        so :meth:`run` never lets the rate fall below this floor.
+        """
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        needed = max(self.estimator.min_samples, self.detector.min_samples, 4)
+        return needed / window_duration
+
+    def _clamp(self, rate: float, ceiling: float) -> float:
+        floor = max(self.config.min_rate, self._floor_rate)
+        return float(min(max(rate, floor), min(self.config.max_rate, ceiling)))
+
+    def _remember(self, rate: float) -> None:
+        self.remembered_max_rate = max(self.remembered_max_rate * self.config.memory_decay,
+                                       rate)
+
+    # ------------------------------------------------------------------
+    def process_window(self, window: TimeSeries) -> WindowDecision:
+        """Decide what to collect for one window of the underlying signal.
+
+        ``window`` is the portion of the (high-rate) reference signal that
+        exists during this window; the controller only "sees" the samples
+        it chooses to collect from it.
+        """
+        if len(window) < 2:
+            raise ValueError("window must contain at least two reference samples")
+        ceiling = window.sampling_rate
+        rate = self._clamp(self.current_rate, ceiling)
+
+        # The dual-frequency check doubles measurement cost (§4.1), so in
+        # steady mode it only runs every `aliasing_check_interval` windows;
+        # probe mode always runs it because that is what probing is.
+        run_check = (self.mode is ControllerMode.PROBE
+                     or self._windows_since_check + 1 >= self.config.aliasing_check_interval)
+
+        slow_rate, fast_rate = self.detector.probe_rates(rate)
+        fast_rate = min(fast_rate, ceiling)
+        slow_probe = resample_to_rate(window, slow_rate, anti_alias=False)
+
+        if run_check:
+            fast_probe = resample_to_rate(window, fast_rate, anti_alias=False)
+            verdict = self.detector.check_samples(slow_probe, fast_probe)
+            samples_collected = len(slow_probe) + len(fast_probe)
+            estimation_input = fast_probe
+            self._windows_since_check = 0
+        else:
+            verdict = AliasingVerdict(False, 0.0, self.detector.threshold,
+                                      slow_rate, fast_rate, slow_rate / 2.0)
+            samples_collected = len(slow_probe)
+            estimation_input = slow_probe
+            self._windows_since_check += 1
+
+        estimate = self.estimator.estimate(estimation_input)
+        nyquist_rate = estimate.nyquist_rate if estimate.reliable else float("nan")
+
+        next_rate = self._next_rate(rate, verdict, estimate, ceiling)
+        decision = WindowDecision(
+            window_start=window.start_time,
+            window_end=window.end_time,
+            mode=self.mode,
+            sampling_rate=rate,
+            samples_collected=samples_collected,
+            aliased=verdict.aliased,
+            aliasing_discrepancy=verdict.discrepancy,
+            nyquist_estimate=nyquist_rate,
+            next_rate=next_rate,
+        )
+        self.current_rate = next_rate
+        return decision
+
+    def _next_rate(self, rate: float, verdict: AliasingVerdict,
+                   estimate: NyquistEstimate, ceiling: float) -> float:
+        """Apply the §4.2 adaptation rules and return the next window's rate."""
+        config = self.config
+        if verdict.aliased or (estimate.reliable and estimate.nyquist_rate > rate):
+            # Under-sampling detected: multiplicative increase, jump-started
+            # by the remembered maximum if we have one.
+            self.mode = ControllerMode.PROBE
+            proposed = rate * config.probe_multiplier
+            if self.remembered_max_rate > proposed:
+                proposed = self.remembered_max_rate
+            return self._clamp(proposed, ceiling)
+
+        if not estimate.reliable:
+            if self.mode is ControllerMode.STEADY and estimate.reason == "trace too short":
+                # We already settled once and this window simply holds too
+                # few samples at the (low) steady rate to re-estimate; hold
+                # the rate rather than needlessly ramping back up.
+                return self._clamp(rate, ceiling)
+            # Still probing and nothing observable yet (or the probe itself
+            # looks aliased): keep increasing until the Nyquist rate becomes
+            # observable.  The remembered maximum is only used when aliasing
+            # is positively detected, not for mere lack of data.
+            self.mode = ControllerMode.PROBE
+            return self._clamp(rate * config.probe_multiplier, ceiling)
+
+        # Clean estimate available: settle at Nyquist rate plus headroom.
+        self.mode = ControllerMode.STEADY
+        target = estimate.nyquist_rate * config.headroom
+        self._remember(target)
+        if target < rate * config.decrease_factor:
+            # The signal has quieted down a lot; decrease gradually rather
+            # than jumping straight to the target so a transient lull does
+            # not leave us wide open to aliasing.
+            return self._clamp(rate * config.decrease_factor, ceiling)
+        return self._clamp(target, ceiling)
+
+    # ------------------------------------------------------------------
+    def run(self, reference: TimeSeries, window_duration: float,
+            step: float | None = None) -> AdaptiveRun:
+        """Run the controller over ``reference`` in windows of ``window_duration`` seconds.
+
+        ``step`` defaults to ``window_duration`` (non-overlapping windows),
+        which is how the controller would run in production; Figure 7 uses
+        an overlapping window (6 h window, 5 min step) purely for analysis,
+        which :mod:`repro.core.windowed` provides.
+        """
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        step = window_duration if step is None else step
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self._floor_rate = self.minimum_viable_rate(window_duration)
+        run = AdaptiveRun(reference=reference)
+        for window in reference.iter_windows(window_duration, step):
+            if len(window) < 2:
+                continue
+            decision = self.process_window(window)
+            run.decisions.append(decision)
+            collected = resample_to_rate(window, decision.sampling_rate, anti_alias=False)
+            run.collected.append(collected)
+        return run
+
+
+def adaptive_sample(reference: TimeSeries, window_duration: float,
+                    config: ControllerConfig | None = None) -> AdaptiveRun:
+    """Convenience wrapper: run a fresh controller over ``reference``."""
+    controller = AdaptiveSamplingController(config=config)
+    return controller.run(reference, window_duration)

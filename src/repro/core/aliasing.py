@@ -1,0 +1,217 @@
+"""Aliasing detection with dual-frequency sampling (Section 4.1).
+
+Following Penny et al. (the paper's reference [19]), the detector samples
+the same underlying signal at two rates ``f1 > f2`` whose ratio is not an
+integer.  If the signal contains frequency components above ``f2 / 2``,
+those components fold ("alias") to *different* apparent frequencies in the
+two spectra, so the spectra disagree below ``f2 / 2`` -- whereas a signal
+that both rates capture cleanly produces matching spectra there.  Small
+discrepancies caused by measurement noise are filtered with a noise-floor
+threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.noise import noise_floor_estimate
+from ..signals.spectrum import Spectrum
+from ..signals.timeseries import TimeSeries
+from .psd import periodogram
+from .resampling import linear_resample, resample_to_rate
+
+__all__ = [
+    "AliasingVerdict",
+    "DualRateAliasingDetector",
+    "detect_aliasing",
+    "compare_spectra",
+]
+
+#: Default ratio between the fast and slow probe rates.  1.6 is neither an
+#: integer nor does the slow rate divide the fast one, as §4.1 requires.
+DEFAULT_RATE_RATIO: float = 1.6
+
+
+@dataclass(frozen=True)
+class AliasingVerdict:
+    """Outcome of a dual-frequency aliasing check.
+
+    Attributes
+    ----------
+    aliased:
+        True when the comparison indicates frequency content above half the
+        slower probe rate (i.e. the slower rate would lose information).
+    discrepancy:
+        Normalised spectral discrepancy between the two probes in the
+        common band (0 = identical spectra).
+    threshold:
+        The decision threshold the discrepancy was compared against.
+    slow_rate, fast_rate:
+        The two probe sampling rates that were compared.
+    common_band_hz:
+        Upper edge of the frequency band over which the spectra were
+        compared (half the slower rate).
+    """
+
+    aliased: bool
+    discrepancy: float
+    threshold: float
+    slow_rate: float
+    fast_rate: float
+    common_band_hz: float
+
+    @property
+    def margin(self) -> float:
+        """How far the discrepancy sits from the threshold (positive = aliased)."""
+        return self.discrepancy - self.threshold
+
+
+def compare_spectra(slow: Spectrum, fast: Spectrum,
+                    noise_quantile: float = 0.5) -> tuple[float, float]:
+    """Compare two PSDs over their common band.
+
+    Returns ``(discrepancy, band_edge)`` where ``discrepancy`` is the mean
+    absolute difference of the (energy-normalised) spectra over the band
+    ``(0, band_edge]``, after subtracting the estimated noise floor from
+    both.  Normalising by total in-band energy makes the number comparable
+    across metrics with wildly different magnitudes.
+    """
+    band_edge = min(slow.max_frequency, fast.max_frequency)
+    slow_band = slow.without_dc().band(0.0, band_edge)
+    fast_band = fast.without_dc().band(0.0, band_edge)
+    if len(slow_band) == 0 or len(fast_band) == 0:
+        return 0.0, band_edge
+
+    # Compare on the coarser of the two grids so neither spectrum is
+    # extrapolated beyond its resolution.
+    grid = slow_band.frequencies if len(slow_band) <= len(fast_band) else fast_band.frequencies
+    slow_power = slow_band.interpolate_power(grid)
+    fast_power = fast_band.interpolate_power(grid)
+
+    slow_floor = noise_floor_estimate(slow_power, quantile=noise_quantile)
+    fast_floor = noise_floor_estimate(fast_power, quantile=noise_quantile)
+    slow_clean = np.maximum(slow_power - slow_floor, 0.0)
+    fast_clean = np.maximum(fast_power - fast_floor, 0.0)
+
+    total = float(np.sum(slow_clean) + np.sum(fast_clean))
+    if total <= 0:
+        return 0.0, band_edge
+    # Normalise each spectrum to unit energy before differencing so a pure
+    # amplitude difference (e.g. window scalloping) does not register as
+    # aliasing; only *where* the energy sits matters.
+    slow_norm = slow_clean / (np.sum(slow_clean) or 1.0)
+    fast_norm = fast_clean / (np.sum(fast_clean) or 1.0)
+    discrepancy = float(0.5 * np.sum(np.abs(slow_norm - fast_norm)))
+    return discrepancy, band_edge
+
+
+class DualRateAliasingDetector:
+    """Penny-style aliasing detector.
+
+    Parameters
+    ----------
+    rate_ratio:
+        Ratio ``f1 / f2`` between the fast and slow probe rates; must be
+        greater than 1 and should not be an integer (and the slow rate must
+        not divide the fast rate) or aliased components can fold onto the
+        same apparent frequency in both spectra and go undetected.
+    threshold:
+        Discrepancy above which the verdict is "aliased".  The discrepancy
+        is a total-variation style distance in [0, 1]; the default of 0.1
+        tolerates noise and mild spectral-estimation differences.
+    noise_quantile:
+        Quantile of bin power used as the per-spectrum noise floor.
+    min_samples:
+        Minimum number of samples each probe stream must contain for the
+        comparison to mean anything; with fewer samples the verdict is
+        "not aliased" (insufficient evidence) rather than a coin flip on
+        two noisy two-bin spectra.
+    """
+
+    def __init__(self, rate_ratio: float = DEFAULT_RATE_RATIO,
+                 threshold: float = 0.1,
+                 noise_quantile: float = 0.5,
+                 min_samples: int = 16) -> None:
+        if rate_ratio <= 1.0:
+            raise ValueError("rate_ratio must be > 1")
+        if math.isclose(rate_ratio, round(rate_ratio), abs_tol=1e-9):
+            raise ValueError("rate_ratio must not be an integer (see §4.1)")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if min_samples < 4:
+            raise ValueError("min_samples must be >= 4")
+        self.rate_ratio = rate_ratio
+        self.threshold = threshold
+        self.noise_quantile = noise_quantile
+        self.min_samples = min_samples
+
+    # ------------------------------------------------------------------
+    def probe_rates(self, slow_rate: float) -> tuple[float, float]:
+        """Return ``(slow_rate, fast_rate)`` for a candidate sampling rate."""
+        if slow_rate <= 0:
+            raise ValueError("slow_rate must be positive")
+        return slow_rate, slow_rate * self.rate_ratio
+
+    def check_samples(self, slow: TimeSeries, fast: TimeSeries) -> AliasingVerdict:
+        """Compare two already-collected probe traces of the same signal."""
+        if slow.sampling_rate >= fast.sampling_rate:
+            slow, fast = fast, slow
+        if len(slow) < self.min_samples or len(fast) < self.min_samples:
+            # Not enough data to say anything: report "not aliased" with
+            # zero confidence rather than raising, so the adaptive
+            # controller can simply keep probing.
+            return AliasingVerdict(False, 0.0, self.threshold,
+                                   slow.sampling_rate, fast.sampling_rate,
+                                   slow.sampling_rate / 2.0)
+        slow_spectrum = periodogram(slow)
+        fast_spectrum = periodogram(fast)
+        discrepancy, band_edge = compare_spectra(slow_spectrum, fast_spectrum,
+                                                 noise_quantile=self.noise_quantile)
+        return AliasingVerdict(
+            aliased=discrepancy > self.threshold,
+            discrepancy=discrepancy,
+            threshold=self.threshold,
+            slow_rate=slow.sampling_rate,
+            fast_rate=fast.sampling_rate,
+            common_band_hz=band_edge,
+        )
+
+    def check_signal(self, reference: TimeSeries, candidate_rate: float) -> AliasingVerdict:
+        """Would sampling ``reference`` at ``candidate_rate`` alias?
+
+        ``reference`` must be a trace collected at a rate at least
+        ``rate_ratio`` times faster than ``candidate_rate`` (it plays the
+        role of the underlying signal).  The detector derives the two probe
+        streams from it without anti-alias filtering -- i.e. what two
+        independent slower pollers would have observed.  When the probe
+        rates do not divide the reference rate, the probe samples are read
+        off the reference by interpolation, which is a faithful stand-in as
+        long as the reference is sampled well above both probe rates.
+        """
+        slow_rate, fast_rate = self.probe_rates(candidate_rate)
+        if fast_rate > reference.sampling_rate + 1e-9:
+            raise ValueError(
+                f"reference trace at {reference.sampling_rate:g} Hz is too slow to "
+                f"emulate a {fast_rate:g} Hz probe")
+        slow = self._probe(reference, slow_rate)
+        fast = self._probe(reference, fast_rate)
+        return self.check_samples(slow, fast)
+
+    @staticmethod
+    def _probe(reference: TimeSeries, rate: float) -> TimeSeries:
+        """Emulate polling ``reference`` at ``rate`` (no anti-alias filtering)."""
+        ratio = reference.sampling_rate / rate
+        if abs(ratio - round(ratio)) < 1e-9:
+            return resample_to_rate(reference, rate, anti_alias=False)
+        return linear_resample(reference, rate)
+
+
+def detect_aliasing(reference: TimeSeries, candidate_rate: float,
+                    rate_ratio: float = DEFAULT_RATE_RATIO,
+                    threshold: float = 0.1) -> AliasingVerdict:
+    """Convenience wrapper: dual-frequency aliasing check with default settings."""
+    detector = DualRateAliasingDetector(rate_ratio=rate_ratio, threshold=threshold)
+    return detector.check_signal(reference, candidate_rate)

@@ -1,0 +1,120 @@
+"""Reconstruction-quality metrics.
+
+The paper summarises reconstruction quality with the L2 distance between
+the original and reconstructed traces (Figure 6).  Benchmarks and the
+pipeline simulator additionally report normalised and per-sample error
+metrics so results are comparable across metrics with very different
+scales (temperatures in tens of degrees vs. drop counters near zero).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+
+__all__ = [
+    "ReconstructionError",
+    "l2_distance",
+    "rmse",
+    "nrmse",
+    "max_abs_error",
+    "mean_abs_error",
+    "compare",
+]
+
+
+def _aligned_values(original: TimeSeries, reconstructed: TimeSeries) -> tuple[np.ndarray, np.ndarray]:
+    """Return value arrays trimmed to a common length.
+
+    Fourier resampling can produce a reconstruction one sample shorter or
+    longer than the original when the decimation factor does not divide the
+    trace length; comparing the overlapping prefix is the standard
+    convention and never hides more than ``factor`` samples.
+    """
+    n = min(len(original), len(reconstructed))
+    if n == 0:
+        raise ValueError("cannot compare empty series")
+    return original.values[:n], reconstructed.values[:n]
+
+
+def l2_distance(original: TimeSeries, reconstructed: TimeSeries) -> float:
+    """Euclidean distance between the two traces (the paper's Figure 6 metric)."""
+    a, b = _aligned_values(original, reconstructed)
+    return float(np.linalg.norm(a - b))
+
+
+def rmse(original: TimeSeries, reconstructed: TimeSeries) -> float:
+    """Root-mean-square error per sample."""
+    a, b = _aligned_values(original, reconstructed)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def nrmse(original: TimeSeries, reconstructed: TimeSeries) -> float:
+    """RMSE normalised by the original's peak-to-peak range.
+
+    Returns 0 for a perfect reconstruction and ``nan`` when the original
+    trace is constant (the range is zero, so normalisation is undefined --
+    but then rmse itself is already interpretable).
+    """
+    a, b = _aligned_values(original, reconstructed)
+    value_range = float(np.max(a) - np.min(a))
+    error = float(np.sqrt(np.mean((a - b) ** 2)))
+    if value_range == 0:
+        return 0.0 if error == 0 else float("nan")
+    return error / value_range
+
+
+def max_abs_error(original: TimeSeries, reconstructed: TimeSeries) -> float:
+    """Largest per-sample absolute deviation."""
+    a, b = _aligned_values(original, reconstructed)
+    return float(np.max(np.abs(a - b)))
+
+
+def mean_abs_error(original: TimeSeries, reconstructed: TimeSeries) -> float:
+    """Mean per-sample absolute deviation."""
+    a, b = _aligned_values(original, reconstructed)
+    return float(np.mean(np.abs(a - b)))
+
+
+@dataclass(frozen=True)
+class ReconstructionError:
+    """Bundle of all reconstruction-quality metrics for one comparison."""
+
+    l2: float
+    rmse: float
+    nrmse: float
+    max_abs: float
+    mean_abs: float
+    samples_compared: int
+
+    def is_exact(self, tolerance: float = 1e-9) -> bool:
+        """True when the reconstruction matches the original to within ``tolerance``."""
+        return self.max_abs <= tolerance
+
+    def __str__(self) -> str:
+        return (f"L2={self.l2:.4g} RMSE={self.rmse:.4g} NRMSE={self.nrmse:.4g} "
+                f"max|e|={self.max_abs:.4g} over {self.samples_compared} samples")
+
+
+def compare(original: TimeSeries, reconstructed: TimeSeries) -> ReconstructionError:
+    """Compute every reconstruction metric at once."""
+    a, b = _aligned_values(original, reconstructed)
+    diff = a - b
+    value_range = float(np.max(a) - np.min(a))
+    rmse_value = float(np.sqrt(np.mean(diff ** 2)))
+    if value_range == 0:
+        nrmse_value = 0.0 if rmse_value == 0 else float("nan")
+    else:
+        nrmse_value = rmse_value / value_range
+    return ReconstructionError(
+        l2=float(np.linalg.norm(diff)),
+        rmse=rmse_value,
+        nrmse=nrmse_value,
+        max_abs=float(np.max(np.abs(diff))),
+        mean_abs=float(np.mean(np.abs(diff))),
+        samples_compared=int(a.shape[0]),
+    )

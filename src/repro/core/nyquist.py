@@ -1,0 +1,330 @@
+"""Nyquist-rate estimation from a measured trace (the paper's Section 3.2 method).
+
+The estimator:
+
+(a) computes the FFT/PSD of the trace and the total energy (sum of the PSD
+    across bins);
+(b) accumulates per-bin power in ascending frequency order until 99 % of
+    the total energy is captured;
+(c) if *all* bins are needed, concludes the trace is probably already
+    aliased and reports an unreliable estimate (the paper records -1);
+(d) otherwise reports twice the cut-off frequency as the Nyquist rate.
+
+The 99 % cut-off is a noise/quantisation workaround; it is configurable and
+ablated in ``benchmarks/bench_ablation_energy_cutoff.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..signals.spectrum import Spectrum
+from ..signals.timeseries import IrregularTimeSeries, TimeSeries
+from .psd import WindowName, periodogram, welch_psd
+from .resampling import regularize
+
+__all__ = [
+    "NyquistEstimate",
+    "NyquistEstimator",
+    "estimate_nyquist_rate",
+    "oversampling_ratio",
+    "ALIASED_SENTINEL",
+]
+
+#: Value the paper records when the estimator cannot produce a reliable
+#: rate because the trace appears to be aliased already.
+ALIASED_SENTINEL: float = -1.0
+
+#: Default share of total (non-DC) energy that must be captured below the
+#: cut-off frequency.  This is the paper's 99 % knob.
+DEFAULT_ENERGY_FRACTION: float = 0.99
+
+
+@dataclass(frozen=True)
+class NyquistEstimate:
+    """Result of running the Section 3.2 estimator on one trace.
+
+    Attributes
+    ----------
+    nyquist_rate:
+        Estimated Nyquist rate in Hz, or :data:`ALIASED_SENTINEL` (-1.0)
+        when the estimate is unreliable.
+    cutoff_frequency:
+        The frequency below which ``energy_fraction`` of the signal energy
+        lies (``None`` when unreliable).
+    current_rate:
+        The rate at which the trace was actually sampled.
+    energy_fraction:
+        The energy threshold that was used (0.99 by default).
+    captured_fraction:
+        The fraction of energy actually captured at the cut-off bin.
+    total_energy:
+        Total (non-DC unless ``include_dc``) energy of the trace's PSD.
+    reliable:
+        True when the estimator believes the trace was sampled above its
+        Nyquist rate and the estimate can be trusted.
+    reason:
+        Short human-readable explanation when ``reliable`` is False.
+    """
+
+    nyquist_rate: float
+    cutoff_frequency: float | None
+    current_rate: float
+    energy_fraction: float
+    captured_fraction: float
+    total_energy: float
+    reliable: bool
+    reason: str = ""
+
+    @property
+    def is_aliased_suspect(self) -> bool:
+        """True when the trace looked aliased (all bins needed for the cut-off)."""
+        return not self.reliable and self.reason == "all bins needed"
+
+    @property
+    def reduction_ratio(self) -> float:
+        """How much less often the metric could be sampled (current / Nyquist).
+
+        Values above 1 mean the metric is over-sampled today (a ratio of 10
+        means 10x over-sampling); values below 1 mean it is under-sampled.
+        Returns ``nan`` when the estimate is unreliable.
+        """
+        if not self.reliable or self.nyquist_rate <= 0:
+            return float("nan")
+        return self.current_rate / self.nyquist_rate
+
+    @property
+    def oversampled(self) -> bool:
+        """True when the current rate exceeds the estimated Nyquist rate."""
+        return self.reliable and self.current_rate > self.nyquist_rate
+
+    @property
+    def undersampled(self) -> bool:
+        """True when the current rate is below the estimated Nyquist rate."""
+        return self.reliable and self.current_rate < self.nyquist_rate
+
+
+class NyquistEstimator:
+    """Configurable implementation of the paper's Nyquist-rate estimator.
+
+    Parameters
+    ----------
+    energy_fraction:
+        Share of total energy that must be captured below the cut-off
+        frequency (paper default 0.99).
+    include_dc:
+        Whether the DC bin participates in energy accounting.  The paper
+        sums "across all FFT bins"; we exclude DC by default because a
+        constant offset carries no information about how fast a metric
+        changes and would otherwise dominate the total for any metric with
+        a large mean (documented in DESIGN.md and ablated in the benches).
+    psd_method:
+        "periodogram" (single FFT, the paper's method) or "welch".
+    min_samples:
+        Traces shorter than this are rejected as unreliable rather than
+        producing a meaningless two-bin estimate.
+    flat_tolerance:
+        If the trace's peak-to-peak range divided by its absolute mean (or
+        1 if the mean is 0) is below this threshold the trace is considered
+        constant; constant traces get a Nyquist rate equal to one cycle per
+        trace duration (the lowest rate observable from the data) rather
+        than a noise-driven estimate.
+    aliased_band_fraction:
+        If the energy cut-off lands above this fraction of the measurable
+        band edge (``sampling_rate / 2``), the trace is treated as
+        "probably already aliased" even if the very last bin was not
+        strictly required.  The paper's criterion is "all bins needed";
+        with measurement noise present, energy reaching (essentially) the
+        band edge carries the same meaning.  The default of 1.0 keeps the
+        paper's strict rule (only the literal "all bins needed" case is
+        flagged); lower it for noisier deployments.
+    detrend:
+        Remove the mean and the best-fit linear trend before the FFT.  A
+        slow trend that does not complete a cycle inside the analysis
+        window leaks energy across many bins and inflates the estimate;
+        detrending suppresses that leakage.  Off by default (the paper's
+        survey analyses full-day traces where leakage is minor); the
+        adaptive controller turns it on because it works on short windows.
+    window:
+        Taper applied before the FFT ("rectangular", "hann", "hamming",
+        "blackman").  A tapered window further reduces leakage at the cost
+        of a slightly wider main lobe.
+    """
+
+    def __init__(self,
+                 energy_fraction: float = DEFAULT_ENERGY_FRACTION,
+                 include_dc: bool = False,
+                 psd_method: Literal["periodogram", "welch"] = "periodogram",
+                 min_samples: int = 16,
+                 flat_tolerance: float = 0.0,
+                 aliased_band_fraction: float = 1.0,
+                 detrend: bool = False,
+                 window: WindowName = "rectangular") -> None:
+        if not 0 < energy_fraction <= 1:
+            raise ValueError("energy_fraction must be in (0, 1]")
+        if min_samples < 4:
+            raise ValueError("min_samples must be >= 4")
+        if flat_tolerance < 0:
+            raise ValueError("flat_tolerance must be non-negative")
+        if not 0 < aliased_band_fraction <= 1:
+            raise ValueError("aliased_band_fraction must be in (0, 1]")
+        self.energy_fraction = energy_fraction
+        self.include_dc = include_dc
+        self.psd_method = psd_method
+        self.min_samples = min_samples
+        self.flat_tolerance = flat_tolerance
+        self.aliased_band_fraction = aliased_band_fraction
+        self.detrend = detrend
+        self.window = window
+
+    # ------------------------------------------------------------------
+    def compute_spectrum(self, series: TimeSeries) -> Spectrum:
+        """PSD of ``series`` using the configured method."""
+        if self.detrend:
+            series = _remove_linear_trend(series)
+        if self.psd_method == "periodogram":
+            return periodogram(series, window=self.window)
+        if self.psd_method == "welch":
+            return welch_psd(series, window=self.window if self.window != "rectangular" else "hann")
+        raise ValueError(f"unknown psd_method {self.psd_method!r}")
+
+    def estimate(self, series: TimeSeries | IrregularTimeSeries) -> NyquistEstimate:
+        """Run the estimator on a trace.
+
+        Irregular traces are pre-cleaned with nearest-neighbour re-sampling
+        first, exactly as Section 3.2 prescribes.
+        """
+        if isinstance(series, IrregularTimeSeries):
+            series = regularize(series)
+        if len(series) < self.min_samples:
+            return self._unreliable(series, reason="trace too short")
+
+        if self._is_effectively_constant(series):
+            # A constant metric needs (essentially) no sampling at all; we
+            # report the lowest rate the trace itself can witness: one
+            # sample per trace duration.
+            lowest = 1.0 / series.duration
+            return NyquistEstimate(
+                nyquist_rate=lowest,
+                cutoff_frequency=lowest / 2.0,
+                current_rate=series.sampling_rate,
+                energy_fraction=self.energy_fraction,
+                captured_fraction=1.0,
+                total_energy=0.0,
+                reliable=True,
+                reason="constant trace",
+            )
+
+        spectrum = self.compute_spectrum(series)
+        return self.estimate_from_spectrum(spectrum, current_rate=series.sampling_rate)
+
+    def estimate_from_spectrum(self, spectrum: Spectrum,
+                               current_rate: float | None = None) -> NyquistEstimate:
+        """Run steps (a)-(d) on an already-computed PSD."""
+        rate = current_rate if current_rate is not None else spectrum.sampling_rate
+        working = spectrum if self.include_dc else spectrum.without_dc()
+        total = float(np.sum(working.power))
+        if total <= 0 or len(working) == 0:
+            return NyquistEstimate(
+                nyquist_rate=ALIASED_SENTINEL,
+                cutoff_frequency=None,
+                current_rate=rate,
+                energy_fraction=self.energy_fraction,
+                captured_fraction=0.0,
+                total_energy=0.0,
+                reliable=False,
+                reason="no spectral energy",
+            )
+
+        cumulative = np.cumsum(working.power) / total
+        cutoff_index = int(np.searchsorted(cumulative, self.energy_fraction - 1e-12))
+        cutoff_index = min(cutoff_index, len(working) - 1)
+
+        band_edge = float(working.frequencies[-1])
+        if (cutoff_index >= len(working) - 1
+                or working.frequencies[cutoff_index] > self.aliased_band_fraction * band_edge):
+            # All bins (or essentially all of the band) were needed: the
+            # energy extends to the edge of the measurable band, which is
+            # the signature of a trace that was already aliased when it was
+            # collected (step (b) failure case -> record -1).
+            return NyquistEstimate(
+                nyquist_rate=ALIASED_SENTINEL,
+                cutoff_frequency=None,
+                current_rate=rate,
+                energy_fraction=self.energy_fraction,
+                captured_fraction=float(cumulative[-1]),
+                total_energy=total,
+                reliable=False,
+                reason="all bins needed",
+            )
+
+        cutoff_frequency = float(working.frequencies[cutoff_index])
+        if cutoff_frequency <= 0:
+            # All interesting energy is in the first (lowest) bin; the best
+            # statement the data supports is "at most one cycle per trace".
+            cutoff_frequency = float(working.frequencies[0]) or working.resolution
+        nyquist_rate = 2.0 * cutoff_frequency
+        return NyquistEstimate(
+            nyquist_rate=nyquist_rate,
+            cutoff_frequency=cutoff_frequency,
+            current_rate=rate,
+            energy_fraction=self.energy_fraction,
+            captured_fraction=float(cumulative[cutoff_index]),
+            total_energy=total,
+            reliable=True,
+        )
+
+    # ------------------------------------------------------------------
+    def _is_effectively_constant(self, series: TimeSeries) -> bool:
+        spread = series.value_range()
+        if spread == 0:
+            return True
+        if self.flat_tolerance == 0:
+            return False
+        scale = abs(series.mean()) or 1.0
+        return spread / scale < self.flat_tolerance
+
+    def _unreliable(self, series: TimeSeries, reason: str) -> NyquistEstimate:
+        return NyquistEstimate(
+            nyquist_rate=ALIASED_SENTINEL,
+            cutoff_frequency=None,
+            current_rate=series.sampling_rate if len(series) else float("nan"),
+            energy_fraction=self.energy_fraction,
+            captured_fraction=0.0,
+            total_energy=0.0,
+            reliable=False,
+            reason=reason,
+        )
+
+
+def estimate_nyquist_rate(series: TimeSeries | IrregularTimeSeries,
+                          energy_fraction: float = DEFAULT_ENERGY_FRACTION,
+                          include_dc: bool = False) -> NyquistEstimate:
+    """Convenience wrapper around :class:`NyquistEstimator` with default settings."""
+    estimator = NyquistEstimator(energy_fraction=energy_fraction, include_dc=include_dc)
+    return estimator.estimate(series)
+
+
+def oversampling_ratio(series: TimeSeries | IrregularTimeSeries,
+                       energy_fraction: float = DEFAULT_ENERGY_FRACTION) -> float:
+    """Ratio between the trace's actual sampling rate and its estimated Nyquist rate.
+
+    This is the quantity plotted (as a per-metric CDF) in Figure 4.
+    Returns ``nan`` when the Nyquist rate cannot be estimated reliably.
+    """
+    estimate = estimate_nyquist_rate(series, energy_fraction=energy_fraction)
+    return estimate.reduction_ratio
+
+
+def _remove_linear_trend(series: TimeSeries) -> TimeSeries:
+    """Subtract the least-squares linear fit from a series (used by ``detrend``)."""
+    n = len(series)
+    if n < 2:
+        return series
+    x = np.arange(n, dtype=np.float64)
+    slope, intercept = np.polyfit(x, series.values, 1)
+    return series.with_values(series.values - (slope * x + intercept))

@@ -1,0 +1,139 @@
+"""Power-spectral-density estimation.
+
+Section 3.2 of the paper computes, for each trace, "the FFT and ... the
+total energy in the signal -- the sum of the PSD across all FFT bins".
+:func:`periodogram` implements that single-FFT estimate; :func:`welch_psd`
+provides the standard averaged variant for very noisy traces (both return
+:class:`repro.signals.Spectrum`, which the Nyquist estimator consumes).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..signals.spectrum import Spectrum
+from ..signals.timeseries import TimeSeries
+
+__all__ = ["periodogram", "welch_psd", "power_spectrum", "WindowName", "window_coefficients"]
+
+WindowName = Literal["rectangular", "hann", "hamming", "blackman"]
+
+_WINDOW_BUILDERS = {
+    "rectangular": lambda n: np.ones(n),
+    "hann": np.hanning,
+    "hamming": np.hamming,
+    "blackman": np.blackman,
+}
+
+
+def window_coefficients(name: WindowName, length: int) -> np.ndarray:
+    """Return the taper coefficients for the named window function."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    try:
+        builder = _WINDOW_BUILDERS[name]
+    except KeyError:
+        raise ValueError(f"unknown window {name!r}; choose from {sorted(_WINDOW_BUILDERS)}") from None
+    if length == 1:
+        return np.ones(1)
+    return np.asarray(builder(length), dtype=np.float64)
+
+
+def periodogram(series: TimeSeries, window: WindowName = "rectangular",
+                detrend: bool = False) -> Spectrum:
+    """Single-FFT power spectral density of ``series``.
+
+    Parameters
+    ----------
+    series:
+        The regularly sampled trace to analyse.
+    window:
+        Taper applied before the FFT.  The paper's method uses the plain
+        FFT (rectangular window), which is the default.
+    detrend:
+        If True, remove the mean before the FFT.  This moves what would be
+        DC leakage out of the low-frequency bins; the Nyquist estimator
+        instead handles the mean by ignoring the DC bin, so the default is
+        False.
+
+    Returns
+    -------
+    Spectrum
+        One-sided PSD with ``len(series) // 2 + 1`` bins.
+    """
+    if len(series) < 2:
+        raise ValueError("need at least two samples to compute a periodogram")
+    values = series.values - series.mean() if detrend else series.values
+    taper = window_coefficients(window, len(series))
+    tapered = values * taper
+    spectrum = np.fft.rfft(tapered)
+    # Normalise so the sum of bin powers equals the mean squared value of
+    # the signal (exactly so for the rectangular window, in expectation for
+    # tapered windows); only ratios matter downstream, but a physical
+    # normalisation makes the numbers interpretable in tests.
+    scale = len(series) * np.sum(taper ** 2)
+    power = (np.abs(spectrum) ** 2) / scale
+    # One-sided spectrum: double the interior bins to account for negative
+    # frequencies (DC and, for even n, the Nyquist bin are unique).
+    if len(series) % 2 == 0:
+        power[1:-1] *= 2.0
+    else:
+        power[1:] *= 2.0
+    freqs = np.fft.rfftfreq(len(series), d=series.interval)
+    return Spectrum(freqs, power, series.sampling_rate)
+
+
+def welch_psd(series: TimeSeries, segment_length: int | None = None,
+              overlap: float = 0.5, window: WindowName = "hann",
+              detrend: bool = True) -> Spectrum:
+    """Welch-averaged PSD: split into overlapping segments, average periodograms.
+
+    Averaging trades frequency resolution for variance reduction, which
+    helps when a trace is dominated by measurement noise.  The paper's
+    survey uses the raw periodogram; Welch is offered for robustness
+    experiments.
+    """
+    n = len(series)
+    if n < 2:
+        raise ValueError("need at least two samples to compute a PSD")
+    if segment_length is None:
+        segment_length = max(min(n, 256), 2)
+    if segment_length < 2:
+        raise ValueError("segment_length must be >= 2")
+    segment_length = min(segment_length, n)
+    if not 0 <= overlap < 1:
+        raise ValueError("overlap must be in [0, 1)")
+    step = max(int(round(segment_length * (1.0 - overlap))), 1)
+
+    taper = window_coefficients(window, segment_length)
+    scale = segment_length * np.sum(taper ** 2)
+    freqs = np.fft.rfftfreq(segment_length, d=series.interval)
+    accumulated = np.zeros(freqs.shape)
+    segments = 0
+    for start in range(0, n - segment_length + 1, step):
+        chunk = series.values[start:start + segment_length]
+        if detrend:
+            chunk = chunk - np.mean(chunk)
+        spectrum = np.fft.rfft(chunk * taper)
+        power = (np.abs(spectrum) ** 2) / scale
+        if segment_length % 2 == 0:
+            power[1:-1] *= 2.0
+        else:
+            power[1:] *= 2.0
+        accumulated += power
+        segments += 1
+    if segments == 0:
+        raise ValueError("series shorter than one segment")
+    return Spectrum(freqs, accumulated / segments, series.sampling_rate)
+
+
+def power_spectrum(series: TimeSeries, method: Literal["periodogram", "welch"] = "periodogram",
+                   **kwargs) -> Spectrum:
+    """Dispatch helper: compute a PSD with the requested method."""
+    if method == "periodogram":
+        return periodogram(series, **kwargs)
+    if method == "welch":
+        return welch_psd(series, **kwargs)
+    raise ValueError(f"unknown PSD method {method!r}")

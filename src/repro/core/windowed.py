@@ -1,0 +1,84 @@
+"""Moving-window Nyquist inference (Figure 7).
+
+Figure 7 of the paper shows "the inferred Nyquist rates over time for the
+signal depicted in Figure 6 ... a step of 5 minutes for the moving window
+and a window size of 6 hours".  :func:`windowed_nyquist_rates` produces
+exactly that series for any trace; :func:`rate_stability` summarises how
+much the inferred rate moves, which is what motivates dynamic sampling in
+the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+from .nyquist import NyquistEstimate, NyquistEstimator
+
+__all__ = [
+    "WindowedEstimate",
+    "windowed_nyquist_rates",
+    "rate_stability",
+]
+
+#: The paper's Figure 7 parameters.
+FIGURE7_WINDOW_SECONDS: float = 6 * 3600.0
+FIGURE7_STEP_SECONDS: float = 5 * 60.0
+
+
+@dataclass(frozen=True)
+class WindowedEstimate:
+    """Nyquist estimate for one position of the moving window."""
+
+    window_start: float
+    window_end: float
+    estimate: NyquistEstimate
+
+    @property
+    def nyquist_rate(self) -> float:
+        """The inferred Nyquist rate (nan when unreliable)."""
+        return self.estimate.nyquist_rate if self.estimate.reliable else float("nan")
+
+
+def windowed_nyquist_rates(series: TimeSeries,
+                           window_seconds: float = FIGURE7_WINDOW_SECONDS,
+                           step_seconds: float = FIGURE7_STEP_SECONDS,
+                           estimator: NyquistEstimator | None = None) -> list[WindowedEstimate]:
+    """Estimate the Nyquist rate in every position of a sliding window.
+
+    Parameters default to the paper's Figure 7 settings (6-hour window,
+    5-minute step).  Windows containing fewer samples than the estimator's
+    minimum are skipped (they would only produce unreliable estimates).
+    """
+    estimator = estimator or NyquistEstimator()
+    results: list[WindowedEstimate] = []
+    for window in series.iter_windows(window_seconds, step_seconds):
+        if len(window) < estimator.min_samples:
+            continue
+        estimate = estimator.estimate(window)
+        results.append(WindowedEstimate(window.start_time, window.end_time, estimate))
+    return results
+
+
+def rate_stability(estimates: list[WindowedEstimate]) -> dict[str, float]:
+    """Summarise how much the inferred Nyquist rate varies over time.
+
+    Returns min/max/mean/std of the reliable estimates plus the max/min
+    ratio ("dynamic range"); a large dynamic range is the paper's argument
+    for adapting the sampling rate instead of fixing it once.
+    """
+    rates = np.array([entry.nyquist_rate for entry in estimates
+                      if not np.isnan(entry.nyquist_rate)])
+    if rates.size == 0:
+        return {"count": 0.0, "min": float("nan"), "max": float("nan"),
+                "mean": float("nan"), "std": float("nan"), "dynamic_range": float("nan")}
+    return {
+        "count": float(rates.size),
+        "min": float(np.min(rates)),
+        "max": float(np.max(rates)),
+        "mean": float(np.mean(rates)),
+        "std": float(np.std(rates)),
+        "dynamic_range": float(np.max(rates) / np.min(rates)) if np.min(rates) > 0 else float("inf"),
+    }

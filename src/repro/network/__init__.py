@@ -1,0 +1,13 @@
+"""Datacenter network substrate: topologies, monitoring deployment and cost model."""
+
+from .cost import CostBreakdown, CostModel, TelemetryCostAccountant
+from .monitoring import MonitoredPoint, MonitoringDeployment
+from .topology import (NodeRole, TopologySpec, attach_collector, build_fat_tree,
+                       build_leaf_spine, servers, switches)
+
+__all__ = [
+    "NodeRole", "TopologySpec", "build_leaf_spine", "build_fat_tree",
+    "switches", "servers", "attach_collector",
+    "CostModel", "CostBreakdown", "TelemetryCostAccountant",
+    "MonitoredPoint", "MonitoringDeployment",
+]

@@ -1,0 +1,151 @@
+"""Monitoring deployment: which metrics are polled on which fabric devices.
+
+This is the glue between the topology (:mod:`repro.network.topology`), the
+telemetry generators (:mod:`repro.telemetry`) and the pipeline simulator
+(:mod:`repro.pipeline`): a :class:`MonitoringDeployment` assigns metric
+specs to fabric nodes, draws the per-(device, metric) generative
+parameters, and can materialise the reference (ground-truth) traces the
+simulator samples from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+from ..telemetry.metrics import METRIC_CATALOG, MetricSpec
+from ..telemetry.models import generate_trace
+from ..telemetry.profiles import (DeviceProfile, DeviceRole, MetricParameters,
+                                  draw_metric_parameters)
+from .topology import NodeRole, servers, switches
+
+__all__ = ["MonitoredPoint", "MonitoringDeployment"]
+
+#: Which metric families make sense on which kind of fabric node.
+_SWITCH_METRICS = ("Link util", "Unicast bytes", "Multicast bytes", "Unicast drops",
+                   "Multicast drops", "In-bound discards", "Out-bound discards",
+                   "FCS errors", "Lossy paths", "Peak egress BW", "Peak ingress BW",
+                   "Temperature")
+_SERVER_METRICS = ("5-pct CPU util", "Memory usage", "Temperature")
+
+_ROLE_MAP = {
+    NodeRole.SPINE: DeviceRole.CORE_SWITCH,
+    NodeRole.CORE: DeviceRole.CORE_SWITCH,
+    NodeRole.AGGREGATION: DeviceRole.AGGREGATION_SWITCH,
+    NodeRole.LEAF: DeviceRole.TOR_SWITCH,
+    NodeRole.EDGE: DeviceRole.TOR_SWITCH,
+    NodeRole.SERVER: DeviceRole.SERVER,
+}
+
+
+@dataclass(frozen=True)
+class MonitoredPoint:
+    """One (fabric node, metric) measurement point."""
+
+    node: str
+    metric: MetricSpec
+    profile: DeviceProfile
+    parameters: MetricParameters
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.node, self.metric.name)
+
+
+@dataclass
+class MonitoringDeployment:
+    """A concrete monitoring deployment over a fabric.
+
+    Parameters
+    ----------
+    topology:
+        The fabric graph (see :mod:`repro.network.topology`).
+    trace_duration:
+        How long the reference traces should be, in seconds.
+    seed:
+        Master seed for parameter draws.
+    switch_metrics / server_metrics:
+        Metric names monitored on switches and servers respectively.
+    broadband_fraction:
+        Fraction of measurement points that are broadband (aliased-looking).
+    """
+
+    topology: nx.Graph
+    trace_duration: float = 86400.0
+    seed: int = 11
+    switch_metrics: tuple[str, ...] = _SWITCH_METRICS
+    server_metrics: tuple[str, ...] = _SERVER_METRICS
+    broadband_fraction: float = 0.11
+    _points: list[MonitoredPoint] | None = field(default=None, init=False, repr=False)
+
+    def points(self) -> list[MonitoredPoint]:
+        """All measurement points of the deployment (cached)."""
+        if self._points is not None:
+            return self._points
+        rng = np.random.default_rng(self.seed)
+        points: list[MonitoredPoint] = []
+        for node in switches(self.topology):
+            points.extend(self._points_for_node(node, self.switch_metrics, rng))
+        for node in servers(self.topology):
+            points.extend(self._points_for_node(node, self.server_metrics, rng))
+        self._points = points
+        return points
+
+    def _points_for_node(self, node: str, metric_names: Sequence[str],
+                         rng: np.random.Generator) -> list[MonitoredPoint]:
+        role = _ROLE_MAP.get(self.topology.nodes[node].get("role"), DeviceRole.SERVER)
+        profile = DeviceProfile(device_id=node, role=role,
+                                seed=int(rng.integers(0, 2 ** 31 - 1)))
+        points = []
+        for name in metric_names:
+            spec = METRIC_CATALOG[name]
+            params = draw_metric_parameters(
+                spec, profile, self.trace_duration,
+                broadband_fraction=self.broadband_fraction,
+                rng=np.random.default_rng(profile.metric_seed(name)))
+            points.append(MonitoredPoint(node, spec, profile, params))
+        return points
+
+    def __len__(self) -> int:
+        return len(self.points())
+
+    def points_for_metric(self, metric_name: str) -> list[MonitoredPoint]:
+        """All measurement points of one metric."""
+        return [point for point in self.points() if point.metric.name == metric_name]
+
+    def reference_trace(self, point: MonitoredPoint,
+                        oversample_factor: float = 4.0) -> TimeSeries:
+        """Ground-truth trace for a measurement point.
+
+        The reference is generated ``oversample_factor`` times faster than
+        the production polling rate so sampling policies have headroom to
+        probe above today's rate (the adaptive controller's dual-frequency
+        probe needs it).
+        """
+        if oversample_factor < 1:
+            raise ValueError("oversample_factor must be >= 1")
+        interval = point.metric.poll_interval / oversample_factor
+        rng = np.random.default_rng(point.parameters.seed)
+        return generate_trace(point.metric, point.parameters, self.trace_duration,
+                              interval=interval, rng=rng, device_name=point.node)
+
+    def production_trace(self, point: MonitoredPoint) -> TimeSeries:
+        """What today's monitoring system collects for this point."""
+        rng = np.random.default_rng(point.parameters.seed)
+        return generate_trace(point.metric, point.parameters, self.trace_duration,
+                              rng=rng, device_name=point.node)
+
+    def iter_reference_traces(self, metric_name: str | None = None,
+                              limit: int | None = None,
+                              oversample_factor: float = 4.0
+                              ) -> Iterator[tuple[MonitoredPoint, TimeSeries]]:
+        """Iterate (point, reference trace) pairs."""
+        selected = self.points() if metric_name is None else self.points_for_metric(metric_name)
+        if limit is not None:
+            selected = selected[:limit]
+        for point in selected:
+            yield point, self.reference_trace(point, oversample_factor=oversample_factor)

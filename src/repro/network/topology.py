@@ -1,0 +1,173 @@
+"""Datacenter topologies: leaf-spine and folded-Clos (fat-tree) fabrics.
+
+The paper's cost argument is about fleet scale: every polled sample is
+collected on a device, crosses the fabric to a collector, and lands in a
+store.  To account for those costs we need an actual fabric.  The builders
+here produce :class:`networkx.Graph` objects whose nodes are switches,
+servers and collectors (tagged with a ``role`` attribute) and whose edges
+carry link capacities; :mod:`repro.network.cost` walks them to price
+telemetry movement.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+import networkx as nx
+
+__all__ = [
+    "NodeRole",
+    "TopologySpec",
+    "build_leaf_spine",
+    "build_fat_tree",
+    "switches",
+    "servers",
+    "attach_collector",
+]
+
+
+class NodeRole:
+    """Node ``role`` attribute values used across the network package."""
+
+    SPINE = "spine"
+    LEAF = "leaf"
+    CORE = "core"
+    AGGREGATION = "aggregation"
+    EDGE = "edge"
+    SERVER = "server"
+    COLLECTOR = "collector"
+
+    SWITCH_ROLES = (SPINE, LEAF, CORE, AGGREGATION, EDGE)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Parameters of a leaf-spine fabric.
+
+    Attributes
+    ----------
+    num_spines / num_leaves:
+        Switch counts in each tier.
+    servers_per_leaf:
+        Hosts attached to each leaf (ToR) switch.
+    leaf_uplink_gbps / server_link_gbps:
+        Link capacities recorded on the edges (used by the cost model to
+        express telemetry bandwidth as a fraction of capacity).
+    """
+
+    num_spines: int = 4
+    num_leaves: int = 8
+    servers_per_leaf: int = 16
+    leaf_uplink_gbps: float = 100.0
+    server_link_gbps: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.num_spines < 1 or self.num_leaves < 1 or self.servers_per_leaf < 0:
+            raise ValueError("spine/leaf/server counts must be positive")
+        if self.leaf_uplink_gbps <= 0 or self.server_link_gbps <= 0:
+            raise ValueError("link capacities must be positive")
+
+
+def build_leaf_spine(spec: TopologySpec | None = None) -> nx.Graph:
+    """Build a two-tier leaf-spine fabric.
+
+    Every leaf connects to every spine; servers hang off leaves.  Node
+    attributes: ``role`` (see :class:`NodeRole`); edge attributes:
+    ``capacity_gbps``.
+    """
+    spec = spec or TopologySpec()
+    graph = nx.Graph(kind="leaf_spine", spec=spec)
+    spines = [f"spine-{i}" for i in range(spec.num_spines)]
+    leaves = [f"leaf-{i}" for i in range(spec.num_leaves)]
+    for name in spines:
+        graph.add_node(name, role=NodeRole.SPINE)
+    for name in leaves:
+        graph.add_node(name, role=NodeRole.LEAF)
+    for leaf, spine in itertools.product(leaves, spines):
+        graph.add_edge(leaf, spine, capacity_gbps=spec.leaf_uplink_gbps)
+    for leaf_index, leaf in enumerate(leaves):
+        for server_index in range(spec.servers_per_leaf):
+            server = f"server-{leaf_index}-{server_index}"
+            graph.add_node(server, role=NodeRole.SERVER)
+            graph.add_edge(server, leaf, capacity_gbps=spec.server_link_gbps)
+    return graph
+
+
+def build_fat_tree(k: int = 4, server_link_gbps: float = 25.0,
+                   fabric_link_gbps: float = 100.0) -> nx.Graph:
+    """Build a canonical k-ary fat-tree (k even): (k/2)^2 cores, k pods.
+
+    Each pod has k/2 aggregation and k/2 edge switches; each edge switch
+    hosts k/2 servers.  This is the standard folded-Clos construction used
+    throughout the datacenter literature.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("k must be an even integer >= 2")
+    half = k // 2
+    graph = nx.Graph(kind="fat_tree", k=k)
+
+    cores = [f"core-{i}" for i in range(half * half)]
+    for name in cores:
+        graph.add_node(name, role=NodeRole.CORE)
+
+    for pod in range(k):
+        aggs = [f"agg-{pod}-{i}" for i in range(half)]
+        edges = [f"edge-{pod}-{i}" for i in range(half)]
+        for name in aggs:
+            graph.add_node(name, role=NodeRole.AGGREGATION, pod=pod)
+        for name in edges:
+            graph.add_node(name, role=NodeRole.EDGE, pod=pod)
+        for agg, edge in itertools.product(aggs, edges):
+            graph.add_edge(agg, edge, capacity_gbps=fabric_link_gbps)
+        # Each aggregation switch i connects to cores [i*half, (i+1)*half).
+        for agg_index, agg in enumerate(aggs):
+            for offset in range(half):
+                core = cores[agg_index * half + offset]
+                graph.add_edge(agg, core, capacity_gbps=fabric_link_gbps)
+        for edge_index, edge in enumerate(edges):
+            for server_index in range(half):
+                server = f"server-{pod}-{edge_index}-{server_index}"
+                graph.add_node(server, role=NodeRole.SERVER, pod=pod)
+                graph.add_edge(server, edge, capacity_gbps=server_link_gbps)
+    return graph
+
+
+def switches(graph: nx.Graph) -> list[str]:
+    """All switch nodes (any non-server, non-collector role)."""
+    return [node for node, data in graph.nodes(data=True)
+            if data.get("role") in NodeRole.SWITCH_ROLES]
+
+
+def servers(graph: nx.Graph) -> list[str]:
+    """All server nodes."""
+    return [node for node, data in graph.nodes(data=True)
+            if data.get("role") == NodeRole.SERVER]
+
+
+def attach_collector(graph: nx.Graph, attachment_points: list[str] | None = None,
+                     name: str = "collector-0",
+                     link_gbps: float = 100.0) -> str:
+    """Attach a telemetry collector node to the fabric.
+
+    By default the collector attaches to every spine/core switch (a
+    centrally reachable placement); pass explicit ``attachment_points`` for
+    other placements.  Returns the collector node name.
+    """
+    if name in graph:
+        raise ValueError(f"node {name!r} already exists")
+    if attachment_points is None:
+        attachment_points = [node for node, data in graph.nodes(data=True)
+                             if data.get("role") in (NodeRole.SPINE, NodeRole.CORE)]
+        if not attachment_points:
+            attachment_points = switches(graph)[:1]
+    if not attachment_points:
+        raise ValueError("no attachment points available for the collector")
+    missing = [node for node in attachment_points if node not in graph]
+    if missing:
+        raise ValueError(f"attachment points not in graph: {missing}")
+    graph.add_node(name, role=NodeRole.COLLECTOR)
+    for node in attachment_points:
+        graph.add_edge(name, node, capacity_gbps=link_gbps)
+    return name

@@ -1,0 +1,17 @@
+"""Monitoring pipeline: sampling policies, event injection and cost/quality evaluation."""
+
+from .evaluation import CostQualityEvaluator, PointEvaluation, PolicySummary
+from .events import (DetectionOutcome, EventKind, InjectedEvent, ThresholdDetector,
+                     inject_event, score_detection)
+from .policies import (AdaptiveDualRatePolicy, FixedRatePolicy, NyquistStaticPolicy,
+                       PolicyResult, SamplingPolicy)
+from .retention import AposterioriRetention, RetentionDecision, RetentionReport
+
+__all__ = [
+    "SamplingPolicy", "PolicyResult", "FixedRatePolicy", "NyquistStaticPolicy",
+    "AdaptiveDualRatePolicy",
+    "EventKind", "InjectedEvent", "inject_event", "ThresholdDetector",
+    "DetectionOutcome", "score_detection",
+    "CostQualityEvaluator", "PointEvaluation", "PolicySummary",
+    "AposterioriRetention", "RetentionDecision", "RetentionReport",
+]

@@ -1,0 +1,161 @@
+"""Cost-vs-quality evaluation of sampling policies.
+
+This is the experiment behind the paper's title: for each sampling policy,
+what does monitoring cost (samples collected, bytes moved and stored) and
+what quality do we get back (reconstruction fidelity, event-detection
+latency)?  The evaluator runs a set of policies over a set of measurement
+points, prices every policy with the network cost model, and produces one
+comparable row per policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.errors import compare
+from ..network.cost import CostBreakdown, TelemetryCostAccountant
+from ..signals.timeseries import TimeSeries
+from .events import DetectionOutcome, InjectedEvent, ThresholdDetector, score_detection
+from .policies import PolicyResult, SamplingPolicy
+
+__all__ = ["PointEvaluation", "PolicySummary", "CostQualityEvaluator"]
+
+
+@dataclass(frozen=True)
+class PointEvaluation:
+    """One (policy, measurement point) outcome."""
+
+    policy_name: str
+    point_name: str
+    metric_name: str
+    samples_collected: int
+    cost: CostBreakdown
+    nrmse: float
+    max_abs_error: float
+    detection: DetectionOutcome | None
+
+    @property
+    def detected(self) -> bool | None:
+        return None if self.detection is None else self.detection.detected
+
+
+@dataclass
+class PolicySummary:
+    """Aggregate cost and quality of one policy across all evaluated points."""
+
+    policy_name: str
+    evaluations: list[PointEvaluation] = field(default_factory=list)
+
+    @property
+    def total_samples(self) -> int:
+        return sum(entry.samples_collected for entry in self.evaluations)
+
+    @property
+    def total_cost(self) -> CostBreakdown:
+        total = CostBreakdown()
+        for entry in self.evaluations:
+            total.add(entry.cost)
+        return total
+
+    @property
+    def mean_nrmse(self) -> float:
+        values = [entry.nrmse for entry in self.evaluations if not math.isnan(entry.nrmse)]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def worst_nrmse(self) -> float:
+        values = [entry.nrmse for entry in self.evaluations if not math.isnan(entry.nrmse)]
+        return float(np.max(values)) if values else float("nan")
+
+    @property
+    def detection_rate(self) -> float:
+        scored = [entry for entry in self.evaluations if entry.detection is not None]
+        if not scored:
+            return float("nan")
+        return float(np.mean([entry.detection.detected for entry in scored]))
+
+    @property
+    def mean_detection_latency(self) -> float:
+        latencies = [entry.detection.latency for entry in self.evaluations
+                     if entry.detection is not None and entry.detection.detected]
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat row for tables / CSV export."""
+        cost = self.total_cost
+        return {
+            "policy": self.policy_name,
+            "points": float(len(self.evaluations)),
+            "samples": float(self.total_samples),
+            "total_cost": cost.total,
+            "storage_bytes": cost.storage_bytes,
+            "transmission": cost.transmission,
+            "mean_nrmse": self.mean_nrmse,
+            "worst_nrmse": self.worst_nrmse,
+            "detection_rate": self.detection_rate,
+            "mean_detection_latency_s": self.mean_detection_latency,
+        }
+
+
+class CostQualityEvaluator:
+    """Run several sampling policies over the same measurement points and compare them."""
+
+    def __init__(self, policies: Sequence[SamplingPolicy],
+                 accountant: TelemetryCostAccountant | None = None,
+                 detector: ThresholdDetector | None = None) -> None:
+        if not policies:
+            raise ValueError("need at least one policy")
+        names = [policy.name for policy in policies]
+        if len(set(names)) != len(names):
+            raise ValueError("policy names must be unique")
+        self.policies = list(policies)
+        self.accountant = accountant or TelemetryCostAccountant()
+        self.detector = detector or ThresholdDetector()
+        self.summaries: dict[str, PolicySummary] = {
+            policy.name: PolicySummary(policy.name) for policy in self.policies}
+
+    # ------------------------------------------------------------------
+    def evaluate_point(self, point_name: str, metric_name: str, reference: TimeSeries,
+                       event: InjectedEvent | None = None) -> list[PointEvaluation]:
+        """Run every policy on one measurement point's reference trace."""
+        results = []
+        for policy in self.policies:
+            outcome: PolicyResult = policy.collect(reference)
+            error = compare(reference, outcome.reconstructed)
+            cost = self.accountant.price_samples(point_name, outcome.samples_collected)
+            detection = None
+            if event is not None:
+                detection = score_detection(policy.name, outcome.collected, event,
+                                            detector=self.detector)
+            evaluation = PointEvaluation(
+                policy_name=policy.name,
+                point_name=point_name,
+                metric_name=metric_name,
+                samples_collected=outcome.samples_collected,
+                cost=cost,
+                nrmse=error.nrmse,
+                max_abs_error=error.max_abs,
+                detection=detection,
+            )
+            self.summaries[policy.name].evaluations.append(evaluation)
+            results.append(evaluation)
+        return results
+
+    def rows(self) -> list[dict[str, float | str]]:
+        """One aggregate row per policy (in the order policies were given)."""
+        return [self.summaries[policy.name].as_row() for policy in self.policies]
+
+    def relative_costs(self, baseline_policy: str) -> dict[str, float]:
+        """Total cost of each policy relative to ``baseline_policy``."""
+        if baseline_policy not in self.summaries:
+            raise KeyError(f"unknown policy {baseline_policy!r}")
+        baseline = self.summaries[baseline_policy].total_cost.total
+        result = {}
+        for name, summary in self.summaries.items():
+            total = summary.total_cost.total
+            result[name] = total / baseline if baseline else float("nan")
+        return result

@@ -1,0 +1,223 @@
+"""Sampling policies: today's fixed-rate polling and the paper's alternatives.
+
+A policy decides which samples of the underlying signal a monitoring system
+actually collects.  Three policies are provided:
+
+* :class:`FixedRatePolicy` -- poll at a fixed, ad-hoc rate.  This is
+  "today's system" (§3.1): the rate is whatever the operator configured.
+* :class:`NyquistStaticPolicy` -- spend a calibration prefix measuring at
+  the production rate, estimate the Nyquist rate with the §3.2 method once,
+  then poll at that rate (plus headroom) for the rest of the trace.
+* :class:`AdaptiveDualRatePolicy` -- the §4 dynamic controller: probe with
+  dual-frequency sampling, detect aliasing, settle at the Nyquist rate and
+  keep adapting.
+
+Every policy returns a :class:`PolicyResult` containing the samples it
+collected, a reconstruction of the full-rate signal (the paper's low-pass
+interpolator) and bookkeeping for cost accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.adaptive import AdaptiveRun, AdaptiveSamplingController, ControllerConfig
+from ..core.nyquist import NyquistEstimator
+from ..core.reconstruction import reconstruct
+from ..core.resampling import resample_to_rate
+from ..signals.timeseries import TimeSeries
+
+__all__ = ["PolicyResult", "SamplingPolicy", "FixedRatePolicy",
+           "NyquistStaticPolicy", "AdaptiveDualRatePolicy"]
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """What a sampling policy produced for one measurement point."""
+
+    policy_name: str
+    samples_collected: int
+    collected: TimeSeries
+    reconstructed: TimeSeries
+    mean_sampling_rate: float
+    detail: dict[str, float]
+
+    @property
+    def samples_per_hour(self) -> float:
+        duration = self.reconstructed.duration
+        if duration <= 0:
+            return float("nan")
+        return self.samples_collected / (duration / 3600.0)
+
+
+class SamplingPolicy(abc.ABC):
+    """Interface every sampling policy implements."""
+
+    #: Human-readable policy name used in reports.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def collect(self, reference: TimeSeries) -> PolicyResult:
+        """Collect samples from the underlying signal ``reference``.
+
+        ``reference`` is a high-rate trace standing in for the continuous
+        underlying metric; a policy may only *read* the samples it decides
+        to collect, and its ``samples_collected`` must reflect every sample
+        it read (including probe traffic).
+        """
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish(name: str, reference: TimeSeries, collected: TimeSeries,
+                samples_collected: int, detail: dict[str, float] | None = None) -> PolicyResult:
+        """Shared epilogue: reconstruct at the reference rate and bundle the result."""
+        if len(collected) >= 2:
+            reconstructed = reconstruct(collected, reference.sampling_rate)
+        else:
+            # Degenerate case: a single sample reconstructs to a constant.
+            value = collected.values[0] if len(collected) else 0.0
+            reconstructed = reference.with_values(np.full(len(reference), value))
+        duration = reference.duration
+        mean_rate = samples_collected / duration if duration > 0 else float("nan")
+        return PolicyResult(
+            policy_name=name,
+            samples_collected=samples_collected,
+            collected=collected,
+            reconstructed=reconstructed,
+            mean_sampling_rate=mean_rate,
+            detail=dict(detail or {}),
+        )
+
+
+class FixedRatePolicy(SamplingPolicy):
+    """Poll at a fixed rate -- the ad-hoc baseline of §3.1.
+
+    Parameters
+    ----------
+    interval:
+        Polling interval in seconds (e.g. the production default for the
+        metric).
+    """
+
+    def __init__(self, interval: float, name: str | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self.name = name or f"fixed@{interval:g}s"
+
+    def collect(self, reference: TimeSeries) -> PolicyResult:
+        rate = min(1.0 / self.interval, reference.sampling_rate)
+        collected = resample_to_rate(reference, rate, anti_alias=False)
+        return self._finish(self.name, reference, collected, len(collected),
+                            detail={"rate_hz": rate})
+
+
+class NyquistStaticPolicy(SamplingPolicy):
+    """Calibrate once with the §3.2 estimator, then poll at the Nyquist rate.
+
+    Parameters
+    ----------
+    production_interval:
+        Interval used during the calibration prefix (today's rate).
+    calibration_fraction:
+        Fraction of the trace spent calibrating at the production rate.
+    headroom:
+        Multiplier (>= 1) applied to the estimated rate before polling.
+    """
+
+    def __init__(self, production_interval: float, calibration_fraction: float = 0.25,
+                 headroom: float = 1.2, estimator: NyquistEstimator | None = None,
+                 name: str | None = None) -> None:
+        if production_interval <= 0:
+            raise ValueError("production_interval must be positive")
+        if not 0 < calibration_fraction < 1:
+            raise ValueError("calibration_fraction must be in (0, 1)")
+        if headroom < 1:
+            raise ValueError("headroom must be >= 1")
+        self.production_interval = production_interval
+        self.calibration_fraction = calibration_fraction
+        self.headroom = headroom
+        self.estimator = estimator or NyquistEstimator()
+        self.name = name or "nyquist-static"
+
+    def collect(self, reference: TimeSeries) -> PolicyResult:
+        production_rate = min(1.0 / self.production_interval, reference.sampling_rate)
+        split_time = reference.start_time + reference.duration * self.calibration_fraction
+        calibration_window = reference.window(reference.start_time, split_time)
+        remainder_window = reference.window(split_time, reference.end_time)
+
+        calibration = resample_to_rate(calibration_window, production_rate, anti_alias=False)
+        estimate = self.estimator.estimate(calibration) if len(calibration) >= 2 else None
+
+        if estimate is not None and estimate.reliable:
+            target_rate = min(estimate.nyquist_rate * self.headroom, production_rate)
+        else:
+            # Calibration could not produce a usable rate: fall back to the
+            # production rate (no saving, no loss).
+            target_rate = production_rate
+        steady = resample_to_rate(remainder_window, target_rate, anti_alias=False) \
+            if len(remainder_window) >= 2 else remainder_window
+
+        # The calibration prefix and the steady-state suffix were collected
+        # at different rates; merge them into one stream at the finest
+        # common interval (the calibration interval) for reconstruction.
+        if len(steady):
+            repeat = max(int(round(steady.interval / calibration.interval)), 1)
+            merged_values = np.concatenate([calibration.values,
+                                            np.repeat(steady.values, repeat)])
+        else:
+            merged_values = calibration.values
+        collected = TimeSeries(merged_values, calibration.interval,
+                               start_time=reference.start_time, name=reference.name)
+
+        samples = len(calibration) + len(steady)
+        detail = {
+            "calibration_samples": float(len(calibration)),
+            "steady_samples": float(len(steady)),
+            "target_rate_hz": float(target_rate),
+            "nyquist_rate_hz": float(estimate.nyquist_rate) if estimate and estimate.reliable else float("nan"),
+        }
+        return self._finish(self.name, reference, collected, samples, detail)
+
+
+class AdaptiveDualRatePolicy(SamplingPolicy):
+    """The §4 dynamic sampling controller wrapped as a policy.
+
+    Parameters
+    ----------
+    window_duration:
+        Adaptation window in seconds (the controller re-evaluates its rate
+        once per window).
+    config:
+        Controller configuration; the initial rate defaults to the
+        production rate divided by ``initial_backoff`` so the controller
+        has to *earn* its way up via probing rather than starting from the
+        over-sampled default.
+    """
+
+    def __init__(self, window_duration: float = 6 * 3600.0,
+                 config: ControllerConfig | None = None,
+                 name: str | None = None) -> None:
+        if window_duration <= 0:
+            raise ValueError("window_duration must be positive")
+        self.window_duration = window_duration
+        self.config = config or ControllerConfig()
+        self.name = name or "adaptive-dual-rate"
+
+    def collect(self, reference: TimeSeries) -> PolicyResult:
+        controller = AdaptiveSamplingController(config=self.config)
+        run: AdaptiveRun = controller.run(reference, self.window_duration)
+        collected = run.collected_series()
+        samples = run.total_samples_collected
+        rates = [decision.sampling_rate for decision in run.decisions]
+        detail = {
+            "windows": float(len(run.decisions)),
+            "mean_rate_hz": float(np.mean(rates)) if rates else float("nan"),
+            "max_rate_hz": float(np.max(rates)) if rates else float("nan"),
+            "min_rate_hz": float(np.min(rates)) if rates else float("nan"),
+            "aliased_windows": float(sum(decision.aliased for decision in run.decisions)),
+        }
+        return self._finish(self.name, reference, collected, samples, detail)

@@ -1,0 +1,157 @@
+"""A-posteriori storage reduction: keep only Nyquist-rate samples of collected data.
+
+Section 4 of the paper: "the actual measurement may be inexpensive relative
+to the cost to store the metric or the cost of downstream analysis; in such
+cases, we can use the above techniques a posteriori, i.e., measure at a
+high rate, compute the nyquist rate over the measurements and store or
+present for later analysis only the measurements that are re-sampled at the
+lower nyquist rate."
+
+:class:`AposterioriRetention` packages that workflow for a batch of already
+collected traces: estimate each trace's Nyquist rate, re-sample it to that
+rate (plus headroom), and report the storage saving together with the
+fidelity that a later reader would see after reconstruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.nyquist import NyquistEstimator
+from ..core.quantization import UniformQuantizer
+from ..core.reconstruction import RoundTripResult, nyquist_round_trip
+from ..network.cost import CostModel
+from ..signals.timeseries import TimeSeries
+
+__all__ = ["RetentionDecision", "RetentionReport", "AposterioriRetention"]
+
+
+@dataclass(frozen=True)
+class RetentionDecision:
+    """What the retention pass decided for one collected trace."""
+
+    name: str
+    samples_collected: int
+    samples_retained: int
+    storage_saving: float
+    nyquist_rate: float
+    nrmse_after_reconstruction: float
+    kept_full_rate: bool
+
+    @property
+    def retained_fraction(self) -> float:
+        if self.samples_collected == 0:
+            return float("nan")
+        return self.samples_retained / self.samples_collected
+
+
+@dataclass
+class RetentionReport:
+    """Aggregate outcome of a retention pass over many traces."""
+
+    decisions: list[RetentionDecision]
+    bytes_per_sample: float
+
+    @property
+    def total_collected(self) -> int:
+        return sum(decision.samples_collected for decision in self.decisions)
+
+    @property
+    def total_retained(self) -> int:
+        return sum(decision.samples_retained for decision in self.decisions)
+
+    @property
+    def storage_saving(self) -> float:
+        """Overall storage reduction factor (collected bytes / retained bytes)."""
+        retained = self.total_retained
+        if retained == 0:
+            return float("inf")
+        return self.total_collected / retained
+
+    @property
+    def bytes_saved(self) -> float:
+        return (self.total_collected - self.total_retained) * self.bytes_per_sample
+
+    @property
+    def worst_nrmse(self) -> float:
+        errors = [decision.nrmse_after_reconstruction for decision in self.decisions
+                  if not np.isnan(decision.nrmse_after_reconstruction)]
+        return float(np.max(errors)) if errors else float("nan")
+
+    def as_rows(self) -> list[dict[str, float | str]]:
+        """Per-trace rows for tables / CSV export."""
+        return [{
+            "trace": decision.name,
+            "collected": float(decision.samples_collected),
+            "retained": float(decision.samples_retained),
+            "saving": decision.storage_saving,
+            "nyquist_rate_hz": decision.nyquist_rate,
+            "nrmse": decision.nrmse_after_reconstruction,
+            "kept_full_rate": decision.kept_full_rate,
+        } for decision in self.decisions]
+
+
+class AposterioriRetention:
+    """Re-sample already-collected traces down to their Nyquist rate before storing.
+
+    Parameters
+    ----------
+    estimator:
+        Nyquist estimator to use (defaults to the paper's 99 % setting).
+    headroom:
+        Multiplier (>= 1) on the estimated rate; keeps a margin so the
+        stored data remains robust to mild rate drift.
+    max_nrmse:
+        Quality guard: if reconstructing the retained samples would exceed
+        this NRMSE against the collected data, the trace is kept at full
+        rate instead (no saving, no loss).  Set to ``None`` to disable.
+    cost_model:
+        Used only for the per-sample byte size in the report.
+    """
+
+    def __init__(self, estimator: NyquistEstimator | None = None,
+                 headroom: float = 1.25,
+                 max_nrmse: float | None = 0.1,
+                 cost_model: CostModel | None = None) -> None:
+        if headroom < 1:
+            raise ValueError("headroom must be >= 1")
+        if max_nrmse is not None and max_nrmse <= 0:
+            raise ValueError("max_nrmse must be positive (or None)")
+        self.estimator = estimator or NyquistEstimator()
+        self.headroom = headroom
+        self.max_nrmse = max_nrmse
+        self.cost_model = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    def process_trace(self, trace: TimeSeries,
+                      quantizer: UniformQuantizer | None = None) -> tuple[RetentionDecision, TimeSeries]:
+        """Decide what to retain for one trace; returns (decision, retained series)."""
+        result: RoundTripResult = nyquist_round_trip(trace, estimator=self.estimator,
+                                                     headroom=self.headroom,
+                                                     quantizer=quantizer)
+        nrmse = result.error.nrmse
+        keep_full = (not result.estimate.reliable
+                     or (self.max_nrmse is not None and not np.isnan(nrmse)
+                         and nrmse > self.max_nrmse))
+        retained = trace if keep_full else result.downsampled
+        decision = RetentionDecision(
+            name=trace.name or "trace",
+            samples_collected=len(trace),
+            samples_retained=len(retained),
+            storage_saving=len(trace) / len(retained) if len(retained) else float("inf"),
+            nyquist_rate=result.estimate.nyquist_rate,
+            nrmse_after_reconstruction=0.0 if keep_full else nrmse,
+            kept_full_rate=keep_full,
+        )
+        return decision, retained
+
+    def process(self, traces: list[TimeSeries],
+                quantizer: UniformQuantizer | None = None) -> RetentionReport:
+        """Run the retention pass over a batch of traces."""
+        if not traces:
+            raise ValueError("traces must not be empty")
+        decisions = [self.process_trace(trace, quantizer=quantizer)[0] for trace in traces]
+        return RetentionReport(decisions=decisions,
+                               bytes_per_sample=self.cost_model.bytes_per_sample)

@@ -1,0 +1,14 @@
+"""Time-series substrate: containers, generators, noise models and filters."""
+
+from .timeseries import TimeSeries, IrregularTimeSeries
+from .spectrum import Spectrum
+from . import generators, noise, filters
+
+__all__ = [
+    "TimeSeries",
+    "IrregularTimeSeries",
+    "Spectrum",
+    "generators",
+    "noise",
+    "filters",
+]

@@ -1,0 +1,159 @@
+"""Frequency-domain representation of a sampled signal.
+
+A :class:`Spectrum` is the output of the PSD estimators in
+:mod:`repro.core.psd` and the input of the Nyquist estimator and the
+aliasing detector.  It is a thin, immutable wrapper around two arrays
+(bin frequencies and per-bin power) plus the sampling rate that produced
+them, with the energy-accounting helpers the paper's Section 3.2 method
+needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Spectrum"]
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """One-sided power spectral density of a real signal.
+
+    Parameters
+    ----------
+    frequencies:
+        Bin centre frequencies in Hz, ascending, starting at 0 (DC).
+    power:
+        Power in each bin (arbitrary units -- only ratios matter for the
+        Nyquist estimator).
+    sampling_rate:
+        The sampling rate of the time-domain signal the spectrum was
+        computed from.  The largest representable frequency is
+        ``sampling_rate / 2``.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    sampling_rate: float
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies, dtype=np.float64)
+        power = np.asarray(self.power, dtype=np.float64)
+        if freqs.ndim != 1 or power.ndim != 1:
+            raise ValueError("frequencies and power must be one-dimensional")
+        if freqs.shape != power.shape:
+            raise ValueError("frequencies and power must have the same length")
+        if freqs.size and np.any(np.diff(freqs) < 0):
+            raise ValueError("frequencies must be ascending")
+        if np.any(power < -1e-12):
+            raise ValueError("power must be non-negative")
+        if not math.isfinite(self.sampling_rate) or self.sampling_rate <= 0:
+            raise ValueError("sampling_rate must be positive and finite")
+        object.__setattr__(self, "frequencies", freqs)
+        object.__setattr__(self, "power", np.maximum(power, 0.0))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.frequencies.shape[0])
+
+    @property
+    def max_frequency(self) -> float:
+        """The Nyquist frequency of the *measurement*, ``sampling_rate / 2``."""
+        return self.sampling_rate / 2.0
+
+    @property
+    def resolution(self) -> float:
+        """Frequency spacing between adjacent bins."""
+        if len(self) < 2:
+            return self.max_frequency
+        return float(self.frequencies[1] - self.frequencies[0])
+
+    def total_energy(self, include_dc: bool = False) -> float:
+        """Sum of per-bin power (the paper's "total energy in the signal")."""
+        if len(self) == 0:
+            return 0.0
+        power = self.power if include_dc else self.power[1:] if self.frequencies[0] == 0 else self.power
+        return float(np.sum(power))
+
+    def without_dc(self) -> "Spectrum":
+        """Return a copy with the DC bin removed (if present)."""
+        if len(self) and self.frequencies[0] == 0.0:
+            return Spectrum(self.frequencies[1:], self.power[1:], self.sampling_rate)
+        return self
+
+    def cumulative_energy(self, include_dc: bool = False) -> np.ndarray:
+        """Cumulative per-bin energy in ascending frequency order."""
+        spec = self if include_dc else self.without_dc()
+        return np.cumsum(spec.power)
+
+    def energy_below(self, frequency: float, include_dc: bool = False) -> float:
+        """Energy contained in bins at or below ``frequency``."""
+        spec = self if include_dc else self.without_dc()
+        mask = spec.frequencies <= frequency + 1e-15
+        return float(np.sum(spec.power[mask]))
+
+    def energy_fraction_below(self, frequency: float, include_dc: bool = False) -> float:
+        """Fraction of total energy at or below ``frequency`` (0 if spectrum is empty)."""
+        total = self.total_energy(include_dc=include_dc)
+        if total <= 0:
+            return 0.0
+        return self.energy_below(frequency, include_dc=include_dc) / total
+
+    def energy_cutoff_frequency(self, fraction: float, include_dc: bool = False) -> float | None:
+        """The smallest bin frequency capturing ``fraction`` of the total energy.
+
+        Returns ``None`` when the spectrum has no energy at all.  This is
+        the inner loop of the Section 3.2 estimator: accumulate per-bin
+        power in ascending frequency order and stop at the first bin whose
+        cumulative share reaches ``fraction``.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        spec = self if include_dc else self.without_dc()
+        total = float(np.sum(spec.power))
+        if total <= 0 or len(spec) == 0:
+            return None
+        cumulative = np.cumsum(spec.power) / total
+        index = int(np.searchsorted(cumulative, fraction - 1e-12))
+        index = min(index, len(spec) - 1)
+        return float(spec.frequencies[index])
+
+    def dominant_frequency(self, include_dc: bool = False) -> float | None:
+        """Frequency of the strongest bin (``None`` for an empty spectrum)."""
+        spec = self if include_dc else self.without_dc()
+        if len(spec) == 0:
+            return None
+        return float(spec.frequencies[int(np.argmax(spec.power))])
+
+    def band(self, f_low: float, f_high: float) -> "Spectrum":
+        """Bins whose frequency lies in ``[f_low, f_high]``."""
+        if f_high < f_low:
+            raise ValueError("f_high must be >= f_low")
+        mask = (self.frequencies >= f_low - 1e-15) & (self.frequencies <= f_high + 1e-15)
+        return Spectrum(self.frequencies[mask], self.power[mask], self.sampling_rate)
+
+    def normalized(self) -> "Spectrum":
+        """Scale power so the (non-DC) bins sum to 1."""
+        total = self.total_energy(include_dc=False)
+        if total <= 0:
+            return self
+        return Spectrum(self.frequencies, self.power / total, self.sampling_rate)
+
+    def interpolate_power(self, frequencies: Iterable[float]) -> np.ndarray:
+        """Linearly interpolate the PSD at arbitrary frequencies.
+
+        Used by the dual-frequency aliasing detector to compare spectra
+        computed at different resolutions on a common frequency grid.
+        """
+        targets = np.asarray(list(frequencies), dtype=np.float64)
+        if len(self) == 0:
+            return np.zeros_like(targets)
+        return np.interp(targets, self.frequencies, self.power, left=self.power[0], right=self.power[-1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Spectrum(bins={len(self)}, fs={self.sampling_rate:g}Hz, "
+                f"fmax={self.max_frequency:g}Hz)")

@@ -1,0 +1,165 @@
+"""The survey dataset: the synthetic counterpart of the paper's 1613 metric-device pairs.
+
+Section 3.2: "In total, we studied 1613 metric and device pairs (14
+distinct metrics)."  :class:`FleetDataset` materialises the same survey on
+synthetic telemetry: it builds a fleet, assigns each metric to a subset of
+devices so the total number of pairs matches the paper, draws per-pair
+generative parameters (including the ~11 % broadband pairs), and produces
+one day's worth of data per pair at the metric's production polling rate.
+
+Traces are generated lazily so iterating the full survey stays cheap in
+memory; everything is deterministic in the dataset seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+from .fleet import build_fleet
+from .metrics import METRIC_CATALOG, MetricSpec
+from .models import generate_trace
+from .profiles import DeviceProfile, MetricParameters, draw_metric_parameters
+
+__all__ = ["DatasetConfig", "TracePair", "FleetDataset", "PAPER_PAIR_COUNT"]
+
+#: Number of (metric, device) pairs in the paper's survey.
+PAPER_PAIR_COUNT: int = 1613
+
+#: One day of data per pair, as in the paper ("each datapoint is one day's
+#: worth of data from a distinct device").
+PAPER_TRACE_DURATION: float = 86400.0
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Configuration of a survey dataset.
+
+    Attributes
+    ----------
+    pair_count:
+        Total number of (metric, device) pairs; defaults to the paper's 1613.
+    trace_duration:
+        Length of each trace in seconds (paper: one day).
+    metrics:
+        Metric names to include; defaults to the full 14-metric catalogue.
+    broadband_fraction:
+        Fraction of pairs whose traces should look aliased (paper: ~11 %).
+    seed:
+        Master seed; everything else derives from it deterministically.
+    """
+
+    pair_count: int = PAPER_PAIR_COUNT
+    trace_duration: float = PAPER_TRACE_DURATION
+    metrics: tuple[str, ...] = tuple(METRIC_CATALOG)
+    broadband_fraction: float = 0.11
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.pair_count < 1:
+            raise ValueError("pair_count must be >= 1")
+        if self.trace_duration <= 0:
+            raise ValueError("trace_duration must be positive")
+        if not self.metrics:
+            raise ValueError("metrics must not be empty")
+        unknown = [name for name in self.metrics if name not in METRIC_CATALOG]
+        if unknown:
+            raise ValueError(f"unknown metrics: {unknown}")
+        if not 0 <= self.broadband_fraction <= 1:
+            raise ValueError("broadband_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class TracePair:
+    """One (metric, device) pair of the survey, with its generative parameters."""
+
+    metric: MetricSpec
+    device: DeviceProfile
+    parameters: MetricParameters
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.metric.name, self.device.device_id)
+
+
+@dataclass
+class FleetDataset:
+    """Lazily generated survey dataset over a synthetic fleet."""
+
+    config: DatasetConfig = field(default_factory=DatasetConfig)
+
+    def __post_init__(self) -> None:
+        self._pairs: list[TracePair] | None = None
+
+    # ------------------------------------------------------------------
+    def _pair_counts_per_metric(self) -> dict[str, int]:
+        """Split the total pair budget across metrics as evenly as possible."""
+        metrics = self.config.metrics
+        base = self.config.pair_count // len(metrics)
+        remainder = self.config.pair_count % len(metrics)
+        counts = {}
+        for index, name in enumerate(metrics):
+            counts[name] = base + (1 if index < remainder else 0)
+        return counts
+
+    def pairs(self) -> list[TracePair]:
+        """All (metric, device) pairs of the survey (cached after first call)."""
+        if self._pairs is not None:
+            return self._pairs
+        counts = self._pair_counts_per_metric()
+        fleet = build_fleet(max(counts.values()) if counts else 1, seed=self.config.seed)
+        rng = np.random.default_rng(self.config.seed + 1)
+        pairs: list[TracePair] = []
+        for metric_name in self.config.metrics:
+            spec = METRIC_CATALOG[metric_name]
+            count = counts[metric_name]
+            # Each metric is monitored on its own subset of the fleet: the
+            # first `count` devices in a metric-specific random order.
+            order = rng.permutation(len(fleet))[:count]
+            for device_index in order:
+                device = fleet[int(device_index)]
+                params = draw_metric_parameters(
+                    spec, device, self.config.trace_duration,
+                    broadband_fraction=self.config.broadband_fraction,
+                    rng=np.random.default_rng(device.metric_seed(metric_name)))
+                pairs.append(TracePair(spec, device, params))
+        self._pairs = pairs
+        return pairs
+
+    def __len__(self) -> int:
+        return len(self.pairs())
+
+    def pairs_for_metric(self, metric_name: str) -> list[TracePair]:
+        """All pairs belonging to one metric family."""
+        return [pair for pair in self.pairs() if pair.metric.name == metric_name]
+
+    # ------------------------------------------------------------------
+    def load(self, pair: TracePair, interval: float | None = None) -> TimeSeries:
+        """Generate the trace for one pair.
+
+        ``interval`` defaults to the metric's production polling interval
+        (what today's monitoring system collects); pass a smaller value to
+        obtain a higher-rate reference trace for the same underlying
+        parameters.
+        """
+        rng = np.random.default_rng(pair.parameters.seed)
+        return generate_trace(pair.metric, pair.parameters, self.config.trace_duration,
+                              interval=interval, rng=rng,
+                              device_name=pair.device.device_id)
+
+    def traces(self, metric_name: str | None = None,
+               limit: int | None = None) -> Iterator[tuple[TracePair, TimeSeries]]:
+        """Iterate (pair, trace) tuples, optionally restricted to one metric."""
+        selected: Sequence[TracePair]
+        selected = self.pairs() if metric_name is None else self.pairs_for_metric(metric_name)
+        if limit is not None:
+            selected = selected[:limit]
+        for pair in selected:
+            yield pair, self.load(pair)
+
+    def metric_names(self) -> list[str]:
+        """Metrics included in this dataset."""
+        return list(self.config.metrics)

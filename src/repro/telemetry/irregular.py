@@ -1,0 +1,81 @@
+"""Irregular-sampling artefacts: jitter, dropped polls, duplicated polls.
+
+Section 3.2 notes that "monitoring systems do not produce perfectly sampled
+signals -- samples are not always spaced at equi-distant points in time".
+These helpers turn a clean regular trace into the messy stream a real
+poller produces, so the pre-cleaning path
+(:func:`repro.core.resampling.regularize`) can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signals.timeseries import IrregularTimeSeries, TimeSeries
+
+__all__ = ["add_timing_jitter", "drop_samples", "duplicate_samples", "make_irregular"]
+
+
+def add_timing_jitter(series: TimeSeries, jitter_std: float,
+                      rng: np.random.Generator | None = None) -> IrregularTimeSeries:
+    """Perturb each sample's timestamp with Gaussian jitter of ``jitter_std`` seconds.
+
+    Jitter is clipped to +/- 45 % of the polling interval so sample order
+    is preserved (a poller never reports samples out of order).
+    """
+    if jitter_std < 0:
+        raise ValueError("jitter_std must be non-negative")
+    rng = rng or np.random.default_rng()
+    times = series.times()
+    if jitter_std > 0 and len(series):
+        limit = 0.45 * series.interval
+        jitter = np.clip(rng.normal(scale=jitter_std, size=len(series)), -limit, limit)
+        times = times + jitter
+    return IrregularTimeSeries(times, series.values, series.name)
+
+
+def drop_samples(series: IrregularTimeSeries, drop_fraction: float,
+                 rng: np.random.Generator | None = None) -> IrregularTimeSeries:
+    """Remove a random ``drop_fraction`` of samples (lost polls).
+
+    The first and last samples are always kept so the trace's time span is
+    unchanged (which keeps re-sampling grids comparable).
+    """
+    if not 0 <= drop_fraction < 1:
+        raise ValueError("drop_fraction must be in [0, 1)")
+    if drop_fraction == 0 or len(series) <= 2:
+        return series
+    rng = rng or np.random.default_rng()
+    keep = rng.random(len(series)) >= drop_fraction
+    keep[0] = True
+    keep[-1] = True
+    return IrregularTimeSeries(series.timestamps[keep], series.values[keep], series.name)
+
+
+def duplicate_samples(series: IrregularTimeSeries, duplicate_fraction: float,
+                      rng: np.random.Generator | None = None) -> IrregularTimeSeries:
+    """Duplicate a random fraction of samples (retried polls reported twice)."""
+    if not 0 <= duplicate_fraction < 1:
+        raise ValueError("duplicate_fraction must be in [0, 1)")
+    if duplicate_fraction == 0 or len(series) == 0:
+        return series
+    rng = rng or np.random.default_rng()
+    mask = rng.random(len(series)) < duplicate_fraction
+    timestamps = np.concatenate([series.timestamps, series.timestamps[mask]])
+    values = np.concatenate([series.values, series.values[mask]])
+    return IrregularTimeSeries(timestamps, values, series.name)
+
+
+def make_irregular(series: TimeSeries, jitter_std: float | None = None,
+                   drop_fraction: float = 0.02, duplicate_fraction: float = 0.01,
+                   rng: np.random.Generator | None = None) -> IrregularTimeSeries:
+    """Apply the full set of polling artefacts with sensible defaults.
+
+    ``jitter_std`` defaults to 10 % of the polling interval.
+    """
+    rng = rng or np.random.default_rng()
+    jitter = jitter_std if jitter_std is not None else 0.1 * series.interval
+    irregular = add_timing_jitter(series, jitter, rng=rng)
+    irregular = drop_samples(irregular, drop_fraction, rng=rng)
+    irregular = duplicate_samples(irregular, duplicate_fraction, rng=rng)
+    return irregular

@@ -1,0 +1,57 @@
+"""Generative models for every metric family, plus the family dispatcher."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...signals.timeseries import TimeSeries
+from ..metrics import MetricFamily, MetricSpec
+from ..profiles import MetricParameters
+from .bandwidth import generate_peak_bandwidth_trace
+from .counters import generate_counter_trace
+from .errorcounts import episode_time_constant, generate_error_count_trace
+from .gauges import generate_gauge_trace
+from .paths import generate_path_count_trace
+
+__all__ = [
+    "generate_trace",
+    "generate_gauge_trace",
+    "generate_counter_trace",
+    "generate_error_count_trace",
+    "generate_path_count_trace",
+    "generate_peak_bandwidth_trace",
+    "episode_time_constant",
+]
+
+_FAMILY_GENERATORS = {
+    MetricFamily.GAUGE: generate_gauge_trace,
+    MetricFamily.COUNTER_RATE: generate_counter_trace,
+    MetricFamily.ERROR_COUNT: generate_error_count_trace,
+    MetricFamily.PATH_COUNT: generate_path_count_trace,
+    MetricFamily.PEAK_BANDWIDTH: generate_peak_bandwidth_trace,
+}
+
+
+def generate_trace(spec: MetricSpec, params: MetricParameters, duration: float,
+                   interval: float | None = None,
+                   rng: np.random.Generator | None = None,
+                   device_name: str = "") -> TimeSeries:
+    """Generate one telemetry trace for any metric in the catalogue.
+
+    Parameters
+    ----------
+    spec:
+        The metric to emulate (selects the generative model by family).
+    params:
+        Per-(device, metric) parameters from
+        :func:`repro.telemetry.profiles.draw_metric_parameters`.
+    duration:
+        Trace length in seconds.
+    interval:
+        Sampling interval of the produced trace; defaults to the metric's
+        production polling interval (i.e. "what today's system collects").
+    """
+    generator = _FAMILY_GENERATORS[spec.family]
+    return generator(spec, params, duration,
+                     interval if interval is not None else spec.poll_interval,
+                     rng=rng, device_name=device_name)

@@ -1,0 +1,105 @@
+"""Shared building blocks for the per-family telemetry models.
+
+Every model composes the same ingredients:
+
+* a **structured component** -- band-limited random variation whose highest
+  frequency is the device's ``bandwidth_hz`` (this is what determines the
+  metric's true Nyquist rate);
+* optional **broadband content** -- white, full-band variation used for the
+  ~11 % of pairs whose traces should look aliased to the estimator;
+* **measurement noise** and **quantisation**, which are the practical
+  complications Sections 3.2 and 4.3 of the paper discuss.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...signals.timeseries import TimeSeries
+from ..metrics import MetricSpec
+from ..profiles import MetricParameters
+
+__all__ = [
+    "time_grid",
+    "band_limited_component",
+    "broadband_component",
+    "diurnal_component",
+    "finalize_trace",
+]
+
+
+def time_grid(duration: float, interval: float) -> np.ndarray:
+    """Timestamps (relative to the trace start) for a trace of ``duration`` seconds."""
+    if duration <= 0 or interval <= 0:
+        raise ValueError("duration and interval must be positive")
+    n = max(int(round(duration / interval)), 2)
+    return np.arange(n) * interval
+
+
+def band_limited_component(n: int, interval: float, bandwidth_hz: float,
+                           amplitude: float, rng: np.random.Generator) -> np.ndarray:
+    """Random variation confined (almost) entirely below ``bandwidth_hz``.
+
+    Built in the frequency domain with random phases.  At least one non-DC
+    bin is always populated, so even devices whose bandwidth is below one
+    cycle per trace produce *some* slow variation (their estimated Nyquist
+    rate then bottoms out at the trace's frequency resolution, which is the
+    best any trace-driven estimator can do).
+    """
+    if n < 2:
+        raise ValueError("need at least two samples")
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    freqs = np.fft.rfftfreq(n, d=interval)
+    spectrum = np.zeros(freqs.shape, dtype=np.complex128)
+    in_band = (freqs > 0) & (freqs <= bandwidth_hz)
+    if not np.any(in_band) and len(freqs) > 1:
+        in_band[1] = True
+    count = int(np.count_nonzero(in_band))
+    if count == 0 or amplitude == 0:
+        return np.zeros(n)
+    # 1/f-flavoured weighting inside the band makes the variation look like
+    # real operational metrics (most energy at the slowest scales) while
+    # still placing measurable energy near the band edge.
+    band_freqs = freqs[in_band]
+    weights = 1.0 / np.sqrt(band_freqs / band_freqs[0])
+    phases = rng.uniform(0.0, 2.0 * math.pi, size=count)
+    spectrum[in_band] = weights * np.exp(1j * phases)
+    values = np.fft.irfft(spectrum, n=n)
+    peak = float(np.max(np.abs(values)))
+    if peak > 0:
+        values = values / peak * amplitude
+    return values
+
+
+def broadband_component(n: int, amplitude: float, rng: np.random.Generator) -> np.ndarray:
+    """Full-band (white) variation, used for deliberately aliased-looking traces."""
+    if amplitude <= 0:
+        return np.zeros(n)
+    return rng.normal(scale=amplitude, size=n)
+
+
+def diurnal_component(times: np.ndarray, amplitude: float,
+                      phase: float = 0.0, day_seconds: float = 86400.0) -> np.ndarray:
+    """A day/night cycle with a mild second harmonic (the load backbone)."""
+    if amplitude < 0:
+        raise ValueError("amplitude must be non-negative")
+    base = 2.0 * math.pi * times / day_seconds
+    return amplitude * (np.sin(base + phase) + 0.25 * np.sin(2.0 * base + phase))
+
+
+def finalize_trace(values: np.ndarray, spec: MetricSpec, params: MetricParameters,
+                   interval: float, rng: np.random.Generator,
+                   device_name: str = "") -> TimeSeries:
+    """Apply measurement noise, physical bounds and quantisation; wrap as a TimeSeries."""
+    noisy = values + rng.normal(scale=params.noise_std, size=values.shape[0]) \
+        if params.noise_std > 0 else values
+    if spec.minimum is not None or spec.maximum is not None:
+        noisy = np.clip(noisy, spec.minimum, spec.maximum)
+    quantized = np.round(noisy / spec.quantization_step) * spec.quantization_step
+    if spec.minimum is not None or spec.maximum is not None:
+        quantized = np.clip(quantized, spec.minimum, spec.maximum)
+    name = f"{spec.name}@{device_name}" if device_name else spec.name
+    return TimeSeries(quantized, interval, name=name)

@@ -1,0 +1,51 @@
+"""Lossy-path counts: how many monitored paths through a device are currently lossy.
+
+Path-probing systems (Pingmesh-style, the paper's reference [7]) report a
+small integer: the number of source-destination paths whose probes saw
+loss in the last interval.  The count behaves like a birth-death process --
+paths become lossy and recover -- so the model is a random telegraph-style
+integer process whose transition rate is tied to the device's bandwidth
+parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...signals.timeseries import TimeSeries
+from ..metrics import MetricSpec
+from ..profiles import MetricParameters
+from .common import broadband_component, finalize_trace, time_grid
+
+__all__ = ["generate_path_count_trace"]
+
+
+def generate_path_count_trace(spec: MetricSpec, params: MetricParameters,
+                              duration: float, interval: float,
+                              rng: np.random.Generator | None = None,
+                              device_name: str = "") -> TimeSeries:
+    """Generate one lossy-path-count trace (a small, slowly jumping integer)."""
+    rng = rng or np.random.default_rng(params.seed)
+    times = time_grid(duration, interval)
+    n = times.shape[0]
+
+    mean_count = max(params.level, 1.0)
+    # Per-step transition probability: a path changes state roughly once
+    # per 1/bandwidth seconds, so over one polling interval the chance of a
+    # change is bandwidth * interval (capped below 1).
+    transition_probability = min(params.bandwidth_hz * interval, 0.5)
+
+    values = np.empty(n)
+    current = float(rng.poisson(mean_count))
+    for i in range(n):
+        if rng.random() < transition_probability:
+            # A path joins or leaves the lossy set; mild pull towards the
+            # long-run mean keeps the count from wandering off.
+            direction = 1.0 if rng.random() < 0.5 + 0.5 * (mean_count - current) / (mean_count + 1.0) else -1.0
+            current = max(current + direction * float(rng.integers(1, 3)), 0.0)
+        values[i] = current
+
+    if params.broadband:
+        values = values + np.abs(broadband_component(n, mean_count * 0.5, rng))
+
+    return finalize_trace(values, spec, params, interval, rng, device_name)

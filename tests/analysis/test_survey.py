@@ -1,0 +1,113 @@
+"""Unit tests for the fleet survey (Figures 1, 4, 5 and the headline stats)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.survey import PairCategory, SurveyResult, run_survey
+from repro.core.nyquist import NyquistEstimator
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+
+
+@pytest.fixture(scope="module")
+def survey():
+    dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5))
+    return run_survey(dataset)
+
+
+class TestRunSurvey:
+    def test_one_record_per_pair(self, survey):
+        assert len(survey) == 84
+
+    def test_records_carry_metric_and_device(self, survey):
+        record = survey.records[0]
+        assert record.metric_name
+        assert record.device_id
+        assert record.current_rate > 0
+
+    def test_limit_per_metric(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5))
+        limited = run_survey(dataset, limit_per_metric=2)
+        assert len(limited) == 2 * 14
+
+    def test_metric_subset(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5))
+        result = run_survey(dataset, metrics=["Temperature", "Link util"])
+        assert set(result.metrics()) == {"Temperature", "Link util"}
+
+    def test_rejects_bad_threshold(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=14, seed=5))
+        with pytest.raises(ValueError):
+            run_survey(dataset, oversample_threshold=0.5)
+
+
+class TestAggregations:
+    def test_most_pairs_oversampled(self, survey):
+        headline = survey.headline()
+        assert headline["oversampled_fraction"] > 0.7
+        assert headline["oversampled_fraction"] + headline["undersampled_or_suspect_fraction"] == pytest.approx(1.0)
+
+    def test_figure1_fractions_in_unit_interval(self, survey):
+        fractions = survey.oversampled_fraction_by_metric()
+        assert set(fractions) == set(survey.metrics())
+        for value in fractions.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_figure4_ratios_exclude_unreliable(self, survey):
+        ratios = survey.reduction_ratios()
+        assert np.all(np.isfinite(ratios))
+        assert np.all(ratios > 0)
+
+    def test_figure4_per_metric_filter(self, survey):
+        all_ratios = survey.reduction_ratios()
+        temperature = survey.reduction_ratios("Temperature")
+        assert len(temperature) <= len(all_ratios)
+
+    def test_figure5_rates_positive(self, survey):
+        for metric in survey.metrics():
+            rates = survey.nyquist_rates(metric)
+            assert np.all(rates > 0)
+            # Estimated rates never exceed the production sampling rate.
+            records = survey.records_for_metric(metric)
+            assert np.all(rates <= max(record.current_rate for record in records) + 1e-12)
+
+    def test_heavy_tail_of_reduction_ratios(self, survey):
+        headline = survey.headline()
+        assert headline["reducible_10x_fraction"] > 0.4
+        assert headline["reducible_100x_fraction"] > 0.1
+
+    def test_temperature_range_reported(self, survey):
+        headline = survey.headline()
+        assert headline["temperature_nyquist_min_hz"] <= headline["temperature_nyquist_max_hz"]
+
+    def test_estimation_accuracy_near_truth(self, survey):
+        accuracy = survey.estimation_accuracy()
+        assert accuracy["pairs"] > 0
+        # The median estimate should be within a factor of ~4 of the planted
+        # ground-truth bandwidth (the estimator sees quantisation + noise).
+        assert 0.25 <= accuracy["median_ratio"] <= 4.0
+
+    def test_empty_survey_headline(self):
+        assert SurveyResult().headline() == {"pairs": 0.0}
+
+    def test_categories_are_consistent(self, survey):
+        for record in survey.records:
+            if record.category is PairCategory.ALIASED_SUSPECT:
+                assert not record.reliable
+            if record.category is PairCategory.OVERSAMPLED:
+                assert record.reduction_ratio > survey.oversample_threshold
+
+    def test_custom_estimator_is_used(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        strict = run_survey(dataset, estimator=NyquistEstimator(energy_fraction=0.9999))
+        default = run_survey(dataset)
+        # A stricter energy threshold never lowers the estimated rates.
+        strict_rates = {(r.metric_name, r.device_id): r.nyquist_rate
+                        for r in strict.records if r.reliable}
+        for record in default.records:
+            key = (record.metric_name, record.device_id)
+            if record.reliable and key in strict_rates:
+                assert strict_rates[key] >= record.nyquist_rate - 1e-12

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals.generators import multi_tone, sine
+from repro.signals.timeseries import TimeSeries
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.metrics import METRIC_CATALOG
+from repro.telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameters
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def sine_1hz() -> TimeSeries:
+    """A 1 Hz sine sampled at 50 Hz for 10 seconds (Nyquist rate exactly 2 Hz)."""
+    return sine(1.0, duration=10.0, sampling_rate=50.0)
+
+
+@pytest.fixture
+def two_tone() -> TimeSeries:
+    """The paper's Figure 3 signal: 400 Hz + 440 Hz tones at 2 kHz."""
+    return multi_tone([400.0, 440.0], duration=1.0, sampling_rate=2000.0)
+
+
+@pytest.fixture
+def slow_metric_trace() -> TimeSeries:
+    """A slow, datacenter-metric-like trace: one cycle every 4 hours, polled every 30 s."""
+    return multi_tone([1.0 / 14400.0], duration=86400.0, sampling_rate=1.0 / 30.0,
+                      amplitudes=[10.0], offset=50.0)
+
+
+@pytest.fixture
+def temperature_trace(rng) -> TimeSeries:
+    """One day of synthetic temperature telemetry at the production rate."""
+    from repro.telemetry.models import generate_trace
+
+    spec = METRIC_CATALOG["Temperature"]
+    device = DeviceProfile("test-tor-1", DeviceRole.TOR_SWITCH, seed=99)
+    params = draw_metric_parameters(spec, device, 86400.0, broadband_fraction=0.0,
+                                    rng=np.random.default_rng(99))
+    return generate_trace(spec, params, 86400.0, rng=rng, device_name=device.device_id)
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> FleetDataset:
+    """A small survey dataset shared by dataset/survey tests (42 pairs, 3 per metric)."""
+    return FleetDataset(DatasetConfig(pair_count=42, seed=5))

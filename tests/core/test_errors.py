@@ -1,0 +1,75 @@
+"""Unit tests for the reconstruction-error metrics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (compare, l2_distance, max_abs_error, mean_abs_error, nrmse,
+                               rmse)
+from repro.signals.timeseries import TimeSeries
+
+
+def series(values, interval=1.0):
+    return TimeSeries(np.asarray(values, float), interval)
+
+
+class TestMetrics:
+    def test_identical_series_all_zero(self, sine_1hz):
+        assert l2_distance(sine_1hz, sine_1hz) == 0.0
+        assert rmse(sine_1hz, sine_1hz) == 0.0
+        assert nrmse(sine_1hz, sine_1hz) == 0.0
+        assert max_abs_error(sine_1hz, sine_1hz) == 0.0
+        assert mean_abs_error(sine_1hz, sine_1hz) == 0.0
+
+    def test_l2_distance_known_value(self):
+        assert l2_distance(series([0.0, 0.0]), series([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_rmse_known_value(self):
+        assert rmse(series([0.0, 0.0]), series([2.0, 2.0])) == pytest.approx(2.0)
+
+    def test_nrmse_normalises_by_range(self):
+        original = series([0.0, 10.0])
+        shifted = series([1.0, 11.0])
+        assert nrmse(original, shifted) == pytest.approx(0.1)
+
+    def test_nrmse_constant_original(self):
+        flat = series([5.0, 5.0])
+        assert nrmse(flat, flat) == 0.0
+        assert math.isnan(nrmse(flat, series([5.0, 6.0])))
+
+    def test_max_and_mean_abs(self):
+        original = series([0.0, 0.0, 0.0])
+        other = series([1.0, -2.0, 0.5])
+        assert max_abs_error(original, other) == 2.0
+        assert mean_abs_error(original, other) == pytest.approx(3.5 / 3.0)
+
+    def test_length_mismatch_compares_overlap(self):
+        longer = series([1.0, 2.0, 3.0, 4.0])
+        shorter = series([1.0, 2.0, 3.0])
+        assert l2_distance(longer, shorter) == 0.0
+
+    def test_empty_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            l2_distance(series([]), series([]))
+
+
+class TestCompareBundle:
+    def test_bundle_matches_individual_metrics(self, sine_1hz):
+        other = sine_1hz + 0.5
+        bundle = compare(sine_1hz, other)
+        assert bundle.l2 == pytest.approx(l2_distance(sine_1hz, other))
+        assert bundle.rmse == pytest.approx(rmse(sine_1hz, other))
+        assert bundle.nrmse == pytest.approx(nrmse(sine_1hz, other))
+        assert bundle.max_abs == pytest.approx(0.5)
+        assert bundle.samples_compared == len(sine_1hz)
+
+    def test_is_exact(self, sine_1hz):
+        assert compare(sine_1hz, sine_1hz).is_exact()
+        assert not compare(sine_1hz, sine_1hz + 1.0).is_exact()
+
+    def test_str_contains_metrics(self, sine_1hz):
+        text = str(compare(sine_1hz, sine_1hz))
+        assert "L2=" in text and "RMSE=" in text

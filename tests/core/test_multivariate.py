@@ -1,0 +1,85 @@
+"""Unit tests for the multivariate-signal extension (Section 6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.multivariate import (correlation_matrix, correlation_preservation,
+                                     estimate_joint_nyquist, joint_sampling_rate)
+from repro.signals.generators import constant, sine
+from repro.signals.timeseries import TimeSeries
+
+
+def bundle():
+    """Two co-monitored signals with different bandwidths plus a correlated pair."""
+    slow = sine(0.5, duration=60.0, sampling_rate=50.0, amplitude=4.0, offset=10.0)
+    fast = sine(4.0, duration=60.0, sampling_rate=50.0, amplitude=2.0, offset=3.0)
+    return {"slow": slow, "fast": fast}
+
+
+class TestJointEstimate:
+    def test_per_component_rates(self):
+        estimate = estimate_joint_nyquist(bundle())
+        rates = estimate.per_component_rates
+        assert rates["slow"] == pytest.approx(1.0, rel=0.1)
+        assert rates["fast"] == pytest.approx(8.0, rel=0.1)
+
+    def test_max_rate_is_conservative_joint_rate(self):
+        estimate = estimate_joint_nyquist(bundle())
+        assert estimate.max_nyquist_rate == pytest.approx(8.0, rel=0.1)
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_joint_nyquist({})
+
+    def test_savings_vs_uniform(self):
+        estimate = estimate_joint_nyquist(bundle())
+        savings = estimate.savings_vs_uniform(current_rate=50.0)
+        assert savings["slow"] > savings["fast"] > 1.0
+
+    def test_joint_sampling_rate_policies(self):
+        signals = bundle()
+        maximum = joint_sampling_rate(signals, policy="max")
+        independent = joint_sampling_rate(signals, policy="independent")
+        assert maximum == pytest.approx(8.0, rel=0.1)
+        assert independent < maximum
+
+    def test_joint_sampling_rate_unknown_policy(self):
+        with pytest.raises(ValueError):
+            joint_sampling_rate(bundle(), policy="median")
+
+
+class TestCorrelation:
+    def test_correlation_matrix_diagonal_is_one(self):
+        matrix = correlation_matrix(list(bundle().values()))
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_identical_signals_fully_correlated(self):
+        series = sine(1.0, 10.0, 50.0)
+        matrix = correlation_matrix([series, series])
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_constant_signal_has_zero_correlation(self):
+        matrix = correlation_matrix([sine(1.0, 10.0, 50.0), constant(5.0, 10.0, 50.0)])
+        assert matrix[0, 1] == pytest.approx(0.0)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            correlation_matrix([TimeSeries([1.0], 1.0)])
+
+    def test_correlation_preserved_after_nyquist_sampling(self):
+        # Two correlated band-limited signals: sampling each at its own
+        # Nyquist rate keeps the correlation structure (the §6 claim).
+        base = sine(0.5, duration=120.0, sampling_rate=50.0, amplitude=4.0)
+        other = sine(0.5, duration=120.0, sampling_rate=50.0, amplitude=2.0,
+                     phase=0.3, offset=1.0)
+        report = correlation_preservation({"a": base, "b": other}, headroom=1.3)
+        assert report["max_correlation_deviation"] < 0.2
+        assert report["components"] == 2.0
+
+    def test_correlation_preservation_needs_two_signals(self):
+        with pytest.raises(ValueError):
+            correlation_preservation({"a": sine(1.0, 10.0, 50.0)})

@@ -1,0 +1,185 @@
+"""Unit tests for the Section 3.2 Nyquist-rate estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.nyquist import (ALIASED_SENTINEL, NyquistEstimator, estimate_nyquist_rate,
+                                oversampling_ratio)
+from repro.signals.generators import band_limited_noise, constant, multi_tone, sine
+from repro.signals.noise import add_white_noise, white_noise
+from repro.signals.timeseries import IrregularTimeSeries, TimeSeries
+
+
+class TestEstimatorOnKnownSignals:
+    def test_pure_tone(self):
+        series = sine(5.0, duration=10.0, sampling_rate=100.0)
+        estimate = estimate_nyquist_rate(series)
+        assert estimate.reliable
+        assert estimate.nyquist_rate == pytest.approx(10.0, rel=0.05)
+
+    def test_two_tone_uses_highest_component(self, two_tone):
+        estimate = estimate_nyquist_rate(two_tone)
+        assert estimate.nyquist_rate == pytest.approx(880.0, rel=0.02)
+
+    def test_band_limited_noise(self, rng):
+        series = band_limited_noise(4.0, duration=20.0, sampling_rate=100.0, rng=rng)
+        estimate = estimate_nyquist_rate(series)
+        assert estimate.reliable
+        assert 6.0 <= estimate.nyquist_rate <= 9.0
+
+    def test_slow_metric_large_reduction_ratio(self, slow_metric_trace):
+        estimate = estimate_nyquist_rate(slow_metric_trace)
+        assert estimate.reliable
+        assert estimate.reduction_ratio > 50
+
+    def test_white_noise_offers_no_headroom(self, rng):
+        # A full-band signal must never be reported as meaningfully
+        # over-sampled: either the estimator refuses (strict "all bins"
+        # rule) or the cut-off sits essentially at the band edge.
+        series = white_noise(100.0, 10.0, std=1.0, rng=rng)
+        estimate = estimate_nyquist_rate(series)
+        if estimate.reliable:
+            assert estimate.reduction_ratio < 1.3
+        else:
+            assert estimate.nyquist_rate == ALIASED_SENTINEL
+            assert math.isnan(estimate.reduction_ratio)
+
+    def test_white_noise_flagged_with_band_fraction_rule(self, rng):
+        series = white_noise(100.0, 10.0, std=1.0, rng=rng)
+        estimate = NyquistEstimator(aliased_band_fraction=0.9).estimate(series)
+        assert not estimate.reliable
+        assert estimate.nyquist_rate == ALIASED_SENTINEL
+
+    def test_constant_trace_gets_minimal_rate(self):
+        series = constant(42.0, duration=1000.0, sampling_rate=1.0)
+        estimate = estimate_nyquist_rate(series)
+        assert estimate.reliable
+        assert estimate.reason == "constant trace"
+        assert estimate.nyquist_rate == pytest.approx(1.0 / series.duration)
+        assert estimate.reduction_ratio > 100
+
+    def test_tone_with_mild_noise_still_estimated(self, rng):
+        series = sine(2.0, duration=20.0, sampling_rate=100.0, amplitude=5.0)
+        noisy = add_white_noise(series, 0.05, rng=rng)
+        estimate = estimate_nyquist_rate(noisy)
+        assert estimate.reliable
+        assert estimate.nyquist_rate == pytest.approx(4.0, rel=0.3)
+
+    def test_short_trace_rejected(self):
+        series = sine(1.0, duration=1.0, sampling_rate=8.0)
+        estimate = estimate_nyquist_rate(series)
+        assert not estimate.reliable
+        assert estimate.reason == "trace too short"
+
+    def test_irregular_trace_is_regularized_first(self, rng):
+        series = sine(1.0, duration=30.0, sampling_rate=20.0)
+        timestamps = series.times() + rng.normal(scale=0.005, size=len(series))
+        irregular = IrregularTimeSeries(np.sort(timestamps), series.values)
+        estimate = estimate_nyquist_rate(irregular)
+        assert estimate.reliable
+        assert estimate.nyquist_rate == pytest.approx(2.0, rel=0.2)
+
+
+class TestEstimateProperties:
+    def test_oversampled_flag(self, sine_1hz):
+        estimate = estimate_nyquist_rate(sine_1hz)
+        assert estimate.oversampled
+        assert not estimate.undersampled
+
+    def test_reduction_ratio_matches_rates(self, sine_1hz):
+        estimate = estimate_nyquist_rate(sine_1hz)
+        assert estimate.reduction_ratio == pytest.approx(
+            estimate.current_rate / estimate.nyquist_rate)
+
+    def test_estimate_never_exceeds_current_rate(self, slow_metric_trace, two_tone):
+        for series in (slow_metric_trace, two_tone):
+            estimate = estimate_nyquist_rate(series)
+            assert estimate.nyquist_rate <= estimate.current_rate + 1e-9
+
+    def test_aliased_suspect_property(self, rng):
+        series = white_noise(100.0, 10.0, rng=rng)
+        estimate = NyquistEstimator(aliased_band_fraction=0.9).estimate(series)
+        assert estimate.is_aliased_suspect
+
+    def test_oversampling_ratio_helper(self, sine_1hz):
+        assert oversampling_ratio(sine_1hz) == pytest.approx(
+            estimate_nyquist_rate(sine_1hz).reduction_ratio)
+
+
+class TestEstimatorConfiguration:
+    def test_rejects_bad_energy_fraction(self):
+        with pytest.raises(ValueError):
+            NyquistEstimator(energy_fraction=0.0)
+        with pytest.raises(ValueError):
+            NyquistEstimator(energy_fraction=1.5)
+
+    def test_rejects_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            NyquistEstimator(min_samples=2)
+
+    def test_rejects_bad_band_fraction(self):
+        with pytest.raises(ValueError):
+            NyquistEstimator(aliased_band_fraction=0.0)
+
+    def test_higher_energy_fraction_gives_higher_estimate(self, rng):
+        series = add_white_noise(
+            sine(1.0, duration=60.0, sampling_rate=50.0, amplitude=5.0), 0.15, rng=rng)
+        low = NyquistEstimator(energy_fraction=0.99).estimate(series)
+        high = NyquistEstimator(energy_fraction=0.9999).estimate(series)
+        if low.reliable and high.reliable:
+            assert high.nyquist_rate >= low.nyquist_rate
+
+    def test_include_dc_changes_accounting(self):
+        # With a huge DC offset and include_dc=True, the DC bin alone
+        # captures 99% of the energy, so the cut-off collapses to the
+        # lowest frequencies.
+        series = sine(5.0, duration=10.0, sampling_rate=100.0, amplitude=0.1, offset=1000.0)
+        without_dc = NyquistEstimator(include_dc=False).estimate(series)
+        with_dc = NyquistEstimator(include_dc=True).estimate(series)
+        assert without_dc.nyquist_rate == pytest.approx(10.0, rel=0.1)
+        assert with_dc.nyquist_rate < without_dc.nyquist_rate
+
+    def test_welch_method_works(self, rng):
+        series = add_white_noise(
+            sine(2.0, duration=60.0, sampling_rate=50.0, amplitude=4.0), 0.05, rng=rng)
+        estimate = NyquistEstimator(psd_method="welch").estimate(series)
+        assert estimate.reliable
+        assert estimate.nyquist_rate == pytest.approx(4.0, rel=0.5)
+
+    def test_detrend_suppresses_leakage_from_trend(self):
+        # A linear ramp plus a slow tone: without detrending the ramp's
+        # leakage inflates the estimate.
+        n = 512
+        ramp = np.linspace(0.0, 50.0, n)
+        tone = 2.0 * np.sin(2 * np.pi * 0.01 * np.arange(n))
+        series = TimeSeries(ramp + tone, 1.0)
+        plain = NyquistEstimator().estimate(series)
+        detrended = NyquistEstimator(detrend=True, window="hann").estimate(series)
+        assert detrended.nyquist_rate <= plain.nyquist_rate
+        assert detrended.nyquist_rate == pytest.approx(0.02, rel=0.5)
+
+    def test_flat_tolerance_treats_tiny_variation_as_constant(self):
+        values = 100.0 + 0.0001 * np.sin(np.linspace(0, 20 * np.pi, 200))
+        series = TimeSeries(values, 1.0)
+        estimate = NyquistEstimator(flat_tolerance=0.001).estimate(series)
+        assert estimate.reason == "constant trace"
+
+    def test_estimate_from_spectrum_direct(self, sine_1hz):
+        estimator = NyquistEstimator()
+        spectrum = estimator.compute_spectrum(sine_1hz)
+        estimate = estimator.estimate_from_spectrum(spectrum)
+        assert estimate.nyquist_rate == pytest.approx(2.0, rel=0.1)
+
+    def test_aliased_band_fraction_flags_near_edge_energy(self, rng):
+        # Noise-dominated trace: with a strict rule it may squeak through,
+        # with a 0.9 band fraction it must be flagged.
+        series = white_noise(200.0, 5.0, std=1.0, rng=rng)
+        strict = NyquistEstimator(aliased_band_fraction=1.0).estimate(series)
+        loose = NyquistEstimator(aliased_band_fraction=0.9).estimate(series)
+        assert not loose.reliable
+        if strict.reliable:
+            assert strict.reduction_ratio < 1.3

@@ -1,0 +1,123 @@
+"""Unit tests for spectral estimation (periodogram / Welch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.psd import periodogram, power_spectrum, welch_psd, window_coefficients
+from repro.signals.generators import constant, multi_tone, sine
+from repro.signals.timeseries import TimeSeries
+
+
+class TestWindowCoefficients:
+    def test_rectangular_is_all_ones(self):
+        np.testing.assert_allclose(window_coefficients("rectangular", 8), 1.0)
+
+    def test_hann_tapers_to_zero(self):
+        taper = window_coefficients("hann", 16)
+        assert taper[0] == pytest.approx(0.0)
+        assert taper[8] == pytest.approx(1.0, abs=0.05)
+
+    def test_unknown_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_coefficients("kaiser", 8)  # type: ignore[arg-type]
+
+    def test_length_one(self):
+        np.testing.assert_allclose(window_coefficients("hann", 1), [1.0])
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            window_coefficients("hann", 0)
+
+
+class TestPeriodogram:
+    def test_peak_at_tone_frequency(self):
+        series = sine(5.0, duration=2.0, sampling_rate=100.0)
+        spectrum = periodogram(series)
+        assert spectrum.without_dc().dominant_frequency() == pytest.approx(5.0, abs=0.5)
+
+    def test_bin_count(self):
+        series = sine(1.0, duration=1.0, sampling_rate=64.0)
+        spectrum = periodogram(series)
+        assert len(spectrum) == 64 // 2 + 1
+
+    def test_parseval_total_power(self):
+        # Sum of one-sided PSD bins equals the mean squared value.
+        series = sine(4.0, duration=1.0, sampling_rate=64.0, amplitude=2.0, offset=1.0)
+        spectrum = periodogram(series)
+        assert spectrum.total_energy(include_dc=True) == pytest.approx(series.power(), rel=1e-6)
+
+    def test_two_tone_has_two_peaks(self, two_tone):
+        spectrum = periodogram(two_tone).without_dc()
+        order = np.argsort(spectrum.power)[::-1][:2]
+        peaks = sorted(spectrum.frequencies[order])
+        assert peaks[0] == pytest.approx(400.0, abs=1.5)
+        assert peaks[1] == pytest.approx(440.0, abs=1.5)
+
+    def test_constant_signal_energy_in_dc_only(self):
+        series = constant(5.0, 10.0, 10.0)
+        spectrum = periodogram(series)
+        assert spectrum.total_energy(include_dc=False) == pytest.approx(0.0, abs=1e-12)
+        assert spectrum.power[0] > 0
+
+    def test_detrend_removes_dc(self):
+        series = constant(5.0, 10.0, 10.0)
+        spectrum = periodogram(series, detrend=True)
+        assert spectrum.power[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            periodogram(TimeSeries([1.0], 1.0))
+
+    def test_hann_window_reduces_leakage(self):
+        # A tone that is off-bin leaks; a Hann window confines the leakage.
+        series = sine(5.3, duration=1.0, sampling_rate=100.0)
+        rect = periodogram(series, window="rectangular").without_dc()
+        hann = periodogram(series, window="hann").without_dc()
+        # Fraction of energy within +/- 2 Hz of the tone:
+        def near_tone(spec):
+            return spec.band(3.3, 7.3).total_energy() / spec.total_energy()
+        assert near_tone(hann) > near_tone(rect)
+
+
+class TestWelch:
+    def test_peak_at_tone_frequency(self):
+        series = sine(5.0, duration=10.0, sampling_rate=100.0)
+        spectrum = welch_psd(series, segment_length=256)
+        assert spectrum.without_dc().dominant_frequency() == pytest.approx(5.0, abs=0.5)
+
+    def test_segment_length_caps_at_series_length(self):
+        series = sine(1.0, duration=1.0, sampling_rate=50.0)
+        spectrum = welch_psd(series, segment_length=1024)
+        assert len(spectrum) == len(series) // 2 + 1
+
+    def test_rejects_bad_overlap(self):
+        series = sine(1.0, 2.0, 50.0)
+        with pytest.raises(ValueError):
+            welch_psd(series, overlap=1.0)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            welch_psd(TimeSeries([1.0], 1.0))
+
+    def test_variance_lower_than_periodogram(self, rng):
+        from repro.signals.noise import white_noise
+        series = white_noise(60.0, 20.0, std=1.0, rng=rng)
+        raw = periodogram(series).without_dc()
+        averaged = welch_psd(series, segment_length=128).without_dc()
+        # For white noise the PSD should be flat; Welch averaging reduces
+        # the bin-to-bin scatter relative to the mean level.
+        raw_cv = np.std(raw.power) / np.mean(raw.power)
+        averaged_cv = np.std(averaged.power) / np.mean(averaged.power)
+        assert averaged_cv < raw_cv
+
+
+class TestPowerSpectrumDispatch:
+    def test_dispatch(self, sine_1hz):
+        assert len(power_spectrum(sine_1hz, method="periodogram")) > 0
+        assert len(power_spectrum(sine_1hz, method="welch")) > 0
+
+    def test_unknown_method(self, sine_1hz):
+        with pytest.raises(ValueError):
+            power_spectrum(sine_1hz, method="magic")  # type: ignore[arg-type]

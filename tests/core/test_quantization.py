@@ -1,0 +1,85 @@
+"""Unit tests for quantisation and quantisation-noise accounting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.quantization import (UniformQuantizer, quantization_noise_std, quantize,
+                                     sqnr_db)
+from repro.signals.generators import constant, sine
+from repro.signals.timeseries import TimeSeries
+
+
+class TestUniformQuantizer:
+    def test_rounds_to_step(self):
+        quantizer = UniformQuantizer(step=0.5)
+        np.testing.assert_allclose(quantizer.apply(np.array([0.1, 0.3, 0.74, 1.1])),
+                                   [0.0, 0.5, 0.5, 1.0])
+
+    def test_clipping(self):
+        quantizer = UniformQuantizer(step=1.0, minimum=0.0, maximum=5.0)
+        np.testing.assert_allclose(quantizer.apply(np.array([-3.0, 7.2])), [0.0, 5.0])
+
+    def test_apply_series_preserves_timing(self, sine_1hz):
+        quantizer = UniformQuantizer(step=0.25)
+        quantized = quantizer.apply_series(sine_1hz)
+        assert quantized.interval == sine_1hz.interval
+        assert np.max(np.abs(quantized.values - sine_1hz.values)) <= 0.125 + 1e-12
+
+    def test_noise_std(self):
+        assert UniformQuantizer(step=1.0).noise_std() == pytest.approx(1.0 / math.sqrt(12.0))
+
+    def test_levels(self):
+        assert UniformQuantizer(step=1.0, minimum=0.0, maximum=10.0).levels() == 11
+        assert UniformQuantizer(step=1.0).levels() is None
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(step=0.0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(step=-1.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(step=1.0, minimum=5.0, maximum=1.0)
+
+    def test_quantization_is_idempotent(self, sine_1hz):
+        quantizer = UniformQuantizer(step=0.5)
+        once = quantizer.apply_series(sine_1hz)
+        twice = quantizer.apply_series(once)
+        np.testing.assert_allclose(once.values, twice.values)
+
+
+class TestHelpers:
+    def test_quantize_function(self, sine_1hz):
+        quantized = quantize(sine_1hz, 0.5)
+        assert np.all(np.abs(quantized.values / 0.5 - np.round(quantized.values / 0.5)) < 1e-9)
+
+    def test_quantization_noise_std_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            quantization_noise_std(0.0)
+
+    def test_sqnr_large_for_fine_quantization(self):
+        series = sine(1.0, 10.0, 50.0, amplitude=10.0)
+        fine = sqnr_db(series, 0.01)
+        coarse = sqnr_db(series, 5.0)
+        assert fine > coarse
+        assert fine > 40.0
+
+    def test_sqnr_constant_signal_is_minus_inf(self):
+        assert sqnr_db(constant(5.0, 10.0, 10.0), 0.1) == -math.inf
+
+    def test_sqnr_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            sqnr_db(TimeSeries(np.empty(0), 1.0), 0.1)
+
+    def test_measured_quantization_error_matches_model(self, rng):
+        # Empirical RMS error of quantising noise-like data approaches step/sqrt(12).
+        values = rng.uniform(0.0, 100.0, size=20000)
+        series = TimeSeries(values, 1.0)
+        quantized = quantize(series, 1.0)
+        empirical = float(np.std(series.values - quantized.values))
+        assert empirical == pytest.approx(quantization_noise_std(1.0), rel=0.05)

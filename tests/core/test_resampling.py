@@ -1,0 +1,144 @@
+"""Unit tests for re-sampling: regularisation, down-sampling, Fourier interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.resampling import (downsample, fourier_resample, linear_resample,
+                                   nearest_neighbor_resample, regularize, resample_to_rate)
+from repro.signals.generators import multi_tone, sine
+from repro.signals.timeseries import IrregularTimeSeries, TimeSeries
+
+
+class TestNearestNeighbor:
+    def test_recovers_regular_grid(self):
+        series = sine(1.0, duration=10.0, sampling_rate=10.0)
+        irregular = series.to_irregular()
+        recovered = nearest_neighbor_resample(irregular, 0.1)
+        assert recovered.interval == pytest.approx(0.1)
+        np.testing.assert_allclose(recovered.values[:len(series)], series.values, atol=1e-9)
+
+    def test_fills_gaps_with_nearest_value(self):
+        irregular = IrregularTimeSeries([0.0, 1.0, 4.0], [10.0, 20.0, 50.0])
+        regular = nearest_neighbor_resample(irregular, 1.0)
+        np.testing.assert_allclose(regular.values, [10.0, 20.0, 20.0, 50.0, 50.0])
+
+    def test_dedupes_before_resampling(self):
+        irregular = IrregularTimeSeries([0.0, 0.0, 1.0], [1.0, 99.0, 2.0])
+        regular = nearest_neighbor_resample(irregular, 1.0)
+        np.testing.assert_allclose(regular.values, [1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_resample(IrregularTimeSeries([], []), 1.0)
+
+    def test_rejects_bad_interval(self):
+        irregular = IrregularTimeSeries([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            nearest_neighbor_resample(irregular, 0.0)
+
+    def test_explicit_time_bounds(self):
+        irregular = IrregularTimeSeries([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        regular = nearest_neighbor_resample(irregular, 1.0, start_time=1.0, end_time=2.0)
+        np.testing.assert_allclose(regular.values, [2.0, 3.0])
+        assert regular.start_time == 1.0
+
+
+class TestRegularize:
+    def test_uses_median_interval(self, rng):
+        series = sine(0.5, duration=20.0, sampling_rate=5.0)
+        timestamps = series.times() + rng.normal(scale=0.01, size=len(series))
+        irregular = IrregularTimeSeries(np.sort(timestamps), series.values)
+        regular = regularize(irregular)
+        assert regular.interval == pytest.approx(0.2, rel=0.1)
+
+    def test_explicit_interval(self):
+        irregular = IrregularTimeSeries([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 2.0, 3.0])
+        regular = regularize(irregular, interval=0.5)
+        assert regular.interval == 0.5
+        assert len(regular) == 7
+
+
+class TestDownsample:
+    def test_factor_one_is_identity(self, sine_1hz):
+        assert downsample(sine_1hz, 1) is sine_1hz
+
+    def test_reduces_length_and_rate(self, sine_1hz):
+        down = downsample(sine_1hz, 5)
+        assert len(down) == len(sine_1hz) // 5
+        assert down.sampling_rate == pytest.approx(sine_1hz.sampling_rate / 5)
+
+    def test_anti_alias_protects_against_folding(self):
+        # 1 Hz + 22 Hz tones sampled at 100 Hz, downsampled 10x -> new band
+        # 5 Hz; the 22 Hz tone folds to 2 Hz unless it is filtered out first.
+        series = multi_tone([1.0, 22.0], duration=4.0, sampling_rate=100.0)
+        clean = downsample(series, 10, anti_alias=True)
+        aliased = downsample(series, 10, anti_alias=False)
+        reference = sine(1.0, duration=4.0, sampling_rate=10.0)
+        clean_error = np.max(np.abs(clean.values - reference.values[:len(clean)]))
+        aliased_error = np.max(np.abs(aliased.values - reference.values[:len(aliased)]))
+        assert clean_error < 0.1
+        assert aliased_error > 0.5
+
+    def test_rejects_bad_factor(self, sine_1hz):
+        with pytest.raises(ValueError):
+            downsample(sine_1hz, 0)
+
+
+class TestResampleToRate:
+    def test_target_above_current_rate_is_identity(self, sine_1hz):
+        assert resample_to_rate(sine_1hz, 1000.0) is sine_1hz
+
+    def test_never_exceeds_target(self, sine_1hz):
+        resampled = resample_to_rate(sine_1hz, 7.0)
+        assert resampled.sampling_rate <= 7.0 + 1e-9
+
+    def test_rejects_bad_rate(self, sine_1hz):
+        with pytest.raises(ValueError):
+            resample_to_rate(sine_1hz, 0.0)
+
+
+class TestFourierResample:
+    def test_upsample_recovers_band_limited_signal(self):
+        dense = sine(3.0, duration=2.0, sampling_rate=200.0)
+        sparse = sine(3.0, duration=2.0, sampling_rate=20.0)
+        recovered = fourier_resample(sparse, len(dense))
+        assert np.max(np.abs(recovered.values - dense.values)) < 0.02
+
+    def test_same_length_is_identity(self, sine_1hz):
+        assert fourier_resample(sine_1hz, len(sine_1hz)) is sine_1hz
+
+    def test_downsample_then_upsample_round_trip(self, two_tone):
+        reduced = fourier_resample(two_tone, 1000)
+        restored = fourier_resample(reduced, len(two_tone))
+        assert np.max(np.abs(restored.values - two_tone.values)) < 1e-6
+
+    def test_preserves_duration(self, sine_1hz):
+        resampled = fourier_resample(sine_1hz, 123)
+        assert resampled.duration == pytest.approx(sine_1hz.duration, rel=1e-9)
+
+    def test_rejects_bad_length(self, sine_1hz):
+        with pytest.raises(ValueError):
+            fourier_resample(sine_1hz, 0)
+
+    def test_preserves_mean(self):
+        series = sine(2.0, duration=2.0, sampling_rate=100.0, offset=10.0)
+        up = fourier_resample(series, 500)
+        assert up.mean() == pytest.approx(10.0, abs=0.01)
+
+
+class TestLinearResample:
+    def test_constant_signal(self):
+        series = TimeSeries(np.full(10, 4.0), 1.0)
+        resampled = linear_resample(series, 3.0)
+        np.testing.assert_allclose(resampled.values, 4.0)
+
+    def test_interpolates_between_samples(self):
+        series = TimeSeries([0.0, 10.0], 1.0)
+        resampled = linear_resample(series, 4.0)
+        np.testing.assert_allclose(resampled.values[:4], [0.0, 2.5, 5.0, 7.5])
+
+    def test_rejects_bad_rate(self, sine_1hz):
+        with pytest.raises(ValueError):
+            linear_resample(sine_1hz, -1.0)

@@ -1,0 +1,70 @@
+"""Unit tests for moving-window Nyquist inference (Figure 7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.nyquist import NyquistEstimator
+from repro.core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS,
+                                 rate_stability, windowed_nyquist_rates)
+from repro.signals.generators import multi_tone, sine
+
+
+class TestWindowedEstimates:
+    def test_figure7_defaults(self):
+        assert FIGURE7_WINDOW_SECONDS == 6 * 3600.0
+        assert FIGURE7_STEP_SECONDS == 5 * 60.0
+
+    def test_stationary_signal_gives_stable_rates(self):
+        series = sine(1.0 / 1800.0, duration=86400.0, sampling_rate=1.0 / 60.0, amplitude=5.0)
+        estimates = windowed_nyquist_rates(series, window_seconds=6 * 3600.0,
+                                           step_seconds=3600.0)
+        rates = [entry.nyquist_rate for entry in estimates]
+        assert len(estimates) == 19
+        assert all(not math.isnan(rate) for rate in rates)
+        assert max(rates) / min(rates) < 2.0
+
+    def test_changing_signal_gives_changing_rates(self):
+        rate = 1.0 / 30.0
+        slow = sine(1.0 / 7200.0, duration=43200.0, sampling_rate=rate, amplitude=5.0)
+        fast = multi_tone([1.0 / 7200.0, 1.0 / 600.0], duration=43200.0, sampling_rate=rate,
+                          amplitudes=[5.0, 5.0])
+        series = slow.concatenate(fast)
+        estimates = windowed_nyquist_rates(series, window_seconds=6 * 3600.0,
+                                           step_seconds=3600.0,
+                                           estimator=NyquistEstimator(detrend=True, window="hann"))
+        first_half = [e.nyquist_rate for e in estimates if e.window_end <= 43200.0]
+        second_half = [e.nyquist_rate for e in estimates if e.window_start >= 43200.0]
+        assert np.nanmedian(second_half) > np.nanmedian(first_half) * 3
+
+    def test_windows_carry_time_bounds(self):
+        series = sine(1.0 / 1800.0, duration=43200.0, sampling_rate=1.0 / 60.0)
+        estimates = windowed_nyquist_rates(series, window_seconds=6 * 3600.0,
+                                           step_seconds=2 * 3600.0)
+        assert estimates[0].window_start == pytest.approx(0.0)
+        assert estimates[0].window_end == pytest.approx(6 * 3600.0)
+        assert estimates[1].window_start == pytest.approx(2 * 3600.0)
+
+    def test_short_windows_are_skipped(self):
+        series = sine(1.0, duration=10.0, sampling_rate=2.0)
+        estimates = windowed_nyquist_rates(series, window_seconds=1.0, step_seconds=1.0)
+        assert estimates == []
+
+
+class TestRateStability:
+    def test_empty_input(self):
+        stats = rate_stability([])
+        assert stats["count"] == 0.0
+        assert math.isnan(stats["min"])
+
+    def test_summary_values(self):
+        series = sine(1.0 / 1800.0, duration=86400.0, sampling_rate=1.0 / 60.0, amplitude=5.0)
+        estimates = windowed_nyquist_rates(series, window_seconds=6 * 3600.0,
+                                           step_seconds=3600.0)
+        stats = rate_stability(estimates)
+        assert stats["count"] == len(estimates)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["dynamic_range"] >= 1.0

@@ -1,0 +1,103 @@
+"""Unit tests for the monitoring cost model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.cost import CostBreakdown, CostModel, TelemetryCostAccountant
+from repro.network.topology import TopologySpec, attach_collector, build_leaf_spine
+
+
+class TestCostModel:
+    def test_defaults_are_valid(self):
+        CostModel()
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            CostModel(bytes_per_sample=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(analysis_cost_per_sample=-0.5)
+
+
+class TestCostBreakdown:
+    def test_total_is_sum_of_components(self):
+        breakdown = CostBreakdown(samples=10, collection_cpu_us=1.0, transmission=2.0,
+                                  storage_bytes=3.0, analysis=4.0)
+        assert breakdown.total == pytest.approx(10.0)
+
+    def test_add_accumulates(self):
+        total = CostBreakdown()
+        total.add(CostBreakdown(samples=5, storage_bytes=10.0))
+        total.add(CostBreakdown(samples=3, storage_bytes=20.0))
+        assert total.samples == 8
+        assert total.storage_bytes == 30.0
+
+    def test_as_dict_keys(self):
+        keys = set(CostBreakdown().as_dict())
+        assert {"samples", "collection_cpu_us", "transmission", "storage_bytes",
+                "analysis", "total"} == keys
+
+    def test_relative_to(self):
+        baseline = CostBreakdown(samples=10, storage_bytes=100.0)
+        half = CostBreakdown(samples=5, storage_bytes=50.0)
+        relative = half.relative_to(baseline)
+        assert relative["samples"] == pytest.approx(0.5)
+        assert relative["storage_bytes"] == pytest.approx(0.5)
+
+    def test_relative_to_zero_baseline_is_nan(self):
+        relative = CostBreakdown().relative_to(CostBreakdown())
+        assert math.isnan(relative["total"])
+
+
+class TestAccountant:
+    def make_accountant(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=2, servers_per_leaf=2))
+        collector = attach_collector(graph)
+        return TelemetryCostAccountant(topology=graph, collector=collector), graph, collector
+
+    def test_hop_counts(self):
+        accountant, graph, collector = self.make_accountant()
+        assert accountant.hops(collector) == 0
+        assert accountant.hops("spine-0") == 1
+        assert accountant.hops("leaf-0") == 2
+        assert accountant.hops("server-0-0") == 3
+
+    def test_unknown_device_uses_default_hops(self):
+        accountant, _, _ = self.make_accountant()
+        assert accountant.hops("not-a-node") == 3
+
+    def test_price_scales_linearly_with_samples(self):
+        accountant, _, _ = self.make_accountant()
+        one = accountant.price_samples("leaf-0", 100)
+        two = accountant.price_samples("leaf-0", 200)
+        assert two.total == pytest.approx(2 * one.total)
+
+    def test_price_components(self):
+        model = CostModel(bytes_per_sample=10.0, collection_cpu_us=1.0,
+                          transmission_cost_per_byte_hop=1.0, storage_cost_per_byte=1.0,
+                          analysis_cost_per_sample=1.0)
+        accountant = TelemetryCostAccountant(cost_model=model, default_hops=2)
+        cost = accountant.price_samples("dev", 5)
+        assert cost.collection_cpu_us == pytest.approx(5.0)
+        assert cost.storage_bytes == pytest.approx(50.0)
+        assert cost.transmission == pytest.approx(100.0)
+        assert cost.analysis == pytest.approx(5.0)
+
+    def test_negative_samples_rejected(self):
+        accountant, _, _ = self.make_accountant()
+        with pytest.raises(ValueError):
+            accountant.price_samples("leaf-0", -1)
+
+    def test_collector_must_exist(self):
+        graph = build_leaf_spine()
+        with pytest.raises(ValueError):
+            TelemetryCostAccountant(topology=graph, collector="missing")
+
+    def test_farther_devices_cost_more_to_ship(self):
+        accountant, _, _ = self.make_accountant()
+        near = accountant.price_samples("spine-0", 100)
+        far = accountant.price_samples("server-0-0", 100)
+        assert far.transmission > near.transmission
+        assert far.storage_bytes == near.storage_bytes

@@ -1,0 +1,63 @@
+"""Unit tests for the monitoring deployment over a fabric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.monitoring import MonitoringDeployment
+from repro.network.topology import TopologySpec, build_leaf_spine, servers, switches
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    topology = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=2, servers_per_leaf=2))
+    return MonitoringDeployment(topology, trace_duration=21600.0, seed=3)
+
+
+class TestDeployment:
+    def test_point_count(self, deployment):
+        topology = deployment.topology
+        expected = (len(switches(topology)) * len(deployment.switch_metrics)
+                    + len(servers(topology)) * len(deployment.server_metrics))
+        assert len(deployment) == expected
+
+    def test_points_are_cached(self, deployment):
+        assert deployment.points() is deployment.points()
+
+    def test_server_points_only_get_server_metrics(self, deployment):
+        server_nodes = set(servers(deployment.topology))
+        for point in deployment.points():
+            if point.node in server_nodes:
+                assert point.metric.name in deployment.server_metrics
+
+    def test_points_for_metric(self, deployment):
+        points = deployment.points_for_metric("Link util")
+        assert points
+        assert all(point.metric.name == "Link util" for point in points)
+        assert len(points) == len(switches(deployment.topology))
+
+    def test_reference_trace_is_oversampled(self, deployment):
+        point = deployment.points_for_metric("Temperature")[0]
+        reference = deployment.reference_trace(point, oversample_factor=4.0)
+        production = deployment.production_trace(point)
+        assert reference.sampling_rate == pytest.approx(production.sampling_rate * 4.0)
+        assert len(reference) == pytest.approx(4 * len(production), abs=4)
+
+    def test_reference_trace_rejects_bad_factor(self, deployment):
+        point = deployment.points()[0]
+        with pytest.raises(ValueError):
+            deployment.reference_trace(point, oversample_factor=0.5)
+
+    def test_traces_are_deterministic(self, deployment):
+        point = deployment.points()[0]
+        a = deployment.production_trace(point)
+        b = deployment.production_trace(point)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_iter_reference_traces_limit(self, deployment):
+        pairs = list(deployment.iter_reference_traces("Link util", limit=2))
+        assert len(pairs) == 2
+        for point, trace in pairs:
+            assert point.metric.name == "Link util"
+            assert len(trace) > 0

@@ -1,0 +1,102 @@
+"""Unit tests for the datacenter topology builders."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network.topology import (NodeRole, TopologySpec, attach_collector, build_fat_tree,
+                                    build_leaf_spine, servers, switches)
+
+
+class TestLeafSpine:
+    def test_node_counts(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=4, num_leaves=8, servers_per_leaf=16))
+        assert len(switches(graph)) == 12
+        assert len(servers(graph)) == 8 * 16
+
+    def test_full_bipartite_fabric(self):
+        spec = TopologySpec(num_spines=3, num_leaves=5, servers_per_leaf=0)
+        graph = build_leaf_spine(spec)
+        for leaf in (n for n, d in graph.nodes(data=True) if d["role"] == NodeRole.LEAF):
+            spine_neighbors = [n for n in graph.neighbors(leaf)
+                               if graph.nodes[n]["role"] == NodeRole.SPINE]
+            assert len(spine_neighbors) == 3
+
+    def test_connected(self):
+        graph = build_leaf_spine()
+        assert nx.is_connected(graph)
+
+    def test_edges_have_capacity(self):
+        graph = build_leaf_spine()
+        for _, _, data in graph.edges(data=True):
+            assert data["capacity_gbps"] > 0
+
+    def test_servers_attach_to_one_leaf(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=2, servers_per_leaf=3))
+        for server in servers(graph):
+            assert graph.degree(server) == 1
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(num_spines=0)
+        with pytest.raises(ValueError):
+            TopologySpec(leaf_uplink_gbps=-1.0)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        graph = build_fat_tree(4)
+        roles = nx.get_node_attributes(graph, "role")
+        assert sum(1 for role in roles.values() if role == NodeRole.CORE) == 4
+        assert sum(1 for role in roles.values() if role == NodeRole.AGGREGATION) == 8
+        assert sum(1 for role in roles.values() if role == NodeRole.EDGE) == 8
+        assert sum(1 for role in roles.values() if role == NodeRole.SERVER) == 16
+
+    def test_k4_is_connected(self):
+        assert nx.is_connected(build_fat_tree(4))
+
+    def test_server_count_scales_with_k(self):
+        assert len(servers(build_fat_tree(6))) == 6 ** 3 // 4
+
+    def test_rejects_odd_k(self):
+        with pytest.raises(ValueError):
+            build_fat_tree(3)
+
+    def test_core_connectivity(self):
+        graph = build_fat_tree(4)
+        # Each aggregation switch connects to k/2 cores.
+        aggs = [n for n, d in graph.nodes(data=True) if d["role"] == NodeRole.AGGREGATION]
+        for agg in aggs:
+            cores = [n for n in graph.neighbors(agg) if graph.nodes[n]["role"] == NodeRole.CORE]
+            assert len(cores) == 2
+
+
+class TestCollector:
+    def test_attach_to_spines_by_default(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=3, num_leaves=4, servers_per_leaf=1))
+        collector = attach_collector(graph)
+        assert graph.nodes[collector]["role"] == NodeRole.COLLECTOR
+        assert graph.degree(collector) == 3
+
+    def test_attach_explicit_points(self):
+        graph = build_leaf_spine()
+        collector = attach_collector(graph, attachment_points=["leaf-0"])
+        assert list(graph.neighbors(collector)) == ["leaf-0"]
+
+    def test_attach_duplicate_name_rejected(self):
+        graph = build_leaf_spine()
+        attach_collector(graph, name="c0")
+        with pytest.raises(ValueError):
+            attach_collector(graph, name="c0")
+
+    def test_attach_unknown_point_rejected(self):
+        graph = build_leaf_spine()
+        with pytest.raises(ValueError):
+            attach_collector(graph, attachment_points=["nope"])
+
+    def test_collector_reaches_every_device(self):
+        graph = build_leaf_spine()
+        collector = attach_collector(graph)
+        lengths = nx.single_source_shortest_path_length(graph, collector)
+        assert set(lengths) == set(graph.nodes)

@@ -1,0 +1,83 @@
+"""Unit tests for the cost-vs-quality evaluator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.cost import TelemetryCostAccountant
+from repro.pipeline.evaluation import CostQualityEvaluator
+from repro.pipeline.events import EventKind, inject_event
+from repro.pipeline.policies import FixedRatePolicy, NyquistStaticPolicy
+from repro.signals.generators import multi_tone
+from repro.signals.noise import add_white_noise
+
+
+@pytest.fixture
+def reference(rng):
+    trace = multi_tone([1.0 / 7200.0], duration=21600.0, sampling_rate=1.0 / 7.5,
+                       amplitudes=[8.0], offset=40.0)
+    return add_white_noise(trace, 0.05, rng=rng)
+
+
+def make_evaluator():
+    policies = [FixedRatePolicy(30.0, name="baseline"),
+                NyquistStaticPolicy(production_interval=30.0)]
+    return CostQualityEvaluator(policies, accountant=TelemetryCostAccountant())
+
+
+class TestEvaluator:
+    def test_requires_policies(self):
+        with pytest.raises(ValueError):
+            CostQualityEvaluator([])
+
+    def test_requires_unique_names(self):
+        with pytest.raises(ValueError):
+            CostQualityEvaluator([FixedRatePolicy(30.0, name="x"),
+                                  FixedRatePolicy(60.0, name="x")])
+
+    def test_evaluate_point_produces_one_result_per_policy(self, reference):
+        evaluator = make_evaluator()
+        results = evaluator.evaluate_point("dev-1", "Link util", reference)
+        assert len(results) == 2
+        assert {r.policy_name for r in results} == {"baseline", "nyquist-static"}
+
+    def test_rows_aggregate_over_points(self, reference):
+        evaluator = make_evaluator()
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        evaluator.evaluate_point("dev-2", "Link util", reference)
+        rows = evaluator.rows()
+        assert len(rows) == 2
+        assert all(row["points"] == 2.0 for row in rows)
+
+    def test_nyquist_static_cheaper_than_baseline(self, reference):
+        evaluator = make_evaluator()
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        relative = evaluator.relative_costs("baseline")
+        assert relative["baseline"] == pytest.approx(1.0)
+        assert relative["nyquist-static"] < 1.0
+
+    def test_relative_costs_unknown_baseline(self, reference):
+        evaluator = make_evaluator()
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        with pytest.raises(KeyError):
+            evaluator.relative_costs("nope")
+
+    def test_event_detection_scored(self, reference):
+        evaluator = make_evaluator()
+        modified, event = inject_event(reference, EventKind.STEP,
+                                       reference.start_time + 0.7 * reference.duration,
+                                       magnitude=30.0)
+        results = evaluator.evaluate_point("dev-1", "Link util", modified, event)
+        assert all(result.detection is not None for result in results)
+        summary = evaluator.summaries["baseline"]
+        assert summary.detection_rate == 1.0
+        assert summary.mean_detection_latency >= 0.0
+
+    def test_summary_quality_fields(self, reference):
+        evaluator = make_evaluator()
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        row = evaluator.rows()[0]
+        assert 0.0 <= row["mean_nrmse"] < 1.0
+        assert row["samples"] > 0
+        assert row["total_cost"] > 0

@@ -1,0 +1,91 @@
+"""Unit tests for event injection and detection scoring."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.resampling import resample_to_rate
+from repro.pipeline.events import (EventKind, ThresholdDetector, inject_event, score_detection)
+from repro.signals.generators import sine
+from repro.signals.noise import add_white_noise
+
+
+@pytest.fixture
+def baseline_trace(rng):
+    trace = sine(1.0 / 3600.0, duration=21600.0, sampling_rate=1.0 / 30.0,
+                 amplitude=2.0, offset=20.0)
+    return add_white_noise(trace, 0.05, rng=rng)
+
+
+class TestInjectEvent:
+    def test_step_persists_to_end(self, baseline_trace):
+        modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=10.0)
+        assert event.kind is EventKind.STEP
+        assert modified.values[-1] > baseline_trace.values[-1] + 5.0
+        assert modified.values[0] == pytest.approx(baseline_trace.values[0])
+
+    def test_spike_is_short(self, baseline_trace):
+        modified, _ = inject_event(baseline_trace, EventKind.SPIKE, 10000.0, magnitude=50.0)
+        changed = np.count_nonzero(np.abs(modified.values - baseline_trace.values) > 1.0)
+        assert 1 <= changed <= 3
+
+    def test_burst_affects_a_window(self, baseline_trace, rng):
+        modified, event = inject_event(baseline_trace, EventKind.BURST, 10000.0,
+                                       magnitude=30.0, duration=3000.0, rng=rng)
+        changed = np.abs(modified.values - baseline_trace.values) > 1.0
+        times = baseline_trace.times()
+        assert not np.any(changed[times < 10000.0])
+        assert np.any(changed[(times >= 10000.0) & (times < 13000.0)])
+        assert event.end_time == pytest.approx(13000.0)
+
+    def test_rejects_event_outside_trace(self, baseline_trace):
+        with pytest.raises(ValueError):
+            inject_event(baseline_trace, EventKind.STEP, 10 ** 9, magnitude=1.0)
+
+    def test_rejects_empty_trace(self):
+        from repro.signals.timeseries import TimeSeries
+        with pytest.raises(ValueError):
+            inject_event(TimeSeries(np.empty(0), 1.0), EventKind.STEP, 0.0, 1.0)
+
+
+class TestDetection:
+    def test_full_rate_stream_detects_step_quickly(self, baseline_trace):
+        modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=15.0)
+        outcome = score_detection("full", modified, event)
+        assert outcome.detected
+        assert outcome.latency <= 60.0
+
+    def test_downsampled_stream_detects_later(self, baseline_trace):
+        modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=15.0)
+        slow = resample_to_rate(modified, 1.0 / 1800.0, anti_alias=False)
+        fast_outcome = score_detection("fast", modified, event)
+        slow_outcome = score_detection("slow", slow, event)
+        assert slow_outcome.detected
+        assert slow_outcome.latency >= fast_outcome.latency
+
+    def test_spike_can_be_missed_by_slow_sampling(self, baseline_trace):
+        modified, event = inject_event(baseline_trace, EventKind.SPIKE, 10001.0, magnitude=40.0)
+        slow = resample_to_rate(modified, 1.0 / 3600.0, anti_alias=False)
+        outcome = score_detection("slow", slow, event)
+        # A one-sample spike between two slow polls is invisible.
+        if not outcome.detected:
+            assert math.isinf(outcome.latency)
+            assert outcome.missed
+
+    def test_empty_stream_misses(self, baseline_trace):
+        from repro.signals.timeseries import TimeSeries
+        modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=15.0)
+        outcome = score_detection("none", TimeSeries(np.empty(0), 1.0), event)
+        assert not outcome.detected
+
+    def test_detector_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdDetector(sigma_multiplier=0.0)
+
+    def test_detection_time_none_when_event_below_threshold(self, baseline_trace):
+        modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=0.01)
+        detector = ThresholdDetector(sigma_multiplier=10.0, min_threshold=5.0)
+        assert detector.detection_time(modified, event) is None

@@ -1,0 +1,88 @@
+"""Unit tests for the sampling policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import compare
+from repro.pipeline.policies import (AdaptiveDualRatePolicy, FixedRatePolicy,
+                                     NyquistStaticPolicy)
+from repro.signals.generators import multi_tone
+from repro.signals.noise import add_white_noise
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """12 h of a slow metric-like signal at a 7.5 s reference interval."""
+    rng = np.random.default_rng(7)
+    trace = multi_tone([1.0 / 7200.0, 1.0 / 2400.0], duration=43200.0,
+                       sampling_rate=1.0 / 7.5, amplitudes=[8.0, 2.0], offset=40.0)
+    return add_white_noise(trace, 0.05, rng=rng)
+
+
+class TestFixedRatePolicy:
+    def test_collects_at_requested_rate(self, reference):
+        result = FixedRatePolicy(30.0).collect(reference)
+        assert result.samples_collected == pytest.approx(43200.0 / 30.0, rel=0.01)
+        assert result.mean_sampling_rate == pytest.approx(1.0 / 30.0, rel=0.01)
+
+    def test_reconstruction_quality_good_when_oversampled(self, reference):
+        result = FixedRatePolicy(30.0).collect(reference)
+        assert compare(reference, result.reconstructed).nrmse < 0.05
+
+    def test_rate_capped_at_reference_rate(self, reference):
+        result = FixedRatePolicy(1.0).collect(reference)
+        assert result.samples_collected <= len(reference)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            FixedRatePolicy(0.0)
+
+    def test_name_defaults_to_interval(self):
+        assert FixedRatePolicy(30.0).name == "fixed@30s"
+
+
+class TestNyquistStaticPolicy:
+    def test_cheaper_than_baseline(self, reference):
+        baseline = FixedRatePolicy(30.0).collect(reference)
+        static = NyquistStaticPolicy(production_interval=30.0).collect(reference)
+        assert static.samples_collected < baseline.samples_collected
+
+    def test_reconstruction_still_reasonable(self, reference):
+        static = NyquistStaticPolicy(production_interval=30.0).collect(reference)
+        assert compare(reference, static.reconstructed).nrmse < 0.25
+
+    def test_detail_fields(self, reference):
+        result = NyquistStaticPolicy(production_interval=30.0).collect(reference)
+        assert result.detail["calibration_samples"] > 0
+        assert result.detail["target_rate_hz"] > 0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            NyquistStaticPolicy(production_interval=0.0)
+        with pytest.raises(ValueError):
+            NyquistStaticPolicy(production_interval=30.0, calibration_fraction=0.0)
+        with pytest.raises(ValueError):
+            NyquistStaticPolicy(production_interval=30.0, headroom=0.9)
+
+
+class TestAdaptivePolicy:
+    def test_runs_and_reports_windows(self, reference):
+        policy = AdaptiveDualRatePolicy(window_duration=2 * 3600.0)
+        result = policy.collect(reference)
+        assert result.detail["windows"] == 6
+        assert result.samples_collected > 0
+
+    def test_cheaper_than_baseline_on_slow_signal(self, reference):
+        baseline = FixedRatePolicy(30.0).collect(reference)
+        adaptive = AdaptiveDualRatePolicy(window_duration=2 * 3600.0).collect(reference)
+        assert adaptive.samples_collected < baseline.samples_collected
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            AdaptiveDualRatePolicy(window_duration=0.0)
+
+    def test_samples_per_hour_property(self, reference):
+        result = FixedRatePolicy(60.0).collect(reference)
+        assert result.samples_per_hour == pytest.approx(60.0, rel=0.05)

@@ -1,0 +1,75 @@
+"""Unit tests for a-posteriori storage reduction (the §4 'store less' use case)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nyquist import NyquistEstimator
+from repro.pipeline.retention import AposterioriRetention
+from repro.signals.generators import multi_tone, sine
+from repro.signals.noise import white_noise
+
+
+@pytest.fixture
+def slow_traces():
+    """Heavily over-sampled, band-limited traces (large savings expected)."""
+    return [
+        multi_tone([1.0 / 7200.0], duration=86400.0, sampling_rate=1.0 / 30.0,
+                   amplitudes=[5.0], offset=40.0, name="slow-a"),
+        sine(1.0 / 3600.0, duration=86400.0, sampling_rate=1.0 / 30.0,
+             amplitude=3.0, offset=10.0, name="slow-b"),
+    ]
+
+
+class TestConfiguration:
+    def test_rejects_bad_headroom(self):
+        with pytest.raises(ValueError):
+            AposterioriRetention(headroom=0.9)
+
+    def test_rejects_bad_quality_guard(self):
+        with pytest.raises(ValueError):
+            AposterioriRetention(max_nrmse=0.0)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            AposterioriRetention().process([])
+
+
+class TestRetention:
+    def test_oversampled_traces_shrink_a_lot(self, slow_traces):
+        report = AposterioriRetention().process(slow_traces)
+        assert report.storage_saving > 10
+        assert report.total_retained < report.total_collected
+        assert report.worst_nrmse < 0.1
+
+    def test_quality_guard_keeps_risky_traces_at_full_rate(self, rng):
+        noisy = white_noise(3600.0, 1.0, std=1.0, rng=rng)
+        retention = AposterioriRetention(
+            estimator=NyquistEstimator(aliased_band_fraction=0.9), max_nrmse=0.05)
+        decision, retained = retention.process_trace(noisy)
+        assert decision.kept_full_rate
+        assert decision.samples_retained == len(noisy)
+        assert decision.storage_saving == pytest.approx(1.0)
+
+    def test_decisions_report_consistent_counts(self, slow_traces):
+        report = AposterioriRetention().process(slow_traces)
+        for decision in report.decisions:
+            assert decision.samples_retained <= decision.samples_collected
+            assert decision.retained_fraction <= 1.0
+        assert report.bytes_saved > 0
+
+    def test_as_rows_structure(self, slow_traces):
+        rows = AposterioriRetention().process(slow_traces).as_rows()
+        assert len(rows) == 2
+        assert {"trace", "collected", "retained", "saving", "nrmse"} <= set(rows[0])
+
+    def test_retained_series_is_usable_for_reconstruction(self, slow_traces):
+        from repro.core.errors import compare
+        from repro.core.reconstruction import reconstruct
+        retention = AposterioriRetention()
+        trace = slow_traces[0]
+        decision, retained = retention.process_trace(trace)
+        assert not decision.kept_full_rate
+        reconstructed = reconstruct(retained, trace.sampling_rate)
+        assert compare(trace, reconstructed).nrmse < 0.1

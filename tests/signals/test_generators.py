@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic signal generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals import generators
+
+
+class TestTimeAxis:
+    def test_sample_count(self):
+        series = generators.constant(1.0, duration=10.0, sampling_rate=5.0)
+        assert len(series) == 50
+        assert series.interval == pytest.approx(0.2)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            generators.constant(1.0, duration=0.0, sampling_rate=5.0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            generators.constant(1.0, duration=1.0, sampling_rate=0.0)
+
+
+class TestBasicWaveforms:
+    def test_constant_is_flat(self):
+        series = generators.constant(3.5, 1.0, 10.0)
+        assert series.value_range() == 0.0
+        assert series.mean() == pytest.approx(3.5)
+
+    def test_sine_amplitude_and_offset(self):
+        series = generators.sine(2.0, duration=5.0, sampling_rate=100.0,
+                                 amplitude=3.0, offset=10.0)
+        assert series.max() <= 13.0 + 1e-9
+        assert series.min() >= 7.0 - 1e-9
+        assert series.mean() == pytest.approx(10.0, abs=0.05)
+
+    def test_sine_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            generators.sine(-1.0, 1.0, 10.0)
+
+    def test_sine_frequency_is_where_the_energy_is(self):
+        from repro.core.psd import periodogram
+        series = generators.sine(5.0, duration=2.0, sampling_rate=100.0)
+        spectrum = periodogram(series)
+        assert spectrum.without_dc().dominant_frequency() == pytest.approx(5.0, abs=0.5)
+
+    def test_multi_tone_length_checks(self):
+        with pytest.raises(ValueError):
+            generators.multi_tone([], 1.0, 10.0)
+        with pytest.raises(ValueError):
+            generators.multi_tone([1.0, 2.0], 1.0, 10.0, amplitudes=[1.0])
+
+    def test_two_tone_figure3_has_880hz_nyquist(self):
+        from repro.core.nyquist import estimate_nyquist_rate
+        series = generators.two_tone_figure3()
+        estimate = estimate_nyquist_rate(series)
+        assert estimate.reliable
+        assert estimate.nyquist_rate == pytest.approx(880.0, rel=0.01)
+
+    def test_square_wave_levels(self):
+        series = generators.square_wave(1.0, 2.0, 100.0, amplitude=2.0)
+        assert set(np.unique(series.values)) <= {-2.0, 2.0}
+
+    def test_square_wave_rejects_bad_duty_cycle(self):
+        with pytest.raises(ValueError):
+            generators.square_wave(1.0, 1.0, 10.0, duty_cycle=1.5)
+
+    def test_sawtooth_range(self):
+        series = generators.sawtooth(1.0, 2.0, 100.0, amplitude=1.0)
+        assert series.min() >= -1.0 - 1e-9
+        assert series.max() <= 1.0 + 1e-9
+
+    def test_chirp_rejects_negative_frequencies(self):
+        with pytest.raises(ValueError):
+            generators.chirp(-1.0, 5.0, 1.0, 100.0)
+
+    def test_chirp_sweeps_upwards(self):
+        from repro.core.psd import periodogram
+        series = generators.chirp(1.0, 20.0, duration=4.0, sampling_rate=200.0)
+        early = periodogram(series.head(len(series) // 4)).without_dc().dominant_frequency()
+        late = periodogram(series.tail(len(series) // 4)).without_dc().dominant_frequency()
+        assert late > early
+
+
+class TestNoiseLikeGenerators:
+    def test_band_limited_noise_respects_band(self, rng):
+        from repro.core.psd import periodogram
+        series = generators.band_limited_noise(5.0, duration=10.0, sampling_rate=100.0, rng=rng)
+        spectrum = periodogram(series)
+        in_band = spectrum.energy_fraction_below(5.5)
+        assert in_band > 0.99
+
+    def test_band_limited_noise_amplitude(self, rng):
+        series = generators.band_limited_noise(5.0, 10.0, 100.0, amplitude=3.0, rng=rng)
+        assert series.max() <= 3.0 + 1e-9
+        assert series.min() >= -3.0 - 1e-9
+
+    def test_band_limited_noise_rejects_band_above_nyquist(self, rng):
+        with pytest.raises(ValueError):
+            generators.band_limited_noise(60.0, 1.0, 100.0, rng=rng)
+
+    def test_random_walk_is_reproducible(self):
+        a = generators.random_walk(10.0, 10.0, rng=np.random.default_rng(1))
+        b = generators.random_walk(10.0, 10.0, rng=np.random.default_rng(1))
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_step_signal(self):
+        series = generators.step_signal(10.0, 1.0, step_time=5.0, low=0.0, high=2.0)
+        assert series.values[0] == 0.0
+        assert series.values[-1] == 2.0
+        assert np.count_nonzero(series.values == 2.0) == 5
+
+    def test_impulse_train_spike_count(self):
+        series = generators.impulse_train(10.0, 10.0, period=2.0, amplitude=5.0)
+        assert np.count_nonzero(series.values == 5.0) == 5
+
+    def test_impulse_train_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            generators.impulse_train(10.0, 10.0, period=0.0)
+
+    def test_diurnal_pattern_period(self):
+        series = generators.diurnal_pattern(2 * 86400.0, 1.0 / 600.0, base=50.0, daily_swing=10.0)
+        # The value one day apart should match (the pattern repeats daily).
+        one_day = int(86400.0 / series.interval)
+        np.testing.assert_allclose(series.values[:one_day], series.values[one_day:2 * one_day],
+                                   atol=1e-9)

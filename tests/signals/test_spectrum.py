@@ -1,0 +1,123 @@
+"""Unit tests for the Spectrum container and its energy accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals.spectrum import Spectrum
+
+
+def make_spectrum(power=None, frequencies=None, fs=10.0):
+    if frequencies is None:
+        frequencies = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+    if power is None:
+        power = np.array([100.0, 8.0, 1.0, 0.5, 0.3, 0.2])
+    return Spectrum(np.asarray(frequencies, float), np.asarray(power, float), fs)
+
+
+class TestSpectrumConstruction:
+    def test_basic(self):
+        spectrum = make_spectrum()
+        assert len(spectrum) == 6
+        assert spectrum.max_frequency == pytest.approx(5.0)
+        assert spectrum.resolution == pytest.approx(1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Spectrum([0.0, 1.0], [1.0], 10.0)
+
+    def test_rejects_descending_frequencies(self):
+        with pytest.raises(ValueError):
+            Spectrum([1.0, 0.5], [1.0, 1.0], 10.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Spectrum([0.0, 1.0], [1.0, -1.0], 10.0)
+
+    def test_rejects_bad_sampling_rate(self):
+        with pytest.raises(ValueError):
+            Spectrum([0.0], [1.0], 0.0)
+
+    def test_tiny_negative_power_clamped_to_zero(self):
+        spectrum = Spectrum([0.0, 1.0], [1.0, -1e-15], 10.0)
+        assert spectrum.power[1] == 0.0
+
+
+class TestEnergyAccounting:
+    def test_total_energy_excludes_dc_by_default(self):
+        spectrum = make_spectrum()
+        assert spectrum.total_energy() == pytest.approx(10.0)
+        assert spectrum.total_energy(include_dc=True) == pytest.approx(110.0)
+
+    def test_without_dc(self):
+        spectrum = make_spectrum().without_dc()
+        assert spectrum.frequencies[0] == 1.0
+        assert len(spectrum) == 5
+
+    def test_without_dc_is_noop_when_no_dc_bin(self):
+        spectrum = Spectrum([1.0, 2.0], [1.0, 1.0], 10.0)
+        assert len(spectrum.without_dc()) == 2
+
+    def test_energy_below(self):
+        spectrum = make_spectrum()
+        assert spectrum.energy_below(2.0) == pytest.approx(9.0)
+
+    def test_energy_fraction_below(self):
+        spectrum = make_spectrum()
+        assert spectrum.energy_fraction_below(2.0) == pytest.approx(0.9)
+
+    def test_energy_fraction_below_empty_spectrum(self):
+        spectrum = Spectrum(np.empty(0), np.empty(0), 10.0)
+        assert spectrum.energy_fraction_below(1.0) == 0.0
+
+    def test_cutoff_frequency_simple(self):
+        spectrum = make_spectrum()
+        # Non-DC cumulative fractions: 0.8 @1Hz, 0.9 @2Hz, 0.95 @3Hz, 0.98 @4Hz, 1.0 @5Hz.
+        assert spectrum.energy_cutoff_frequency(0.99) == pytest.approx(5.0)
+        assert spectrum.energy_cutoff_frequency(0.98) == pytest.approx(4.0)
+        assert spectrum.energy_cutoff_frequency(0.9) == pytest.approx(2.0)
+        assert spectrum.energy_cutoff_frequency(0.5) == pytest.approx(1.0)
+
+    def test_cutoff_frequency_zero_energy(self):
+        spectrum = Spectrum([0.0, 1.0], [0.0, 0.0], 10.0)
+        assert spectrum.energy_cutoff_frequency(0.99) is None
+
+    def test_cutoff_frequency_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            make_spectrum().energy_cutoff_frequency(0.0)
+        with pytest.raises(ValueError):
+            make_spectrum().energy_cutoff_frequency(1.5)
+
+    def test_cumulative_energy_monotone(self):
+        cumulative = make_spectrum().cumulative_energy()
+        assert np.all(np.diff(cumulative) >= 0)
+
+
+class TestSpectrumUtilities:
+    def test_dominant_frequency(self):
+        assert make_spectrum().dominant_frequency() == pytest.approx(1.0)
+        assert make_spectrum().dominant_frequency(include_dc=True) == pytest.approx(0.0)
+
+    def test_dominant_frequency_empty(self):
+        assert Spectrum(np.empty(0), np.empty(0), 1.0).dominant_frequency() is None
+
+    def test_band_selects_inclusive_range(self):
+        band = make_spectrum().band(1.0, 3.0)
+        np.testing.assert_allclose(band.frequencies, [1.0, 2.0, 3.0])
+
+    def test_band_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            make_spectrum().band(3.0, 1.0)
+
+    def test_normalized_sums_to_one(self):
+        normalized = make_spectrum().normalized()
+        assert normalized.total_energy() == pytest.approx(1.0)
+
+    def test_interpolate_power(self):
+        spectrum = Spectrum([0.0, 1.0, 2.0], [0.0, 2.0, 4.0], 10.0)
+        np.testing.assert_allclose(spectrum.interpolate_power([0.5, 1.5]), [1.0, 3.0])
+
+    def test_interpolate_power_empty(self):
+        spectrum = Spectrum(np.empty(0), np.empty(0), 10.0)
+        np.testing.assert_allclose(spectrum.interpolate_power([1.0, 2.0]), [0.0, 0.0])

@@ -1,0 +1,94 @@
+"""Unit tests for the fleet survey dataset (the 1613-pair stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset
+from repro.telemetry.metrics import METRIC_CATALOG
+
+
+class TestDatasetConfig:
+    def test_defaults_match_paper(self):
+        config = DatasetConfig()
+        assert config.pair_count == PAPER_PAIR_COUNT == 1613
+        assert config.trace_duration == 86400.0
+        assert len(config.metrics) == 14
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            DatasetConfig(pair_count=0)
+        with pytest.raises(ValueError):
+            DatasetConfig(trace_duration=-1.0)
+        with pytest.raises(ValueError):
+            DatasetConfig(metrics=("NotAMetric",))
+        with pytest.raises(ValueError):
+            DatasetConfig(broadband_fraction=2.0)
+        with pytest.raises(ValueError):
+            DatasetConfig(metrics=())
+
+
+class TestFleetDataset:
+    def test_pair_count_is_exact(self, small_dataset):
+        assert len(small_dataset) == 42
+
+    def test_paper_scale_pair_count(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=1613, seed=1))
+        assert len(dataset.pairs()) == 1613
+
+    def test_pairs_split_evenly_across_metrics(self, small_dataset):
+        counts = {}
+        for pair in small_dataset.pairs():
+            counts[pair.metric.name] = counts.get(pair.metric.name, 0) + 1
+        assert set(counts) == set(METRIC_CATALOG)
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_pairs_are_unique(self, small_dataset):
+        keys = [pair.key for pair in small_dataset.pairs()]
+        assert len(keys) == len(set(keys))
+
+    def test_pairs_cached(self, small_dataset):
+        assert small_dataset.pairs() is small_dataset.pairs()
+
+    def test_deterministic_across_instances(self):
+        a = FleetDataset(DatasetConfig(pair_count=28, seed=9))
+        b = FleetDataset(DatasetConfig(pair_count=28, seed=9))
+        assert [p.key for p in a.pairs()] == [p.key for p in b.pairs()]
+        pair_a, trace_a = next(a.traces())
+        pair_b, trace_b = next(b.traces())
+        assert pair_a.key == pair_b.key
+        np.testing.assert_allclose(trace_a.values, trace_b.values)
+
+    def test_different_seeds_differ(self):
+        a = FleetDataset(DatasetConfig(pair_count=28, seed=1))
+        b = FleetDataset(DatasetConfig(pair_count=28, seed=2))
+        values_a = next(a.traces())[1].values
+        values_b = next(b.traces())[1].values
+        assert not np.allclose(values_a, values_b)
+
+    def test_load_uses_production_interval_by_default(self, small_dataset):
+        pair = small_dataset.pairs()[0]
+        trace = small_dataset.load(pair)
+        assert trace.interval == pair.metric.poll_interval
+
+    def test_load_with_custom_interval(self, small_dataset):
+        pair = small_dataset.pairs()[0]
+        trace = small_dataset.load(pair, interval=pair.metric.poll_interval / 2.0)
+        assert trace.interval == pair.metric.poll_interval / 2.0
+
+    def test_traces_filter_by_metric(self, small_dataset):
+        traces = list(small_dataset.traces("Temperature"))
+        assert traces
+        assert all(pair.metric.name == "Temperature" for pair, _ in traces)
+
+    def test_traces_limit(self, small_dataset):
+        assert len(list(small_dataset.traces(limit=5))) == 5
+
+    def test_broadband_fraction_roughly_respected(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=280, seed=3, broadband_fraction=0.11))
+        fraction = np.mean([pair.parameters.broadband for pair in dataset.pairs()])
+        assert 0.03 <= fraction <= 0.25
+
+    def test_metric_names(self, small_dataset):
+        assert small_dataset.metric_names() == list(METRIC_CATALOG)

@@ -1,0 +1,82 @@
+"""Unit tests for irregular-sampling artefact injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.resampling import regularize
+from repro.signals.generators import sine
+from repro.telemetry.irregular import (add_timing_jitter, drop_samples, duplicate_samples,
+                                       make_irregular)
+
+
+@pytest.fixture
+def clean_trace():
+    # Slow (8-minute period) signal polled every 10 s: consecutive samples
+    # differ little, so nearest-neighbour gap filling stays accurate.
+    return sine(0.002, duration=3600.0, sampling_rate=0.1, amplitude=5.0, offset=20.0)
+
+
+class TestJitter:
+    def test_preserves_length_and_order(self, clean_trace, rng):
+        jittered = add_timing_jitter(clean_trace, 1.0, rng=rng)
+        assert len(jittered) == len(clean_trace)
+        assert np.all(np.diff(jittered.timestamps) > 0)
+
+    def test_zero_jitter_keeps_timestamps(self, clean_trace, rng):
+        jittered = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        np.testing.assert_allclose(jittered.timestamps, clean_trace.times())
+
+    def test_rejects_negative_jitter(self, clean_trace, rng):
+        with pytest.raises(ValueError):
+            add_timing_jitter(clean_trace, -1.0, rng=rng)
+
+
+class TestDropAndDuplicate:
+    def test_drop_fraction(self, clean_trace, rng):
+        irregular = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        dropped = drop_samples(irregular, 0.3, rng=rng)
+        assert len(dropped) < len(irregular)
+        assert dropped.timestamps[0] == irregular.timestamps[0]
+        assert dropped.timestamps[-1] == irregular.timestamps[-1]
+
+    def test_drop_zero_is_identity(self, clean_trace, rng):
+        irregular = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        assert drop_samples(irregular, 0.0, rng=rng) is irregular
+
+    def test_drop_rejects_bad_fraction(self, clean_trace, rng):
+        irregular = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        with pytest.raises(ValueError):
+            drop_samples(irregular, 1.0, rng=rng)
+
+    def test_duplicate_adds_samples(self, clean_trace, rng):
+        irregular = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        duplicated = duplicate_samples(irregular, 0.2, rng=rng)
+        assert len(duplicated) > len(irregular)
+
+    def test_duplicate_rejects_bad_fraction(self, clean_trace, rng):
+        irregular = add_timing_jitter(clean_trace, 0.0, rng=rng)
+        with pytest.raises(ValueError):
+            duplicate_samples(irregular, -0.1, rng=rng)
+
+
+class TestEndToEndCleaning:
+    def test_make_irregular_then_regularize_recovers_signal(self, clean_trace, rng):
+        messy = make_irregular(clean_trace, drop_fraction=0.05, duplicate_fraction=0.02, rng=rng)
+        assert not messy.is_regular()
+        recovered = regularize(messy)
+        # Nearest-neighbour cleaning recovers the slow signal to within a
+        # small fraction of its amplitude.
+        n = min(len(recovered), len(clean_trace))
+        error = np.max(np.abs(recovered.values[:n] - clean_trace.values[:n]))
+        assert error < 1.5
+
+    def test_nyquist_estimate_robust_to_polling_artifacts(self, clean_trace, rng):
+        from repro.core.nyquist import estimate_nyquist_rate
+        messy = make_irregular(clean_trace, rng=rng)
+        clean_estimate = estimate_nyquist_rate(clean_trace)
+        messy_estimate = estimate_nyquist_rate(messy)
+        assert messy_estimate.reliable
+        assert messy_estimate.nyquist_rate == pytest.approx(clean_estimate.nyquist_rate,
+                                                            rel=0.5)

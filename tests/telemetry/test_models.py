@@ -1,0 +1,136 @@
+"""Unit tests for the per-family telemetry generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.nyquist import estimate_nyquist_rate
+from repro.telemetry.metrics import METRIC_CATALOG, MetricFamily
+from repro.telemetry.models import generate_trace
+from repro.telemetry.models.common import (band_limited_component, broadband_component,
+                                           diurnal_component, time_grid)
+from repro.telemetry.models.errorcounts import episode_time_constant
+from repro.telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameters
+
+
+def params_for(metric_name, seed=0, broadband=False, bandwidth=None, duration=86400.0):
+    spec = METRIC_CATALOG[metric_name]
+    device = DeviceProfile(f"dev-{seed}", DeviceRole.TOR_SWITCH, seed=seed)
+    params = draw_metric_parameters(spec, device, duration,
+                                    broadband_fraction=1.0 if broadband else 0.0,
+                                    rng=np.random.default_rng(seed))
+    if bandwidth is not None:
+        params = type(params)(bandwidth_hz=bandwidth, level=params.level,
+                              amplitude=params.amplitude, noise_std=params.noise_std,
+                              broadband=params.broadband,
+                              burst_rate_per_day=params.burst_rate_per_day, seed=params.seed)
+    return spec, params
+
+
+class TestCommonHelpers:
+    def test_time_grid_length(self):
+        assert time_grid(100.0, 10.0).shape[0] == 10
+
+    def test_time_grid_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            time_grid(0.0, 1.0)
+
+    def test_band_limited_component_stays_in_band(self, rng):
+        values = band_limited_component(2048, 1.0, 0.05, 1.0, rng)
+        from repro.core.psd import periodogram
+        from repro.signals.timeseries import TimeSeries
+        spectrum = periodogram(TimeSeries(values, 1.0))
+        assert spectrum.energy_fraction_below(0.06) > 0.99
+
+    def test_band_limited_component_peak_amplitude(self, rng):
+        values = band_limited_component(1024, 1.0, 0.1, 2.5, rng)
+        assert np.max(np.abs(values)) == pytest.approx(2.5, rel=1e-6)
+
+    def test_band_limited_component_with_tiny_band_still_varies(self, rng):
+        # Bandwidth below one cycle per trace: at least one bin populated.
+        values = band_limited_component(256, 1.0, 1e-9, 1.0, rng)
+        assert np.ptp(values) > 0
+
+    def test_broadband_component_zero_amplitude(self, rng):
+        assert np.all(broadband_component(64, 0.0, rng) == 0.0)
+
+    def test_diurnal_component_period(self):
+        times = np.arange(0, 2 * 86400.0, 600.0)
+        values = diurnal_component(times, 5.0)
+        assert np.max(values) <= 5.0 * 1.25 + 1e-9
+        assert values[0] == pytest.approx(values[len(values) // 2], abs=1e-9)
+
+    def test_episode_time_constant(self):
+        assert episode_time_constant(1.0 / (2 * np.pi)) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            episode_time_constant(0.0)
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("metric_name", list(METRIC_CATALOG))
+    def test_every_metric_generates_valid_trace(self, metric_name):
+        spec, params = params_for(metric_name, seed=11)
+        trace = generate_trace(spec, params, duration=21600.0, rng=np.random.default_rng(11))
+        assert len(trace) == int(21600.0 / spec.poll_interval)
+        assert np.all(np.isfinite(trace.values))
+        if spec.minimum is not None:
+            assert trace.min() >= spec.minimum - 1e-9
+        if spec.maximum is not None:
+            assert trace.max() <= spec.maximum + 1e-9
+
+    @pytest.mark.parametrize("metric_name", list(METRIC_CATALOG))
+    def test_values_are_quantized(self, metric_name):
+        spec, params = params_for(metric_name, seed=13)
+        trace = generate_trace(spec, params, duration=21600.0, rng=np.random.default_rng(13))
+        steps = trace.values / spec.quantization_step
+        np.testing.assert_allclose(steps, np.round(steps), atol=1e-6)
+
+    def test_generation_is_deterministic(self):
+        spec, params = params_for("Link util", seed=17)
+        a = generate_trace(spec, params, 21600.0, rng=np.random.default_rng(params.seed))
+        b = generate_trace(spec, params, 21600.0, rng=np.random.default_rng(params.seed))
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_custom_interval(self):
+        spec, params = params_for("Temperature", seed=19)
+        fast = generate_trace(spec, params, 21600.0, interval=60.0,
+                              rng=np.random.default_rng(19))
+        assert fast.interval == 60.0
+        assert len(fast) == 360
+
+    def test_slow_device_is_heavily_oversampled(self):
+        spec, params = params_for("Link util", seed=23, bandwidth=3e-5)
+        trace = generate_trace(spec, params, 86400.0, rng=np.random.default_rng(23))
+        estimate = estimate_nyquist_rate(trace)
+        assert estimate.reliable
+        assert estimate.reduction_ratio > 30
+
+    def test_fast_device_has_higher_estimate_than_slow(self):
+        spec, slow_params = params_for("Link util", seed=29, bandwidth=5e-5)
+        _, fast_params = params_for("Link util", seed=29, bandwidth=5e-3)
+        slow_trace = generate_trace(spec, slow_params, 86400.0,
+                                    rng=np.random.default_rng(29))
+        fast_trace = generate_trace(spec, fast_params, 86400.0,
+                                    rng=np.random.default_rng(29))
+        slow_estimate = estimate_nyquist_rate(slow_trace)
+        fast_estimate = estimate_nyquist_rate(fast_trace)
+        assert fast_estimate.nyquist_rate > slow_estimate.nyquist_rate * 5
+
+    def test_broadband_trace_has_little_headroom(self):
+        spec, params = params_for("Temperature", seed=31, broadband=True)
+        trace = generate_trace(spec, params, 86400.0, rng=np.random.default_rng(31))
+        estimate = estimate_nyquist_rate(trace)
+        assert (not estimate.reliable) or estimate.reduction_ratio < 2.0
+
+    def test_error_counters_are_non_negative(self):
+        for seed in range(5):
+            spec, params = params_for("FCS errors", seed=seed)
+            trace = generate_trace(spec, params, 43200.0, rng=np.random.default_rng(seed))
+            assert trace.min() >= 0.0
+
+    def test_device_name_in_trace_name(self):
+        spec, params = params_for("Temperature", seed=37)
+        trace = generate_trace(spec, params, 21600.0, rng=np.random.default_rng(37),
+                               device_name="tor-0001")
+        assert "tor-0001" in trace.name

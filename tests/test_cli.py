@@ -1,0 +1,66 @@
+"""Tests for the repro-monitor command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_survey_defaults(self):
+        args = build_parser().parse_args(["survey"])
+        assert args.command == "survey"
+        assert args.pairs == 280
+
+    def test_adaptive_metric_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["adaptive", "--metric", "NotAMetric"])
+
+
+class TestSurveyCommand:
+    def test_survey_runs_and_writes_csvs(self, tmp_path, capsys):
+        exit_code = main(["survey", "--pairs", "28", "--seed", "3",
+                          "--csv-dir", str(tmp_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "Headline statistics" in output
+        assert (tmp_path / "figure1_oversampled_fraction.csv").exists()
+        assert (tmp_path / "figure4_reduction_ratios.csv").exists()
+        assert (tmp_path / "figure5_nyquist_rates.csv").exists()
+
+
+class TestAdaptiveCommand:
+    def test_adaptive_runs(self, capsys):
+        exit_code = main(["adaptive", "--metric", "Temperature", "--days", "1",
+                          "--window-hours", "6", "--seed", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Adaptive controller collected" in output
+        assert "Nyquist round trip" in output
+
+
+class TestEstimateCommand:
+    def test_estimate_from_csv(self, tmp_path, capsys):
+        # A 0.01 Hz tone sampled every 5 s for an hour.
+        times = np.arange(0, 3600.0, 5.0)
+        values = 10.0 + 3.0 * np.sin(2 * np.pi * 0.01 * times)
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,value\n" +
+                        "\n".join(f"{t},{v}" for t, v in zip(times, values)))
+        exit_code = main(["estimate", str(path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "nyquist rate" in output
+        assert "reduction ratio" in output
+
+    def test_estimate_rejects_tiny_file(self, tmp_path, capsys):
+        path = tmp_path / "tiny.csv"
+        path.write_text("timestamp,value\n0,1\n")
+        assert main(["estimate", str(path)]) == 1
