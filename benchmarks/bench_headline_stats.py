@@ -37,6 +37,11 @@ def test_headline_statistics(benchmark, survey_dataset, output_dir):
     assert headline["metrics"] == 14
     assert 0.75 <= headline["oversampled_fraction"] <= 0.97          # paper: 0.89
     assert 0.03 <= headline["undersampled_or_suspect_fraction"] <= 0.25  # paper: 0.11
+    # The needs-inspection population splits into at-the-band-edge marginal
+    # pairs and outright-refused estimates; together they are the legacy key.
+    assert abs(headline["undersampled_or_suspect_fraction"]
+               - headline["marginal_fraction"]
+               - headline["aliased_suspect_fraction"]) < 1e-12
     assert headline["reducible_10x_fraction"] > 0.5
     assert headline["reducible_100x_fraction"] > 0.2
     assert headline["reducible_1000x_fraction"] > 0.03               # paper: 0.20 (see EXPERIMENTS.md)

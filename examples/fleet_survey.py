@@ -21,10 +21,12 @@ def main() -> None:
     parser.add_argument("--pairs", type=int, default=280,
                         help="number of metric-device pairs (paper: 1613)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--backend", choices=["batched", "scalar"], default="batched",
+                        help="spectral engine (batched = vectorised fleet-scale path)")
     args = parser.parse_args()
 
     dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
-    survey = run_survey(dataset)
+    survey = run_survey(dataset, backend=args.backend)
 
     print(f"Surveyed {len(survey)} metric-device pairs across {len(survey.metrics())} metrics\n")
 

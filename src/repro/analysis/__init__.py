@@ -2,10 +2,10 @@
 
 from .reporting import (BoxStats, ascii_bar_chart, ascii_cdf, box_stats, cdf_at,
                         empirical_cdf, format_table, write_csv)
-from .survey import PairCategory, PairRecord, SurveyResult, run_survey
+from .survey import PairCategory, PairRecord, SurveyBackend, SurveyResult, run_survey
 
 __all__ = [
-    "run_survey", "SurveyResult", "PairRecord", "PairCategory",
+    "run_survey", "SurveyResult", "PairRecord", "PairCategory", "SurveyBackend",
     "empirical_cdf", "cdf_at", "BoxStats", "box_stats",
     "format_table", "ascii_bar_chart", "ascii_cdf", "write_csv",
 ]

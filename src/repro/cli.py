@@ -35,6 +35,13 @@ from .telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameter
 __all__ = ["main", "build_parser"]
 
 
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro-monitor`` CLI."""
     parser = argparse.ArgumentParser(
@@ -49,6 +56,11 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--seed", type=int, default=7, help="dataset seed")
     survey.add_argument("--energy-fraction", type=float, default=0.99,
                         help="energy cut-off for the Nyquist estimator")
+    survey.add_argument("--backend", choices=["batched", "scalar"], default="batched",
+                        help="spectral engine: 'batched' vectorises whole trace groups "
+                             "(default), 'scalar' runs the per-trace reference path")
+    survey.add_argument("--limit-per-metric", type=_non_negative_int, default=None,
+                        help="cap the number of (metric, device) pairs analysed per metric")
     survey.add_argument("--csv-dir", type=Path, default=None,
                         help="directory to write figure CSVs into")
 
@@ -72,7 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_survey(args: argparse.Namespace) -> int:
     dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
     estimator = NyquistEstimator(energy_fraction=args.energy_fraction)
-    result = run_survey(dataset, estimator=estimator)
+    result = run_survey(dataset, estimator=estimator, backend=args.backend,
+                        limit_per_metric=args.limit_per_metric)
 
     print(f"Surveyed {len(result)} metric-device pairs "
           f"({len(result.metrics())} metrics)\n")
@@ -147,13 +160,27 @@ def _command_adaptive(args: argparse.Namespace) -> int:
 def _command_estimate(args: argparse.Namespace) -> int:
     timestamps = []
     values = []
-    with args.path.open() as handle:
+    try:
+        handle = args.path.open()
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    with handle:
         reader = csv.reader(handle)
-        for row in reader:
+        for line_number, row in enumerate(reader, start=1):
             if not row or row[0].strip().lower() in ("timestamp", "time", "t"):
                 continue
-            timestamps.append(float(row[0]))
-            values.append(float(row[1]))
+            if len(row) < 2:
+                print(f"error: {args.path}, line {line_number}: expected two columns "
+                      f"(timestamp,value), got {len(row)}", file=sys.stderr)
+                return 1
+            try:
+                timestamps.append(float(row[0]))
+                values.append(float(row[1]))
+            except ValueError:
+                print(f"error: {args.path}, line {line_number}: could not parse "
+                      f"{row[:2]!r} as numeric timestamp,value", file=sys.stderr)
+                return 1
     if len(values) < 2:
         print("need at least two samples", file=sys.stderr)
         return 1

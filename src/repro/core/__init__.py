@@ -1,7 +1,9 @@
 """Core algorithms: the paper's primary contribution.
 
-* :mod:`repro.core.psd` -- spectral estimation.
+* :mod:`repro.core.psd` -- spectral estimation (scalar and batched).
 * :mod:`repro.core.nyquist` -- the Section 3.2 Nyquist-rate estimator.
+* :mod:`repro.core.batch` -- the batched spectral engine: the same
+  estimator over a ``(rows, n)`` trace matrix with vectorised numpy calls.
 * :mod:`repro.core.aliasing` -- dual-frequency aliasing detection (Section 4.1).
 * :mod:`repro.core.adaptive` -- the dynamic sampling controller (Section 4.2).
 * :mod:`repro.core.reconstruction` -- low-pass reconstruction (Section 4.3).
@@ -14,6 +16,7 @@
 
 from .adaptive import (AdaptiveRun, AdaptiveSamplingController, ControllerConfig,
                        ControllerMode, WindowDecision, adaptive_sample)
+from .batch import batch_estimate
 from .aliasing import (AliasingVerdict, DualRateAliasingDetector, compare_spectra,
                        detect_aliasing)
 from .errors import ReconstructionError, compare, l2_distance, max_abs_error, nrmse, rmse
@@ -24,7 +27,7 @@ from .multivariate import (MultivariateEstimate, correlation_matrix,
                            joint_sampling_rate)
 from .nyquist import (ALIASED_SENTINEL, NyquistEstimate, NyquistEstimator,
                       estimate_nyquist_rate, oversampling_ratio)
-from .psd import periodogram, power_spectrum, welch_psd
+from .psd import batch_periodogram, batch_welch_psd, periodogram, power_spectrum, welch_psd
 from .quantization import UniformQuantizer, quantization_noise_std, quantize, sqnr_db
 from .reconstruction import RoundTripResult, nyquist_round_trip, reconstruct, upsample_to_length
 from .resampling import (downsample, fourier_resample, linear_resample,
@@ -36,8 +39,9 @@ __all__ = [
     # nyquist
     "ALIASED_SENTINEL", "NyquistEstimate", "NyquistEstimator",
     "estimate_nyquist_rate", "oversampling_ratio",
-    # psd
+    # psd / batch
     "periodogram", "welch_psd", "power_spectrum",
+    "batch_periodogram", "batch_welch_psd", "batch_estimate",
     # aliasing
     "AliasingVerdict", "DualRateAliasingDetector", "detect_aliasing", "compare_spectra",
     # adaptive

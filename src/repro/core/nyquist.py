@@ -12,6 +12,13 @@ The estimator:
 
 The 99 % cut-off is a noise/quantisation workaround; it is configurable and
 ablated in ``benchmarks/bench_ablation_energy_cutoff.py``.
+
+Two execution paths share these semantics: :meth:`NyquistEstimator.estimate`
+processes one trace at a time (the reference implementation), and
+:meth:`NyquistEstimator.estimate_batch` delegates to
+:mod:`repro.core.batch` to run the same steps over a whole ``(rows, n)``
+matrix of equal-length traces with single vectorised numpy calls -- the
+backend the fleet survey uses by default.
 """
 
 from __future__ import annotations
@@ -221,6 +228,21 @@ class NyquistEstimator:
 
         spectrum = self.compute_spectrum(series)
         return self.estimate_from_spectrum(spectrum, current_rate=series.sampling_rate)
+
+    def estimate_batch(self, values: np.ndarray, interval: float) -> list[NyquistEstimate]:
+        """Run the estimator over every row of a ``(rows, n)`` trace matrix.
+
+        All rows must share one length and one sampling ``interval``
+        (group heterogeneous fleets with
+        :meth:`repro.telemetry.dataset.FleetDataset.trace_batches`).
+        Produces the same estimates as calling :meth:`estimate` on each
+        row individually, but computes the PSDs with a single
+        ``rfft(axis=-1)`` call and the energy cut-offs with one batched
+        ``cumsum``/``argmax`` -- see :mod:`repro.core.batch`.
+        """
+        from .batch import batch_estimate  # local import: batch builds on this module
+
+        return batch_estimate(values, interval, estimator=self)
 
     def estimate_from_spectrum(self, spectrum: Spectrum,
                                current_rate: float | None = None) -> NyquistEstimate:

@@ -1,13 +1,14 @@
 """Time-series substrate: containers, generators, noise models and filters."""
 
 from .timeseries import TimeSeries, IrregularTimeSeries
-from .spectrum import Spectrum
+from .spectrum import Spectrum, SpectrumBatch
 from . import generators, noise, filters
 
 __all__ = [
     "TimeSeries",
     "IrregularTimeSeries",
     "Spectrum",
+    "SpectrumBatch",
     "generators",
     "noise",
     "filters",

@@ -6,17 +6,23 @@ aliasing detector.  It is a thin, immutable wrapper around two arrays
 (bin frequencies and per-bin power) plus the sampling rate that produced
 them, with the energy-accounting helpers the paper's Section 3.2 method
 needs.
+
+:class:`SpectrumBatch` is the fleet-scale counterpart: one shared
+frequency grid and a 2-D power matrix holding the PSDs of many
+equal-length traces at once.  It is produced by the batched estimators in
+:mod:`repro.core.psd` (``batch_periodogram`` / ``batch_welch_psd``) and
+consumed by the batched Nyquist engine in :mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 
 import numpy as np
 
-__all__ = ["Spectrum"]
+__all__ = ["Spectrum", "SpectrumBatch"]
 
 
 @dataclass(frozen=True)
@@ -157,3 +163,98 @@ class Spectrum:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Spectrum(bins={len(self)}, fs={self.sampling_rate:g}Hz, "
                 f"fmax={self.max_frequency:g}Hz)")
+
+
+@dataclass(frozen=True)
+class SpectrumBatch:
+    """One-sided PSDs of a batch of equal-length real signals.
+
+    All rows share one sampling rate and therefore one frequency grid, so
+    the batch is stored as a single ``(rows, bins)`` power matrix instead
+    of ``rows`` separate :class:`Spectrum` objects.  This is the layout the
+    batched Nyquist engine (:mod:`repro.core.batch`) reduces over with
+    single vectorised ``cumsum``/``argmax`` calls.
+
+    Parameters
+    ----------
+    frequencies:
+        Bin centre frequencies in Hz, ascending, shared by every row.
+    power:
+        ``(rows, bins)`` matrix of per-bin power, one row per trace.
+    sampling_rate:
+        The common sampling rate of the time-domain signals.
+    """
+
+    frequencies: np.ndarray
+    power: np.ndarray
+    sampling_rate: float
+
+    def __post_init__(self) -> None:
+        freqs = np.asarray(self.frequencies, dtype=np.float64)
+        power = np.asarray(self.power, dtype=np.float64)
+        if freqs.ndim != 1:
+            raise ValueError("frequencies must be one-dimensional")
+        if power.ndim != 2:
+            raise ValueError("power must be two-dimensional (rows, bins)")
+        if power.shape[1] != freqs.shape[0]:
+            raise ValueError("power must have one column per frequency bin")
+        if freqs.size and np.any(np.diff(freqs) < 0):
+            raise ValueError("frequencies must be ascending")
+        if np.any(power < -1e-12):
+            raise ValueError("power must be non-negative")
+        if not math.isfinite(self.sampling_rate) or self.sampling_rate <= 0:
+            raise ValueError("sampling_rate must be positive and finite")
+        object.__setattr__(self, "frequencies", freqs)
+        object.__setattr__(self, "power", np.maximum(power, 0.0))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of traces (rows) in the batch."""
+        return int(self.power.shape[0])
+
+    @property
+    def bins(self) -> int:
+        """Number of frequency bins per row."""
+        return int(self.frequencies.shape[0])
+
+    @property
+    def max_frequency(self) -> float:
+        """The Nyquist frequency of the *measurement*, ``sampling_rate / 2``."""
+        return self.sampling_rate / 2.0
+
+    @property
+    def resolution(self) -> float:
+        """Frequency spacing between adjacent bins."""
+        if self.bins < 2:
+            return self.max_frequency
+        return float(self.frequencies[1] - self.frequencies[0])
+
+    def row(self, index: int) -> Spectrum:
+        """The PSD of one trace as a scalar :class:`Spectrum`."""
+        return Spectrum(self.frequencies, self.power[index], self.sampling_rate)
+
+    def __iter__(self) -> Iterator[Spectrum]:
+        for index in range(len(self)):
+            yield self.row(index)
+
+    def without_dc(self) -> "SpectrumBatch":
+        """Return a copy with the DC bin column removed (if present)."""
+        if self.bins and self.frequencies[0] == 0.0:
+            return SpectrumBatch(self.frequencies[1:], self.power[:, 1:], self.sampling_rate)
+        return self
+
+    def total_energy(self, include_dc: bool = False) -> np.ndarray:
+        """Per-row sum of bin power (the paper's "total energy"), shape ``(rows,)``."""
+        batch = self if include_dc else self.without_dc()
+        if batch.bins == 0:
+            return np.zeros(len(self))
+        return np.sum(batch.power, axis=-1)
+
+    def cumulative_energy(self, include_dc: bool = False) -> np.ndarray:
+        """Per-row cumulative energy in ascending frequency order, shape ``(rows, bins)``."""
+        batch = self if include_dc else self.without_dc()
+        return np.cumsum(batch.power, axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SpectrumBatch(rows={len(self)}, bins={self.bins}, "
+                f"fs={self.sampling_rate:g}Hz)")

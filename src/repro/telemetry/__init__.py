@@ -1,6 +1,6 @@
 """Synthetic production telemetry: the substitute for the paper's proprietary traces."""
 
-from .dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset, TracePair
+from .dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset, TraceBatch, TracePair
 from .fleet import DEFAULT_ROLE_MIX, build_fleet, devices_by_role
 from .irregular import add_timing_jitter, drop_samples, duplicate_samples, make_irregular
 from .metrics import (FIGURE4_METRICS, FIGURE5_ORDER, METRIC_CATALOG, MetricFamily,
@@ -9,7 +9,7 @@ from .models import generate_trace
 from .profiles import DeviceProfile, DeviceRole, MetricParameters, draw_metric_parameters
 
 __all__ = [
-    "DatasetConfig", "FleetDataset", "TracePair", "PAPER_PAIR_COUNT",
+    "DatasetConfig", "FleetDataset", "TracePair", "TraceBatch", "PAPER_PAIR_COUNT",
     "build_fleet", "devices_by_role", "DEFAULT_ROLE_MIX",
     "METRIC_CATALOG", "MetricSpec", "MetricFamily", "metric_names", "get_metric",
     "FIGURE4_METRICS", "FIGURE5_ORDER",

@@ -8,7 +8,11 @@ generative parameters (including the ~11 % broadband pairs), and produces
 one day's worth of data per pair at the metric's production polling rate.
 
 Traces are generated lazily so iterating the full survey stays cheap in
-memory; everything is deterministic in the dataset seed.
+memory; everything is deterministic in the dataset seed.  For the batched
+spectral engine, :meth:`FleetDataset.trace_batches` groups traces that
+share a (length, interval) shape into bounded-size :class:`TraceBatch`
+matrices, so fleet-scale surveys can be analysed one ``rfft`` call per
+chunk while memory stays bounded by ``chunk_size`` rows.
 """
 
 from __future__ import annotations
@@ -24,7 +28,7 @@ from .metrics import METRIC_CATALOG, MetricSpec
 from .models import generate_trace
 from .profiles import DeviceProfile, MetricParameters, draw_metric_parameters
 
-__all__ = ["DatasetConfig", "TracePair", "FleetDataset", "PAPER_PAIR_COUNT"]
+__all__ = ["DatasetConfig", "TracePair", "TraceBatch", "FleetDataset", "PAPER_PAIR_COUNT"]
 
 #: Number of (metric, device) pairs in the paper's survey.
 PAPER_PAIR_COUNT: int = 1613
@@ -83,6 +87,32 @@ class TracePair:
     @property
     def key(self) -> tuple[str, str]:
         return (self.metric.name, self.device.device_id)
+
+
+@dataclass(frozen=True)
+class TraceBatch:
+    """A group of equal-shape traces laid out as one matrix.
+
+    Attributes
+    ----------
+    pairs:
+        The (metric, device) pairs behind each row, in row order.
+    values:
+        ``(len(pairs), n)`` matrix; row ``i`` is the trace of ``pairs[i]``.
+    interval:
+        The common sampling interval of every row, in seconds.
+    """
+
+    pairs: tuple[TracePair, ...]
+    values: np.ndarray
+    interval: float
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def sampling_rate(self) -> float:
+        return 1.0 / self.interval
 
 
 @dataclass
@@ -159,6 +189,42 @@ class FleetDataset:
             selected = selected[:limit]
         for pair in selected:
             yield pair, self.load(pair)
+
+    def trace_batches(self, metric_name: str | None = None,
+                      limit: int | None = None,
+                      chunk_size: int = 1024) -> Iterator[TraceBatch]:
+        """Iterate the survey as equal-shape :class:`TraceBatch` matrices.
+
+        Consecutive traces that share a (length, interval) shape are
+        stacked into one ``(rows, n)`` matrix, flushed whenever the shape
+        changes or ``chunk_size`` rows are buffered.  This is the feed for
+        the batched spectral engine: memory stays bounded at
+        ``chunk_size`` traces regardless of fleet size, and concatenating
+        the batches' pairs reproduces :meth:`traces` order exactly (within
+        one metric every trace shares a shape, so per-metric iteration
+        yields contiguous chunks).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        buffered_pairs: list[TracePair] = []
+        buffered_values: list[np.ndarray] = []
+        key: tuple[int, float] | None = None
+
+        def flush() -> Iterator[TraceBatch]:
+            if buffered_pairs:
+                assert key is not None
+                yield TraceBatch(tuple(buffered_pairs), np.vstack(buffered_values), key[1])
+                buffered_pairs.clear()
+                buffered_values.clear()
+
+        for pair, trace in self.traces(metric_name, limit=limit):
+            trace_key = (len(trace), trace.interval)
+            if key is not None and (trace_key != key or len(buffered_pairs) >= chunk_size):
+                yield from flush()
+            key = trace_key
+            buffered_pairs.append(pair)
+            buffered_values.append(trace.values)
+        yield from flush()
 
     def metric_names(self) -> list[str]:
         """Metrics included in this dataset."""

@@ -48,7 +48,24 @@ class TestAggregations:
     def test_most_pairs_oversampled(self, survey):
         headline = survey.headline()
         assert headline["oversampled_fraction"] > 0.7
-        assert headline["oversampled_fraction"] + headline["undersampled_or_suspect_fraction"] == pytest.approx(1.0)
+        # The three categories partition the survey.
+        assert headline["oversampled_fraction"] + headline["marginal_fraction"] + \
+            headline["aliased_suspect_fraction"] == pytest.approx(1.0)
+
+    def test_headline_separates_marginal_from_aliased(self, survey):
+        """Regression: marginal (reliable) pairs used to be folded into the
+        suspect fraction, overstating the paper's ~11 % needs-inspection claim."""
+        headline = survey.headline()
+        marginal = sum(r.category is PairCategory.MARGINAL for r in survey.records)
+        suspect = sum(r.category is PairCategory.ALIASED_SUSPECT for r in survey.records)
+        assert headline["marginal_fraction"] == pytest.approx(marginal / len(survey))
+        assert headline["aliased_suspect_fraction"] == pytest.approx(suspect / len(survey))
+        # The legacy key remains the (conflated) aggregate of the two.
+        assert headline["undersampled_or_suspect_fraction"] == \
+            pytest.approx(headline["marginal_fraction"] + headline["aliased_suspect_fraction"])
+        # The suspect bucket contains no reliable pairs.
+        assert all(not r.reliable for r in survey.records
+                   if r.category is PairCategory.ALIASED_SUSPECT)
 
     def test_figure1_fractions_in_unit_interval(self, survey):
         fractions = survey.oversampled_fraction_by_metric()
@@ -60,6 +77,24 @@ class TestAggregations:
         ratios = survey.reduction_ratios()
         assert np.all(np.isfinite(ratios))
         assert np.all(ratios > 0)
+        assert len(ratios) == sum(r.reliable for r in survey.records)
+
+    def test_figure4_include_unreliable_represents_every_pair(self):
+        """Regression: include_unreliable used to be a dead flag (unreliable
+        pairs have nan ratios, which the nan-filter then removed)."""
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5, broadband_fraction=0.5))
+        # A sub-1.0 aliased-band threshold makes the planted broadband pairs
+        # (whose energy reaches essentially the band edge) actually refuse.
+        result = run_survey(dataset, estimator=NyquistEstimator(aliased_band_fraction=0.9))
+        unreliable = sum(not r.reliable for r in result.records)
+        assert unreliable > 0  # half of the pairs are planted broadband
+        ratios_all = result.reduction_ratios(include_unreliable=True)
+        ratios_reliable = result.reduction_ratios(include_unreliable=False)
+        assert len(ratios_all) == len(result.records)
+        assert len(ratios_all) - len(ratios_reliable) == unreliable
+        # Unreliable pairs enter at the conservative "no reduction" ratio.
+        assert np.all(np.isfinite(ratios_all))
+        assert (ratios_all == 1.0).sum() >= unreliable
 
     def test_figure4_per_metric_filter(self, survey):
         all_ratios = survey.reduction_ratios()
@@ -99,6 +134,32 @@ class TestAggregations:
                 assert not record.reliable
             if record.category is PairCategory.OVERSAMPLED:
                 assert record.reduction_ratio > survey.oversample_threshold
+
+    def test_backend_equivalence(self):
+        """The batched engine must reproduce the scalar reference exactly."""
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5))
+        scalar = run_survey(dataset, backend="scalar")
+        batched = run_survey(dataset, backend="batched")
+        assert len(scalar.records) == len(batched.records)
+        for a, b in zip(scalar.records, batched.records):
+            assert (a.metric_name, a.device_id) == (b.metric_name, b.device_id)
+            assert a.category is b.category
+            assert a.reliable == b.reliable
+            assert np.isclose(a.nyquist_rate, b.nyquist_rate)
+            if a.reliable:
+                assert np.isclose(a.reduction_ratio, b.reduction_ratio)
+
+    def test_batched_chunking_preserves_records(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=56, seed=5))
+        whole = run_survey(dataset, backend="batched", chunk_size=1024)
+        chunked = run_survey(dataset, backend="batched", chunk_size=3)
+        assert [(r.metric_name, r.device_id, r.nyquist_rate) for r in whole.records] == \
+            [(r.metric_name, r.device_id, r.nyquist_rate) for r in chunked.records]
+
+    def test_rejects_unknown_backend(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=14, seed=5))
+        with pytest.raises(ValueError, match="backend"):
+            run_survey(dataset, backend="gpu")  # type: ignore[arg-type]
 
     def test_custom_estimator_is_used(self):
         dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))

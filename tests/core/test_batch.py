@@ -1,0 +1,178 @@
+"""Equivalence tests for the batched spectral engine (repro.core.batch).
+
+The batched engine is an optimisation, not a new estimator: for every
+configuration and every trace shape, its estimates must match what the
+scalar reference path (:meth:`NyquistEstimator.estimate`) produces row by
+row.  These tests sweep windows, PSD methods, odd/even lengths, detrend,
+DC handling, energy fractions and degenerate traces (constant, all-zero,
+broadband) and assert rate equality plus identical reliability flags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_estimate
+from repro.core.nyquist import NyquistEstimate, NyquistEstimator
+from repro.core.psd import batch_periodogram, batch_welch_psd, periodogram, welch_psd
+from repro.signals.spectrum import SpectrumBatch
+from repro.signals.timeseries import TimeSeries
+
+
+def make_matrix(n: int, rows: int = 8, seed: int = 0) -> np.ndarray:
+    """Mixed bag of traces: random walks, a constant, white noise, zeros, a tone."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(rows, n)).cumsum(axis=1)
+    matrix[1] = 42.5                                        # constant trace
+    matrix[2] = rng.normal(size=n)                          # broadband (aliased suspect)
+    matrix[3] = 0.0                                         # all zeros
+    matrix[4] = np.sin(2 * np.pi * 3.0 * np.arange(n) / n)  # clean slow tone
+    return matrix
+
+
+def assert_equivalent(scalar: NyquistEstimate, batched: NyquistEstimate) -> None:
+    assert scalar.reliable == batched.reliable
+    assert scalar.reason == batched.reason
+    assert scalar.is_aliased_suspect == batched.is_aliased_suspect
+    assert np.isclose(scalar.nyquist_rate, batched.nyquist_rate)
+    assert np.isclose(scalar.current_rate, batched.current_rate)
+    assert np.isclose(scalar.captured_fraction, batched.captured_fraction)
+    assert np.isclose(scalar.total_energy, batched.total_energy)
+    if scalar.reliable:
+        assert np.isclose(scalar.reduction_ratio, batched.reduction_ratio)
+
+
+class TestBatchedPsd:
+    @pytest.mark.parametrize("n", [16, 17, 128, 129])
+    @pytest.mark.parametrize("window", ["rectangular", "hann", "hamming", "blackman"])
+    def test_batch_periodogram_matches_scalar_rows(self, n, window):
+        matrix = make_matrix(n)
+        batch = batch_periodogram(matrix, interval=2.0, window=window)
+        assert isinstance(batch, SpectrumBatch)
+        assert len(batch) == matrix.shape[0]
+        for index in range(matrix.shape[0]):
+            scalar = periodogram(TimeSeries(matrix[index], 2.0), window=window)
+            np.testing.assert_allclose(batch.row(index).power, scalar.power, atol=1e-12)
+            np.testing.assert_allclose(batch.frequencies, scalar.frequencies)
+
+    @pytest.mark.parametrize("n", [32, 33, 300])
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 0.75])
+    def test_batch_welch_matches_scalar_rows(self, n, overlap):
+        matrix = make_matrix(n)
+        batch = batch_welch_psd(matrix, interval=1.0, segment_length=16, overlap=overlap)
+        for index in range(matrix.shape[0]):
+            scalar = welch_psd(TimeSeries(matrix[index], 1.0), segment_length=16,
+                               overlap=overlap)
+            np.testing.assert_allclose(batch.row(index).power, scalar.power, atol=1e-12)
+
+    def test_batch_periodogram_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            batch_periodogram(np.zeros((2, 3, 4)), 1.0)
+        with pytest.raises(ValueError):
+            batch_periodogram(np.zeros((2, 8)), 0.0)
+        with pytest.raises(ValueError):
+            batch_periodogram(np.zeros((2, 1)), 1.0)
+
+
+class TestBatchEstimateEquivalence:
+    @pytest.mark.parametrize("n", [16, 17, 64, 65, 256, 257])
+    @pytest.mark.parametrize("window", ["rectangular", "hann", "blackman"])
+    def test_windows_and_lengths(self, n, window):
+        estimator = NyquistEstimator(window=window)
+        matrix = make_matrix(n, seed=n)
+        batched = batch_estimate(matrix, 2.0, estimator=estimator)
+        for index in range(matrix.shape[0]):
+            scalar = estimator.estimate(TimeSeries(matrix[index], 2.0))
+            assert_equivalent(scalar, batched[index])
+
+    @pytest.mark.parametrize("psd_method", ["periodogram", "welch"])
+    @pytest.mark.parametrize("detrend", [False, True])
+    @pytest.mark.parametrize("include_dc", [False, True])
+    def test_psd_method_detrend_and_dc(self, psd_method, detrend, include_dc):
+        estimator = NyquistEstimator(psd_method=psd_method, detrend=detrend,
+                                     include_dc=include_dc)
+        matrix = make_matrix(96, seed=11)
+        batched = batch_estimate(matrix, 30.0, estimator=estimator)
+        for index in range(matrix.shape[0]):
+            scalar = estimator.estimate(TimeSeries(matrix[index], 30.0))
+            assert_equivalent(scalar, batched[index])
+
+    @pytest.mark.parametrize("energy_fraction", [0.5, 0.9, 0.99, 1.0])
+    def test_energy_fractions(self, energy_fraction):
+        estimator = NyquistEstimator(energy_fraction=energy_fraction)
+        matrix = make_matrix(120, seed=3)
+        batched = batch_estimate(matrix, 1.0, estimator=estimator)
+        for index in range(matrix.shape[0]):
+            scalar = estimator.estimate(TimeSeries(matrix[index], 1.0))
+            assert_equivalent(scalar, batched[index])
+
+    def test_flat_tolerance(self):
+        estimator = NyquistEstimator(flat_tolerance=0.01)
+        rng = np.random.default_rng(9)
+        matrix = 100.0 + 0.0001 * rng.normal(size=(6, 64))
+        matrix[2] = 100.0
+        matrix[4] = rng.normal(size=64) * 50.0
+        batched = batch_estimate(matrix, 1.0, estimator=estimator)
+        for index in range(matrix.shape[0]):
+            scalar = estimator.estimate(TimeSeries(matrix[index], 1.0))
+            assert_equivalent(scalar, batched[index])
+
+    def test_aliased_band_fraction(self):
+        estimator = NyquistEstimator(aliased_band_fraction=0.5)
+        matrix = make_matrix(128, seed=21)
+        batched = batch_estimate(matrix, 1.0, estimator=estimator)
+        for index in range(matrix.shape[0]):
+            scalar = estimator.estimate(TimeSeries(matrix[index], 1.0))
+            assert_equivalent(scalar, batched[index])
+
+    def test_constant_traces_are_reliable_with_lowest_rate(self):
+        matrix = np.full((3, 64), 7.0)
+        batched = batch_estimate(matrix, 10.0)
+        for estimate in batched:
+            assert estimate.reliable
+            assert estimate.reason == "constant trace"
+            assert estimate.nyquist_rate == pytest.approx(1.0 / (64 * 10.0))
+
+    def test_short_traces_rejected_per_row(self):
+        estimator = NyquistEstimator(min_samples=32)
+        batched = batch_estimate(np.zeros((4, 16)), 1.0, estimator=estimator)
+        assert all(not e.reliable and e.reason == "trace too short" for e in batched)
+
+    def test_empty_batch(self):
+        assert batch_estimate(np.empty((0, 64)), 1.0) == []
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            batch_estimate(np.zeros(16), 1.0)
+        with pytest.raises(ValueError):
+            batch_estimate(np.zeros((2, 16)), -1.0)
+
+    def test_estimator_method_entry_point(self):
+        """NyquistEstimator.estimate_batch is the public door to the engine."""
+        estimator = NyquistEstimator()
+        matrix = make_matrix(64, seed=5)
+        via_method = estimator.estimate_batch(matrix, 1.0)
+        via_function = batch_estimate(matrix, 1.0, estimator=estimator)
+        for a, b in zip(via_method, via_function):
+            assert_equivalent(a, b)
+
+    def test_randomised_sweep(self):
+        """Property-style: many random shapes/configs, scalar == batched."""
+        rng = np.random.default_rng(2024)
+        for trial in range(10):
+            n = int(rng.integers(16, 200))
+            rows = int(rng.integers(1, 6))
+            interval = float(rng.uniform(0.1, 600.0))
+            estimator = NyquistEstimator(
+                energy_fraction=float(rng.uniform(0.5, 1.0)),
+                window=["rectangular", "hann", "hamming", "blackman"][int(rng.integers(4))],
+                detrend=bool(rng.integers(2)),
+            )
+            matrix = rng.normal(size=(rows, n)).cumsum(axis=1)
+            if rows > 1:
+                matrix[0] = float(rng.normal())  # one constant row per batch
+            batched = batch_estimate(matrix, interval, estimator=estimator)
+            for index in range(rows):
+                scalar = estimator.estimate(TimeSeries(matrix[index], interval))
+                assert_equivalent(scalar, batched[index])

@@ -101,6 +101,48 @@ class TestWelch:
         with pytest.raises(ValueError):
             welch_psd(TimeSeries([1.0], 1.0))
 
+    def test_trailing_samples_are_analysed(self):
+        """Regression: Welch used to drop up to segment_length - 1 trailing
+        samples when (n - segment_length) was not a multiple of the step.
+
+        A burst placed entirely in the would-be-dropped tail must show up
+        in the PSD.
+        """
+        n, segment_length = 100, 64
+        # step = 32 -> stride starts at [0, 32]; samples 96..99 lie beyond
+        # start 32 + 64 = 96 and were previously never windowed.
+        values = np.zeros(n)
+        values[97:] = 50.0
+        spectrum = welch_psd(TimeSeries(values, 1.0), segment_length=segment_length,
+                             detrend=False, window="rectangular")
+        assert spectrum.total_energy(include_dc=True) > 1.0
+
+    def test_end_anchored_segment_covers_all_data(self):
+        """Every sample participates: a constant trace stays flat (pure DC)
+        and the number of averaged segments includes the end-anchored one."""
+        n, segment_length = 100, 64
+        flat = welch_psd(TimeSeries(np.ones(n), 1.0), segment_length=segment_length,
+                         detrend=False, window="rectangular")
+        assert flat.total_energy(include_dc=False) == pytest.approx(0.0, abs=1e-12)
+        assert flat.power[0] == pytest.approx(1.0)
+
+    def test_exact_stride_has_no_extra_segment(self, rng):
+        """When the stride lands exactly on the end, results are unchanged
+        from the classic Welch segmentation."""
+        values = rng.normal(size=96)
+        series = TimeSeries(values, 1.0)
+        spectrum = welch_psd(series, segment_length=64, overlap=0.5)  # starts 0, 32: covers 96
+        manual = np.zeros(33)
+        from repro.core.psd import window_coefficients
+        taper = window_coefficients("hann", 64)
+        for start in (0, 32):
+            chunk = values[start:start + 64]
+            chunk = chunk - np.mean(chunk)
+            power = np.abs(np.fft.rfft(chunk * taper)) ** 2 / (64 * np.sum(taper ** 2))
+            power[1:-1] *= 2.0
+            manual += power
+        np.testing.assert_allclose(spectrum.power, manual / 2, atol=1e-12)
+
     def test_variance_lower_than_periodogram(self, rng):
         from repro.signals.noise import white_noise
         series = white_noise(60.0, 20.0, std=1.0, rng=rng)

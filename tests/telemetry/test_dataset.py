@@ -92,3 +92,36 @@ class TestFleetDataset:
 
     def test_metric_names(self, small_dataset):
         assert small_dataset.metric_names() == list(METRIC_CATALOG)
+
+
+class TestTraceBatches:
+    def test_batches_cover_every_pair_in_order(self, small_dataset):
+        flat_pairs = [pair for batch in small_dataset.trace_batches() for pair in batch.pairs]
+        assert [p.key for p in flat_pairs] == [p.key for p, _ in small_dataset.traces()]
+
+    def test_rows_match_individual_traces(self, small_dataset):
+        expected = {pair.key: trace for pair, trace in small_dataset.traces("Temperature")}
+        for batch in small_dataset.trace_batches("Temperature"):
+            for row, pair in enumerate(batch.pairs):
+                np.testing.assert_allclose(batch.values[row], expected[pair.key].values)
+                assert batch.interval == expected[pair.key].interval
+
+    def test_rows_share_shape_and_interval(self, small_dataset):
+        for batch in small_dataset.trace_batches():
+            assert batch.values.ndim == 2
+            assert batch.values.shape[0] == len(batch)
+            assert batch.sampling_rate == pytest.approx(1.0 / batch.interval)
+
+    def test_chunk_size_bounds_batch_rows(self, small_dataset):
+        batches = list(small_dataset.trace_batches(chunk_size=2))
+        assert all(len(batch) <= 2 for batch in batches)
+        flat = [pair.key for batch in batches for pair in batch.pairs]
+        assert flat == [pair.key for pair, _ in small_dataset.traces()]
+
+    def test_limit_applies_per_call(self, small_dataset):
+        batches = list(small_dataset.trace_batches("Temperature", limit=2))
+        assert sum(len(batch) for batch in batches) == 2
+
+    def test_rejects_bad_chunk_size(self, small_dataset):
+        with pytest.raises(ValueError):
+            next(small_dataset.trace_batches(chunk_size=0))

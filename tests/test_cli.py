@@ -17,6 +17,13 @@ class TestParser:
         args = build_parser().parse_args(["survey"])
         assert args.command == "survey"
         assert args.pairs == 280
+        assert args.backend == "batched"
+        assert args.limit_per_metric is None
+
+    def test_survey_backend_choices(self):
+        assert build_parser().parse_args(["survey", "--backend", "scalar"]).backend == "scalar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["survey", "--backend", "gpu"])
 
     def test_adaptive_metric_choices(self):
         with pytest.raises(SystemExit):
@@ -34,6 +41,18 @@ class TestSurveyCommand:
         assert (tmp_path / "figure1_oversampled_fraction.csv").exists()
         assert (tmp_path / "figure4_reduction_ratios.csv").exists()
         assert (tmp_path / "figure5_nyquist_rates.csv").exists()
+
+    def test_survey_backends_agree(self, capsys):
+        assert main(["survey", "--pairs", "28", "--seed", "3", "--backend", "scalar"]) == 0
+        scalar_output = capsys.readouterr().out
+        assert main(["survey", "--pairs", "28", "--seed", "3", "--backend", "batched"]) == 0
+        batched_output = capsys.readouterr().out
+        assert scalar_output == batched_output
+
+    def test_survey_limit_per_metric(self, capsys):
+        assert main(["survey", "--pairs", "84", "--limit-per-metric", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "Surveyed 14 metric-device pairs" in output
 
 
 class TestAdaptiveCommand:
@@ -64,3 +83,25 @@ class TestEstimateCommand:
         path = tmp_path / "tiny.csv"
         path.write_text("timestamp,value\n0,1\n")
         assert main(["estimate", str(path)]) == 1
+
+    def test_estimate_missing_column_fails_cleanly(self, tmp_path, capsys):
+        """Regression: a row without a value column used to raise IndexError."""
+        path = tmp_path / "short_row.csv"
+        path.write_text("timestamp,value\n0,1.0\n5\n10,2.0\n")
+        assert main(["estimate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 3" in err
+        assert "two columns" in err
+
+    def test_estimate_non_numeric_value_fails_cleanly(self, tmp_path, capsys):
+        """Regression: a non-numeric value used to raise a raw ValueError."""
+        path = tmp_path / "bad_value.csv"
+        path.write_text("timestamp,value\n0,1.0\n5,oops\n")
+        assert main(["estimate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "line 3" in err
+        assert "numeric" in err
+
+    def test_estimate_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["estimate", str(tmp_path / "nope.csv")]) == 1
+        assert "cannot read" in capsys.readouterr().err
