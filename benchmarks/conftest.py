@@ -9,10 +9,16 @@ The survey benchmarks share one synthetic fleet dataset.  Its size is
 controlled by the ``REPRO_BENCH_PAIRS`` environment variable (default 392 =
 28 devices x 14 metrics; set it to 1613 to regenerate the full paper-scale
 survey -- it is only a few times slower).
+
+Throughput benchmarks additionally record their numbers in
+``benchmarks/output/BENCH_survey.json`` (via :func:`update_bench_json`), a
+machine-readable perf trajectory that CI uploads as an artifact so
+pairs/sec regressions are visible across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -23,6 +29,21 @@ from repro.telemetry.dataset import DatasetConfig, FleetDataset
 
 #: Where benchmark CSV outputs land.
 OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+#: The machine-readable perf-trajectory file shared by the throughput benches.
+BENCH_JSON = OUTPUT_DIR / "BENCH_survey.json"
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_survey.json``.
+
+    Each bench owns one top-level section, so benches can run in any
+    order (or individually) without clobbering each other's results.
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def bench_pair_count() -> int:

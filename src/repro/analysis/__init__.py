@@ -2,10 +2,14 @@
 
 from .reporting import (BoxStats, ascii_bar_chart, ascii_cdf, box_stats, cdf_at,
                         empirical_cdf, format_table, write_csv)
-from .survey import PairCategory, PairRecord, SurveyBackend, SurveyResult, run_survey
+from .survey import (MemoryRecordSink, PairCategory, PairRecord, RecordBlock, RecordSink,
+                     SpillingRecordSink, SurveyBackend, SurveyResult, WindowedPairSummary,
+                     run_survey, run_windowed_survey)
 
 __all__ = [
     "run_survey", "SurveyResult", "PairRecord", "PairCategory", "SurveyBackend",
+    "RecordBlock", "RecordSink", "MemoryRecordSink", "SpillingRecordSink",
+    "run_windowed_survey", "WindowedPairSummary",
     "empirical_cdf", "cdf_at", "BoxStats", "box_stats",
     "format_table", "ascii_bar_chart", "ascii_cdf", "write_csv",
 ]

@@ -8,32 +8,76 @@ need: the over-sampled fraction per metric (Figure 1), the per-metric
 reduction-ratio CDFs (Figure 4), the per-metric Nyquist-rate distributions
 (Figure 5) and the headline statistics quoted in the text.
 
+The pipeline is built for fleets far beyond the paper's 1613 pairs:
+
+* **Columnar storage.**  Survey outcomes are stored as struct-of-arrays
+  :class:`RecordBlock` chunks rather than one Python object per pair, so
+  every aggregation is a handful of vectorised numpy reductions streamed
+  block by block.  :class:`PairRecord` remains as a lazily materialised
+  per-pair view for API compatibility.
+* **Out-of-core results.**  A :class:`RecordSink` receives the blocks as
+  they are produced; :class:`MemoryRecordSink` keeps them in RAM while
+  :class:`SpillingRecordSink` streams each block to an ``.npz`` (or
+  ``.csv``) file, so a 100k+-pair survey holds at most one ``chunk_size``
+  block in memory at a time and the aggregations stream back from disk.
+* **Multi-worker execution.**  ``run_survey(workers=N)`` fans the whole
+  per-pair pipeline -- trace *generation* and estimation, not just the
+  FFT -- out to a process pool.  Workers receive compact picklable batch
+  specs (the dataset config plus a pair-slice address), regenerate their
+  traces locally, run the batched engine and return columnar blocks; the
+  parent only ever concatenates small result arrays.  Records are
+  byte-identical to the single-process run because workers slice the pair
+  list at the same ``chunk_size`` boundaries the sequential iteration
+  flushes at.
+
 Two interchangeable backends drive the estimation:
 
 * ``"batched"`` (the default) groups the dataset's traces by (length,
   interval) shape via :meth:`FleetDataset.trace_batches` and runs the
   batched spectral engine (:mod:`repro.core.batch`) -- one ``rfft`` and
-  one vectorised energy cut-off per chunk, which is what makes
-  fleet-scale (10k+ pair) surveys tractable;
+  one vectorised energy cut-off per chunk;
 * ``"scalar"`` runs :meth:`NyquistEstimator.estimate` per trace and is
   kept as the reference implementation; the two backends produce
   equivalent records (enforced by tests and
   ``benchmarks/bench_survey_throughput.py``).
+
+:func:`run_windowed_survey` is the fleet-wide Figure 7 loop: the
+moving-window Nyquist sweep run over every pair through the vectorised
+windowed backend, summarising how much each pair's rate drifts -- the
+continuous re-estimation the paper's Section 4 argues for.
 """
 
 from __future__ import annotations
 
+import csv
 import enum
 import math
-from dataclasses import dataclass, field
-from typing import Iterable, Literal, Sequence
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Literal, Sequence
 
 import numpy as np
 
 from ..core.nyquist import NyquistEstimate, NyquistEstimator
-from ..telemetry.dataset import FleetDataset
+from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_stability,
+                             windowed_nyquist_rates)
+from ..telemetry.dataset import DatasetConfig, FleetDataset, TracePair
 
-__all__ = ["PairCategory", "PairRecord", "SurveyResult", "run_survey", "SurveyBackend"]
+__all__ = [
+    "PairCategory",
+    "PairRecord",
+    "RecordBlock",
+    "RecordSink",
+    "MemoryRecordSink",
+    "SpillingRecordSink",
+    "SurveyResult",
+    "run_survey",
+    "SurveyBackend",
+    "WindowedPairSummary",
+    "run_windowed_survey",
+]
 
 SurveyBackend = Literal["batched", "scalar"]
 
@@ -51,9 +95,24 @@ class PairCategory(enum.Enum):
     ALIASED_SUSPECT = "aliased_suspect"    # estimator refused (probably already aliased)
 
 
+#: Stable integer codes for the columnar ``category`` column (also the
+#: on-disk representation, so the order must never be reshuffled).
+_CATEGORY_ORDER: tuple[PairCategory, ...] = (
+    PairCategory.OVERSAMPLED, PairCategory.MARGINAL, PairCategory.ALIASED_SUSPECT)
+_CATEGORY_CODE = {category: code for code, category in enumerate(_CATEGORY_ORDER)}
+_OVERSAMPLED_CODE = _CATEGORY_CODE[PairCategory.OVERSAMPLED]
+_MARGINAL_CODE = _CATEGORY_CODE[PairCategory.MARGINAL]
+_SUSPECT_CODE = _CATEGORY_CODE[PairCategory.ALIASED_SUSPECT]
+
+
 @dataclass(frozen=True)
 class PairRecord:
-    """Survey outcome for one (metric, device) pair."""
+    """Survey outcome for one (metric, device) pair.
+
+    A per-pair *view*: the survey stores outcomes columnarly in
+    :class:`RecordBlock` arrays and materialises these objects lazily
+    (``SurveyResult.records``) for callers that want one object per pair.
+    """
 
     metric_name: str
     device_id: str
@@ -70,38 +129,339 @@ class PairRecord:
         return self.category is PairCategory.OVERSAMPLED
 
 
-@dataclass
-class SurveyResult:
-    """All pair records of one survey run, with figure-oriented aggregations."""
+#: Column name -> dtype of the per-row arrays in a RecordBlock (the
+#: device_ids column is unicode and handled separately).
+_FLOAT_COLUMNS = ("current_rate", "nyquist_rate", "reduction_ratio",
+                  "true_nyquist_rate", "trace_duration")
 
-    records: list[PairRecord] = field(default_factory=list)
-    oversample_threshold: float = 1.25
+
+@dataclass(frozen=True)
+class RecordBlock:
+    """Struct-of-arrays storage for one chunk of survey outcomes.
+
+    All rows belong to one metric (chunks are produced per metric by both
+    the sequential and the multi-worker pipeline), so the metric name is a
+    single scalar rather than a per-row column.  Blocks are the unit of
+    spilling: each one round-trips losslessly through ``.npz`` or ``.csv``.
+    """
+
+    metric_name: str
+    device_ids: np.ndarray
+    current_rate: np.ndarray
+    nyquist_rate: np.ndarray
+    reduction_ratio: np.ndarray
+    category: np.ndarray
+    reliable: np.ndarray
+    true_nyquist_rate: np.ndarray
+    trace_duration: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "device_ids", np.asarray(self.device_ids, dtype=np.str_))
+        for column in _FLOAT_COLUMNS:
+            object.__setattr__(self, column, np.asarray(getattr(self, column),
+                                                        dtype=np.float64))
+        object.__setattr__(self, "category", np.asarray(self.category, dtype=np.int8))
+        object.__setattr__(self, "reliable", np.asarray(self.reliable, dtype=bool))
+        rows = self.device_ids.shape[0]
+        for column in (*_FLOAT_COLUMNS, "category", "reliable"):
+            array = getattr(self, column)
+            if array.ndim != 1 or array.shape[0] != rows:
+                raise ValueError(f"column {column!r} must be 1-D with {rows} rows, "
+                                 f"got shape {array.shape}")
+
+    def __len__(self) -> int:
+        return int(self.device_ids.shape[0])
 
     # ------------------------------------------------------------------
+    def to_records(self) -> Iterator[PairRecord]:
+        """Materialise one :class:`PairRecord` view per row."""
+        for index in range(len(self)):
+            yield PairRecord(
+                metric_name=self.metric_name,
+                device_id=str(self.device_ids[index]),
+                current_rate=float(self.current_rate[index]),
+                nyquist_rate=float(self.nyquist_rate[index]),
+                reduction_ratio=float(self.reduction_ratio[index]),
+                category=_CATEGORY_ORDER[int(self.category[index])],
+                reliable=bool(self.reliable[index]),
+                true_nyquist_rate=float(self.true_nyquist_rate[index]),
+                trace_duration=float(self.trace_duration[index]),
+            )
+
+    @classmethod
+    def from_records(cls, metric_name: str, records: Sequence[PairRecord]) -> "RecordBlock":
+        """Pack per-pair records (all of one metric) into columnar form."""
+        rows = len(records)
+        return cls(
+            metric_name=metric_name,
+            device_ids=np.array([record.device_id for record in records], dtype=np.str_),
+            current_rate=np.fromiter((r.current_rate for r in records), np.float64, rows),
+            nyquist_rate=np.fromiter((r.nyquist_rate for r in records), np.float64, rows),
+            reduction_ratio=np.fromiter((r.reduction_ratio for r in records),
+                                        np.float64, rows),
+            category=np.fromiter((_CATEGORY_CODE[r.category] for r in records),
+                                 np.int8, rows),
+            reliable=np.fromiter((r.reliable for r in records), bool, rows),
+            true_nyquist_rate=np.fromiter((r.true_nyquist_rate for r in records),
+                                          np.float64, rows),
+            trace_duration=np.fromiter((r.trace_duration for r in records),
+                                       np.float64, rows),
+        )
+
+    # ------------------------- disk round trip -------------------------
+    def save_npz(self, path: Path) -> None:
+        np.savez_compressed(
+            path, metric_name=np.array(self.metric_name), device_ids=self.device_ids,
+            current_rate=self.current_rate, nyquist_rate=self.nyquist_rate,
+            reduction_ratio=self.reduction_ratio, category=self.category,
+            reliable=self.reliable, true_nyquist_rate=self.true_nyquist_rate,
+            trace_duration=self.trace_duration)
+
+    @classmethod
+    def load_npz(cls, path: Path) -> "RecordBlock":
+        with np.load(path) as data:
+            return cls(metric_name=str(data["metric_name"]),
+                       device_ids=data["device_ids"],
+                       current_rate=data["current_rate"],
+                       nyquist_rate=data["nyquist_rate"],
+                       reduction_ratio=data["reduction_ratio"],
+                       category=data["category"],
+                       reliable=data["reliable"],
+                       true_nyquist_rate=data["true_nyquist_rate"],
+                       trace_duration=data["trace_duration"])
+
+    _CSV_HEADER = ("metric_name", "device_id", "current_rate", "nyquist_rate",
+                   "reduction_ratio", "category", "reliable", "true_nyquist_rate",
+                   "trace_duration")
+
+    def save_csv(self, path: Path) -> None:
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_HEADER)
+            for index in range(len(self)):
+                writer.writerow([
+                    self.metric_name, str(self.device_ids[index]),
+                    repr(float(self.current_rate[index])),
+                    repr(float(self.nyquist_rate[index])),
+                    repr(float(self.reduction_ratio[index])),
+                    int(self.category[index]), int(self.reliable[index]),
+                    repr(float(self.true_nyquist_rate[index])),
+                    repr(float(self.trace_duration[index])),
+                ])
+
+    @classmethod
+    def load_csv(cls, path: Path) -> "RecordBlock":
+        metric_name = ""
+        columns: dict[str, list] = {name: [] for name in cls._CSV_HEADER[1:]}
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)  # header
+            for row in reader:
+                metric_name = row[0]
+                columns["device_id"].append(row[1])
+                columns["current_rate"].append(float(row[2]))
+                columns["nyquist_rate"].append(float(row[3]))
+                columns["reduction_ratio"].append(float(row[4]))
+                columns["category"].append(int(row[5]))
+                columns["reliable"].append(bool(int(row[6])))
+                columns["true_nyquist_rate"].append(float(row[7]))
+                columns["trace_duration"].append(float(row[8]))
+        return cls(metric_name=metric_name, device_ids=np.array(columns["device_id"],
+                                                                dtype=np.str_),
+                   current_rate=columns["current_rate"],
+                   nyquist_rate=columns["nyquist_rate"],
+                   reduction_ratio=columns["reduction_ratio"],
+                   category=columns["category"], reliable=columns["reliable"],
+                   true_nyquist_rate=columns["true_nyquist_rate"],
+                   trace_duration=columns["trace_duration"])
+
+
+# ----------------------------------------------------------------------
+class RecordSink(ABC):
+    """Streaming destination for survey :class:`RecordBlock` chunks.
+
+    The survey pipeline pushes blocks as it produces them and the
+    aggregations pull them back with :meth:`blocks`; a sink therefore
+    decides the memory/durability trade-off (RAM vs disk) without the
+    rest of the pipeline caring.
+    """
+
+    @abstractmethod
+    def append(self, block: RecordBlock) -> None:
+        """Accept the next chunk of survey outcomes."""
+
+    @abstractmethod
+    def blocks(self) -> Iterator[RecordBlock]:
+        """Stream the stored chunks back in append order."""
+
+    @property
+    @abstractmethod
+    def rows(self) -> int:
+        """Total pairs stored so far."""
+
+
+class MemoryRecordSink(RecordSink):
+    """Keeps every block in RAM (the default for paper-scale surveys)."""
+
+    def __init__(self) -> None:
+        self._blocks: list[RecordBlock] = []
+        self._rows = 0
+
+    def append(self, block: RecordBlock) -> None:
+        self._blocks.append(block)
+        self._rows += len(block)
+
+    def blocks(self) -> Iterator[RecordBlock]:
+        return iter(self._blocks)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+
+class SpillingRecordSink(RecordSink):
+    """Streams every block straight to disk; memory stays O(one block).
+
+    Each appended block becomes one ``records-NNNNN.npz`` (or ``.csv``)
+    file under ``directory``; aggregations stream the files back one at a
+    time, so neither writing nor reading ever holds more than a single
+    ``chunk_size`` block in memory.  Opening a sink on a directory that
+    already contains record files resumes from them, which is how a
+    spilled survey is re-opened in a later process
+    (``SurveyResult(sink=SpillingRecordSink(path))``).
+    """
+
+    _FORMATS = {"npz": (RecordBlock.save_npz, RecordBlock.load_npz),
+                "csv": (RecordBlock.save_csv, RecordBlock.load_csv)}
+
+    def __init__(self, directory: Path | str, fmt: Literal["npz", "csv"] = "npz") -> None:
+        if fmt not in self._FORMATS:
+            raise ValueError(f"unknown spill format {fmt!r}; choose 'npz' or 'csv'")
+        self.directory = Path(directory)
+        self.fmt = fmt
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._files: list[Path] = sorted(self.directory.glob(f"records-*.{fmt}"))
+        self._rows = sum(self._count_rows(path) for path in self._files)
+
+    def _count_rows(self, path: Path) -> int:
+        """Row count of one spill file without loading its full columns.
+
+        npz members decompress lazily, so touching only ``device_ids``
+        skips the seven float columns; for csv a line count suffices.
+        Keeps re-opening a 100k+-pair spill directory cheap.
+        """
+        if self.fmt == "npz":
+            with np.load(path) as data:
+                return int(data["device_ids"].shape[0])
+        with path.open() as handle:
+            return max(sum(1 for _ in handle) - 1, 0)
+
+    def _load(self, path: Path) -> RecordBlock:
+        return self._FORMATS[self.fmt][1](path)
+
+    def append(self, block: RecordBlock) -> None:
+        path = self.directory / f"records-{len(self._files):05d}.{self.fmt}"
+        self._FORMATS[self.fmt][0](block, path)
+        self._files.append(path)
+        self._rows += len(block)
+
+    def blocks(self) -> Iterator[RecordBlock]:
+        for path in self._files:
+            yield self._load(path)
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def files(self) -> list[Path]:
+        """The spill files written so far, in append order."""
+        return list(self._files)
+
+
+def _blocks_from_records(records: Iterable[PairRecord]) -> Iterator[RecordBlock]:
+    """Group an ordered record stream into per-metric-run columnar blocks."""
+    buffer: list[PairRecord] = []
+    current: str | None = None
+    for record in records:
+        if current is not None and record.metric_name != current:
+            yield RecordBlock.from_records(current, buffer)
+            buffer = []
+        current = record.metric_name
+        buffer.append(record)
+    if buffer:
+        assert current is not None
+        yield RecordBlock.from_records(current, buffer)
+
+
+class SurveyResult:
+    """All pair records of one survey run, with figure-oriented aggregations.
+
+    Outcomes live in columnar :class:`RecordBlock` chunks behind a
+    :class:`RecordSink`; every aggregation streams the blocks and reduces
+    them with vectorised numpy operations, so a spilled (out-of-core)
+    survey aggregates identically to an in-memory one while holding one
+    block in memory at a time.  ``records`` materialises the classic
+    per-pair :class:`PairRecord` list on demand.
+    """
+
+    def __init__(self, records: Iterable[PairRecord] | None = None,
+                 oversample_threshold: float = 1.25,
+                 sink: RecordSink | None = None) -> None:
+        self.oversample_threshold = oversample_threshold
+        self._sink = sink if sink is not None else MemoryRecordSink()
+        self._metric_order: list[str] = []
+        for block in self._sink.blocks():  # adopt pre-existing (reopened) sink content
+            self._note_metric(block.metric_name)
+        if records is not None:
+            for block in _blocks_from_records(records):
+                self.append_block(block)
+
+    # ------------------------------------------------------------------
+    def _note_metric(self, metric_name: str) -> None:
+        if metric_name not in self._metric_order:
+            self._metric_order.append(metric_name)
+
+    def append_block(self, block: RecordBlock) -> None:
+        """Append one columnar chunk of outcomes (the pipeline's feed)."""
+        self._sink.append(block)
+        self._note_metric(block.metric_name)
+
+    def iter_blocks(self) -> Iterator[RecordBlock]:
+        """Stream the stored columnar chunks in survey order."""
+        return self._sink.blocks()
+
+    @property
+    def sink(self) -> RecordSink:
+        return self._sink
+
     def __len__(self) -> int:
-        return len(self.records)
+        return self._sink.rows
+
+    @property
+    def records(self) -> list[PairRecord]:
+        """Per-pair view of the columnar store, materialised on demand."""
+        return [record for block in self._sink.blocks() for record in block.to_records()]
 
     def metrics(self) -> list[str]:
         """Metric names present in the survey, in first-appearance order."""
-        seen: dict[str, None] = {}
-        for record in self.records:
-            seen.setdefault(record.metric_name, None)
-        return list(seen)
+        return list(self._metric_order)
 
     def records_for_metric(self, metric_name: str) -> list[PairRecord]:
-        return [record for record in self.records if record.metric_name == metric_name]
+        return [record for block in self._sink.blocks() if block.metric_name == metric_name
+                for record in block.to_records()]
 
     # -------------------------- Figure 1 ------------------------------
     def oversampled_fraction_by_metric(self) -> dict[str, float]:
         """Fraction of devices per metric currently sampled above the Nyquist rate."""
-        fractions = {}
-        for metric in self.metrics():
-            records = self.records_for_metric(metric)
-            if not records:
-                fractions[metric] = float("nan")
-                continue
-            fractions[metric] = sum(record.oversampled for record in records) / len(records)
-        return fractions
+        counts: dict[str, list[int]] = {}
+        for block in self._sink.blocks():
+            entry = counts.setdefault(block.metric_name, [0, 0])
+            entry[0] += len(block)
+            entry[1] += int(np.count_nonzero(block.category == _OVERSAMPLED_CODE))
+        return {metric: (counts[metric][1] / counts[metric][0] if counts[metric][0]
+                         else float("nan"))
+                for metric in self._metric_order}
 
     # -------------------------- Figure 4 ------------------------------
     def reduction_ratios(self, metric_name: str | None = None,
@@ -116,22 +476,22 @@ class SurveyResult:
         aliased has a Nyquist rate of at least its sampling rate and hence
         admits no reduction.
         """
-        selected: Iterable[PairRecord]
-        selected = self.records if metric_name is None else self.records_for_metric(metric_name)
-        ratios = []
-        for record in selected:
-            if record.reliable:
-                if not math.isnan(record.reduction_ratio):
-                    ratios.append(record.reduction_ratio)
-            elif include_unreliable:
-                ratios.append(UNRELIABLE_RATIO)
-        return np.array(ratios)
+        parts: list[np.ndarray] = []
+        for block in self._sink.blocks():
+            if metric_name is not None and block.metric_name != metric_name:
+                continue
+            usable = block.reliable & ~np.isnan(block.reduction_ratio)
+            mask = usable | (~block.reliable) if include_unreliable else usable
+            parts.append(np.where(block.reliable, block.reduction_ratio,
+                                  UNRELIABLE_RATIO)[mask])
+        return np.concatenate(parts) if parts else np.array([])
 
     # -------------------------- Figure 5 ------------------------------
     def nyquist_rates(self, metric_name: str) -> np.ndarray:
         """Reliable Nyquist-rate estimates for one metric (the Figure 5 boxes)."""
-        return np.array([record.nyquist_rate for record in self.records_for_metric(metric_name)
-                         if record.reliable and record.nyquist_rate > 0])
+        parts = [block.nyquist_rate[block.reliable & (block.nyquist_rate > 0)]
+                 for block in self._sink.blocks() if block.metric_name == metric_name]
+        return np.concatenate(parts) if parts else np.array([])
 
     # -------------------------- Headline text -------------------------
     def headline(self) -> dict[str, float]:
@@ -145,29 +505,30 @@ class SurveyResult:
 
         The needs-inspection population is reported split by cause:
         ``aliased_suspect_fraction`` counts the pairs the estimator
-        refused (any unreliable estimate; for day-length survey traces
-        this is the "all bins needed" case, where the paper records -1),
-        while ``marginal_fraction`` counts reliably estimated pairs whose
+        refused (with the calibrated ``aliased_band_fraction`` default
+        this is where the paper's "record -1" pairs land), while
+        ``marginal_fraction`` counts reliably estimated pairs whose
         cut-off sits essentially at the measurable band edge (reduction
-        ratio pinned near 1) -- which is where an already-aliased trace
-        lands whenever noise keeps the 99 % cut-off one bin short of the
-        strict all-bins rule.  ``undersampled_or_suspect_fraction`` is the
+        ratio pinned near 1).  ``undersampled_or_suspect_fraction`` is the
         legacy aggregate of the two (the complement of
         ``oversampled_fraction``); earlier versions reported *only* that
         conflated number, making it impossible to tell how much of the
         ~11 % was refused estimates versus at-the-edge marginal pairs.
         """
-        total = len(self.records)
+        total = len(self)
         if total == 0:
             return {"pairs": 0.0}
-        oversampled = sum(record.category is PairCategory.OVERSAMPLED for record in self.records)
-        marginal = sum(record.category is PairCategory.MARGINAL for record in self.records)
-        suspect = sum(record.category is PairCategory.ALIASED_SUSPECT for record in self.records)
+        oversampled = marginal = suspect = 0
+        for block in self._sink.blocks():
+            oversampled += int(np.count_nonzero(block.category == _OVERSAMPLED_CODE))
+            marginal += int(np.count_nonzero(block.category == _MARGINAL_CODE))
+            suspect += int(np.count_nonzero(block.category == _SUSPECT_CODE))
         ratios = self.reduction_ratios()
-        temperature_rates = self.nyquist_rates("Temperature") if "Temperature" in self.metrics() else np.array([])
+        temperature_rates = (self.nyquist_rates("Temperature")
+                             if "Temperature" in self._metric_order else np.array([]))
         headline = {
             "pairs": float(total),
-            "metrics": float(len(self.metrics())),
+            "metrics": float(len(self._metric_order)),
             "oversampled_fraction": oversampled / total,
             "marginal_fraction": marginal / total,
             "aliased_suspect_fraction": suspect / total,
@@ -194,17 +555,20 @@ class SurveyResult:
         trace's frequency resolution and would only measure that clamp).
         A ratio near 1 means the §3.2 estimator recovers the planted rate.
         """
-        ratios = []
-        for record in self.records:
-            if not record.reliable or record.true_nyquist_rate <= 0:
-                continue
-            if record.trace_duration > 0 and \
-                    record.true_nyquist_rate < 4.0 / record.trace_duration:
-                continue
-            ratios.append(record.nyquist_rate / record.true_nyquist_rate)
-        if not ratios:
+        parts: list[np.ndarray] = []
+        for block in self._sink.blocks():
+            mask = block.reliable & (block.true_nyquist_rate > 0)
+            safe_duration = np.where(block.trace_duration > 0, block.trace_duration, 1.0)
+            unobservable = (block.trace_duration > 0) & \
+                (block.true_nyquist_rate < 4.0 / safe_duration)
+            mask &= ~unobservable
+            if mask.any():
+                parts.append(block.nyquist_rate[mask] / block.true_nyquist_rate[mask])
+        if not parts:
             return {"pairs": 0.0}
-        array = np.array(ratios)
+        array = np.concatenate(parts)
+        if array.size == 0:
+            return {"pairs": 0.0}
         return {
             "pairs": float(array.size),
             "median_ratio": float(np.median(array)),
@@ -213,12 +577,90 @@ class SurveyResult:
         }
 
 
-def _classify(estimate: NyquistEstimate, oversample_threshold: float) -> PairCategory:
-    if not estimate.reliable:
-        return PairCategory.ALIASED_SUSPECT
-    if estimate.reduction_ratio > oversample_threshold:
-        return PairCategory.OVERSAMPLED
-    return PairCategory.MARGINAL
+# ----------------------------------------------------------------------
+def _block_from_estimates(metric_name: str, pairs: Sequence[TracePair],
+                          estimates: Sequence[NyquistEstimate], current_rate: float,
+                          oversample_threshold: float,
+                          trace_duration: float) -> RecordBlock:
+    """Compact one batch's estimates into a columnar block (classification included)."""
+    rows = len(pairs)
+    nyquist = np.fromiter((e.nyquist_rate for e in estimates), np.float64, rows)
+    ratio = np.fromiter((e.reduction_ratio for e in estimates), np.float64, rows)
+    reliable = np.fromiter((e.reliable for e in estimates), bool, rows)
+    # Vectorised _classify: refused -> suspect; reliable with headroom ->
+    # oversampled; the rest (including nan ratios) -> marginal.
+    category = np.where(~reliable, _SUSPECT_CODE,
+                        np.where(ratio > oversample_threshold, _OVERSAMPLED_CODE,
+                                 _MARGINAL_CODE)).astype(np.int8)
+    return RecordBlock(
+        metric_name=metric_name,
+        device_ids=np.array([pair.device.device_id for pair in pairs], dtype=np.str_),
+        current_rate=np.full(rows, current_rate),
+        nyquist_rate=nyquist,
+        reduction_ratio=ratio,
+        category=category,
+        reliable=reliable,
+        true_nyquist_rate=np.fromiter((pair.parameters.true_nyquist_rate for pair in pairs),
+                                      np.float64, rows),
+        trace_duration=np.full(rows, trace_duration),
+    )
+
+
+#: Per-worker-process dataset cache: rebuilding the pair table once per
+#: process instead of once per task keeps tasks cheap (DatasetConfig is
+#: hashable, so it doubles as the cache key).
+_WORKER_DATASETS: dict[DatasetConfig, FleetDataset] = {}
+
+
+def _survey_worker(task: tuple) -> list[RecordBlock]:
+    """Process-pool entry point: regenerate one pair slice, estimate, compact.
+
+    ``task`` is a picklable batch spec ``(config, metric_name, offset,
+    limit, estimator, oversample_threshold, fft_workers, chunk_size)``;
+    the worker regenerates its traces locally from the dataset config (no
+    trace data crosses the process boundary) and returns compact columnar
+    blocks.
+    """
+    (config, metric_name, offset, limit, estimator,
+     oversample_threshold, fft_workers, chunk_size) = task
+    dataset = _WORKER_DATASETS.get(config)
+    if dataset is None:
+        dataset = FleetDataset(config)
+        _WORKER_DATASETS[config] = dataset
+    blocks: list[RecordBlock] = []
+    for batch in dataset.trace_batches(metric_name, limit=limit, offset=offset,
+                                       chunk_size=chunk_size):
+        estimates = estimator.estimate_batch(batch.values, batch.interval,
+                                             fft_workers=fft_workers)
+        blocks.append(_block_from_estimates(metric_name, batch.pairs, estimates,
+                                            batch.sampling_rate, oversample_threshold,
+                                            config.trace_duration))
+    return blocks
+
+
+def _run_survey_parallel(dataset: FleetDataset, result: SurveyResult,
+                         estimator: NyquistEstimator, metric_names: Sequence[str],
+                         limit_per_metric: int | None, chunk_size: int, workers: int,
+                         fft_workers: int | None) -> None:
+    """Fan generation + estimation out to a process pool, in survey order.
+
+    Tasks slice each metric's pair list at ``chunk_size`` boundaries --
+    exactly where the sequential ``trace_batches`` iteration flushes -- so
+    the reassembled blocks are byte-identical to a ``workers=1`` run.
+    """
+    tasks = []
+    for metric_name in metric_names:
+        count = len(dataset.pairs_for_metric(metric_name))
+        if limit_per_metric is not None:
+            count = min(count, limit_per_metric)
+        for offset in range(0, count, chunk_size):
+            tasks.append((dataset.config, metric_name, offset,
+                          min(chunk_size, count - offset), estimator,
+                          result.oversample_threshold, fft_workers, chunk_size))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for blocks in pool.map(_survey_worker, tasks):
+            for block in blocks:
+                result.append_block(block)
 
 
 def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
@@ -226,7 +668,10 @@ def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
                metrics: Sequence[str] | None = None,
                limit_per_metric: int | None = None,
                backend: SurveyBackend = "batched",
-               chunk_size: int = 1024) -> SurveyResult:
+               chunk_size: int = 1024,
+               workers: int | None = None,
+               fft_workers: int | None = None,
+               sink: RecordSink | None = None) -> SurveyResult:
     """Run the Section 3.2 analysis over a whole dataset.
 
     Parameters
@@ -252,40 +697,147 @@ def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
         the reference per-trace estimator.  Both produce equivalent
         records in the same order.
     chunk_size:
-        Maximum traces held in memory at once by the batched backend
-        (memory is bounded at ``chunk_size * samples_per_trace`` floats
-        regardless of fleet size).
+        Maximum traces held in memory at once (memory is bounded at
+        ``chunk_size * samples_per_trace`` floats regardless of fleet
+        size); also the row count of each columnar result block and the
+        slice size of the multi-worker batch specs.
+    workers:
+        Number of survey worker *processes*.  With ``workers >= 2``,
+        trace generation and estimation both fan out to a process pool
+        (batched backend only): workers receive picklable batch specs,
+        regenerate their pair slices locally and return compact columnar
+        blocks.  The records are byte-identical to a single-process run.
+        Requires a dataset reconstructible from its config (the parallel
+        path rebuilds ``FleetDataset(dataset.config)`` in each worker).
+    fft_workers:
+        pocketfft thread count for the batched engine's ``rfft`` (see
+        :func:`repro.core.batch.batch_estimate`).
+    sink:
+        Destination for the columnar result blocks.  Default: in-memory.
+        Pass a :class:`SpillingRecordSink` to stream records to disk so a
+        100k+-pair survey's memory stays bounded by ``chunk_size``.
     """
     if oversample_threshold < 1:
         raise ValueError("oversample_threshold must be >= 1")
     if backend not in ("batched", "scalar"):
         raise ValueError(f"unknown backend {backend!r}; choose 'batched' or 'scalar'")
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers is not None and workers > 1 and backend != "batched":
+        raise ValueError("multi-worker execution requires the 'batched' backend")
+    if sink is not None and sink.rows > 0:
+        # Appending a fresh survey to leftover records would silently
+        # corrupt every aggregation with duplicates; a previous run's spill
+        # directory is re-opened with SurveyResult(sink=...) instead.
+        raise ValueError(
+            f"sink already holds {sink.rows} records; run_survey needs an empty sink "
+            "(point SpillingRecordSink at a fresh directory, or re-open the existing "
+            "one with SurveyResult(sink=...))")
     estimator = estimator or NyquistEstimator()
-    result = SurveyResult(oversample_threshold=oversample_threshold)
+    result = SurveyResult(oversample_threshold=oversample_threshold, sink=sink)
     metric_names = list(metrics) if metrics is not None else dataset.metric_names()
+    trace_duration = dataset.config.trace_duration
 
-    def append(metric_name: str, pair, estimate: NyquistEstimate, current_rate: float) -> None:
-        result.records.append(PairRecord(
-            metric_name=metric_name,
-            device_id=pair.device.device_id,
-            current_rate=current_rate,
-            nyquist_rate=estimate.nyquist_rate,
-            reduction_ratio=estimate.reduction_ratio,
-            category=_classify(estimate, oversample_threshold),
-            reliable=estimate.reliable,
-            true_nyquist_rate=pair.parameters.true_nyquist_rate,
-            trace_duration=dataset.config.trace_duration,
-        ))
+    if workers is not None and workers > 1:
+        _run_survey_parallel(dataset, result, estimator, metric_names, limit_per_metric,
+                             chunk_size, workers, fft_workers)
+        return result
 
     for metric_name in metric_names:
         if backend == "batched":
             for batch in dataset.trace_batches(metric_name, limit=limit_per_metric,
                                                chunk_size=chunk_size):
-                estimates = estimator.estimate_batch(batch.values, batch.interval)
-                for pair, estimate in zip(batch.pairs, estimates):
-                    append(metric_name, pair, estimate, batch.sampling_rate)
+                estimates = estimator.estimate_batch(batch.values, batch.interval,
+                                                     fft_workers=fft_workers)
+                result.append_block(_block_from_estimates(
+                    metric_name, batch.pairs, estimates, batch.sampling_rate,
+                    oversample_threshold, trace_duration))
         else:
+            buffer_pairs: list[TracePair] = []
+            buffer_estimates: list[NyquistEstimate] = []
+            buffer_rate = 0.0
+
+            def flush() -> None:
+                if buffer_pairs:
+                    result.append_block(_block_from_estimates(
+                        metric_name, buffer_pairs, buffer_estimates, buffer_rate,
+                        oversample_threshold, trace_duration))
+                    buffer_pairs.clear()
+                    buffer_estimates.clear()
+
             for pair, trace in dataset.traces(metric_name, limit=limit_per_metric):
-                estimate = estimator.estimate(trace)
-                append(metric_name, pair, estimate, trace.sampling_rate)
+                if buffer_pairs and (trace.sampling_rate != buffer_rate
+                                     or len(buffer_pairs) >= chunk_size):
+                    flush()
+                buffer_rate = trace.sampling_rate
+                buffer_pairs.append(pair)
+                buffer_estimates.append(estimator.estimate(trace))
+            flush()
     return result
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WindowedPairSummary:
+    """Moving-window rate drift of one (metric, device) pair (fleet Figure 7)."""
+
+    metric_name: str
+    device_id: str
+    windows: int
+    reliable_windows: int
+    min_rate: float
+    max_rate: float
+    mean_rate: float
+    dynamic_range: float
+
+    @property
+    def drifting(self) -> bool:
+        """True when the inferred rate moved by more than 2x across windows."""
+        return math.isfinite(self.dynamic_range) and self.dynamic_range > 2.0
+
+
+def run_windowed_survey(dataset: FleetDataset,
+                        window_seconds: float = FIGURE7_WINDOW_SECONDS,
+                        step_seconds: float = FIGURE7_STEP_SECONDS,
+                        estimator: NyquistEstimator | None = None,
+                        metrics: Sequence[str] | None = None,
+                        limit_per_metric: int | None = None) -> list[WindowedPairSummary]:
+    """Run the Figure 7 moving-window sweep over every pair of a fleet.
+
+    This is the paper's continuous re-estimation loop at fleet scale: for
+    each (metric, device) pair, slide the Figure 7 window over its trace,
+    estimate the Nyquist rate in every position through the vectorised
+    windowed backend (one ``rfft`` per pair for the whole sweep), and
+    summarise how much the rate drifts.  Pairs whose ``dynamic_range``
+    exceeds 2x (``drifting``) are the ones a fixed sampling rate cannot
+    serve -- the motivation for the Section 4 adaptive controller.
+
+    The default estimator uses the short-window configuration shared by
+    every Figure 7 call site (the adaptive controller, the Figure 7
+    bench): detrend + Hann taper so slow trends that do not complete a
+    cycle inside a 6-hour window do not leak across the spectrum, and the
+    paper's strict "all bins needed" aliasing rule (1.0) because the
+    calibrated day-length survey default (0.9) would refuse every
+    noise-dominated quiet window instead of reporting its small rate.
+    """
+    estimator = estimator or NyquistEstimator(detrend=True, window="hann",
+                                              aliased_band_fraction=1.0)
+    summaries: list[WindowedPairSummary] = []
+    metric_names = list(metrics) if metrics is not None else dataset.metric_names()
+    for metric_name in metric_names:
+        for pair, trace in dataset.traces(metric_name, limit=limit_per_metric):
+            estimates = windowed_nyquist_rates(trace, window_seconds=window_seconds,
+                                               step_seconds=step_seconds,
+                                               estimator=estimator)
+            stats = rate_stability(estimates)
+            summaries.append(WindowedPairSummary(
+                metric_name=metric_name,
+                device_id=pair.device.device_id,
+                windows=len(estimates),
+                reliable_windows=int(stats["count"]),
+                min_rate=stats["min"],
+                max_rate=stats["max"],
+                mean_rate=stats["mean"],
+                dynamic_range=stats["dynamic_range"],
+            ))
+    return summaries

@@ -1,10 +1,16 @@
 """Command-line interface: run the survey, the adaptive demo, and quick estimates.
 
 Installed as ``repro-monitor`` (see pyproject) and runnable as
-``python -m repro.cli``.  Three subcommands cover the common workflows:
+``python -m repro.cli``.  Four subcommands cover the common workflows:
 
 * ``survey``   -- run the Section 3.2 fleet survey and print Figures 1/4/5
-  style summaries (optionally exporting CSVs).
+  style summaries (optionally exporting CSVs).  ``--workers`` fans trace
+  generation + estimation out to a process pool and ``--spill-dir``
+  streams the per-pair records to npz chunks on disk, so 100k+-pair
+  fleets run with memory bounded by ``--chunk-size``.
+* ``windowed`` -- run the Figure 7 moving-window sweep over every pair of
+  a fleet (the continuous re-estimation loop) and report how much each
+  pair's Nyquist rate drifts.
 * ``adaptive`` -- run the Section 4 adaptive controller on a synthetic
   temperature trace and report the cost saving and reconstruction error.
 * ``estimate`` -- estimate the Nyquist rate of a trace stored in a CSV
@@ -21,7 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from .analysis.reporting import ascii_bar_chart, box_stats, format_table, write_csv
-from .analysis.survey import run_survey
+from .analysis.survey import SpillingRecordSink, run_survey, run_windowed_survey
 from .core.adaptive import AdaptiveSamplingController, ControllerConfig
 from .core.errors import compare
 from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
@@ -39,6 +45,13 @@ def _non_negative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
     return value
 
 
@@ -63,6 +76,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap the number of (metric, device) pairs analysed per metric")
     survey.add_argument("--csv-dir", type=Path, default=None,
                         help="directory to write figure CSVs into")
+    survey.add_argument("--workers", type=_positive_int, default=1,
+                        help="worker processes for trace generation + estimation "
+                             "(>= 2 fans the survey out to a process pool)")
+    survey.add_argument("--fft-workers", type=_positive_int, default=None,
+                        help="pocketfft threads inside each batched rfft")
+    survey.add_argument("--chunk-size", type=_positive_int, default=1024,
+                        help="traces held in memory at once (bounds survey memory)")
+    survey.add_argument("--spill-dir", type=Path, default=None,
+                        help="stream per-pair records to npz chunks in this directory "
+                             "instead of holding them in memory (out-of-core surveys)")
+
+    windowed = subparsers.add_parser(
+        "windowed", help="fleet-wide moving-window Nyquist sweep (Figure 7 at scale)")
+    windowed.add_argument("--pairs", type=int, default=56,
+                          help="number of (metric, device) pairs to sweep")
+    windowed.add_argument("--seed", type=int, default=7, help="dataset seed")
+    windowed.add_argument("--window-hours", type=float, default=6.0,
+                          help="moving window length in hours (paper: 6)")
+    windowed.add_argument("--step-minutes", type=float, default=5.0,
+                          help="moving window step in minutes (paper: 5)")
+    windowed.add_argument("--limit-per-metric", type=_non_negative_int, default=None,
+                          help="cap the number of pairs swept per metric")
 
     adaptive = subparsers.add_parser("adaptive",
                                      help="run the adaptive controller on a temperature trace")
@@ -84,8 +119,11 @@ def build_parser() -> argparse.ArgumentParser:
 def _command_survey(args: argparse.Namespace) -> int:
     dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
     estimator = NyquistEstimator(energy_fraction=args.energy_fraction)
+    sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
     result = run_survey(dataset, estimator=estimator, backend=args.backend,
-                        limit_per_metric=args.limit_per_metric)
+                        limit_per_metric=args.limit_per_metric,
+                        workers=args.workers, fft_workers=args.fft_workers,
+                        chunk_size=args.chunk_size, sink=sink)
 
     print(f"Surveyed {len(result)} metric-device pairs "
           f"({len(result.metrics())} metrics)\n")
@@ -118,6 +156,30 @@ def _command_survey(args: argparse.Namespace) -> int:
                       for record in result.records if record.reliable]
         write_csv(args.csv_dir / "figure4_reduction_ratios.csv", ratio_rows)
         print(f"\nCSV series written under {args.csv_dir}")
+    if args.spill_dir is not None:
+        print(f"\nRecord chunks spilled to {args.spill_dir} "
+              f"({len(result.sink.files)} npz files)")
+    return 0
+
+
+def _command_windowed(args: argparse.Namespace) -> int:
+    dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
+    summaries = run_windowed_survey(dataset,
+                                    window_seconds=args.window_hours * 3600.0,
+                                    step_seconds=args.step_minutes * 60.0,
+                                    limit_per_metric=args.limit_per_metric)
+    print(f"Windowed sweep over {len(summaries)} metric-device pairs "
+          f"({args.window_hours:g} h window, {args.step_minutes:g} min step)\n")
+    rows = [{"metric": s.metric_name, "device": s.device_id, "windows": s.windows,
+             "reliable": s.reliable_windows, "min_hz": s.min_rate, "max_hz": s.max_rate,
+             "dynamic_range": s.dynamic_range, "drifting": s.drifting}
+            for s in summaries]
+    print(format_table(rows))
+    swept = [s for s in summaries if s.windows > 0]
+    drifting = sum(s.drifting for s in swept)
+    if swept:
+        print(f"\n{drifting} of {len(swept)} swept pairs drift by more than 2x "
+              "(cf. Figure 7: a fixed rate cannot serve them)")
     return 0
 
 
@@ -202,6 +264,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "survey": _command_survey,
+        "windowed": _command_windowed,
         "adaptive": _command_adaptive,
         "estimate": _command_estimate,
     }

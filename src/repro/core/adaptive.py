@@ -206,10 +206,15 @@ class AdaptiveSamplingController:
         # The controller estimates over short windows, where a slow trend
         # that does not complete a cycle leaks energy across the spectrum
         # and inflates the estimate; detrending plus a Hann taper keeps the
-        # windowed estimates honest (see NyquistEstimator docs).
+        # windowed estimates honest (see NyquistEstimator docs).  The
+        # strict "all bins needed" aliasing rule (1.0) is kept here: on
+        # short windows the calibrated survey default (0.9) refuses too
+        # eagerly and would boost the rate on every noisy window, and the
+        # controller already carries its own aliasing safety net (the
+        # dual-rate detector).
         self.estimator = estimator or NyquistEstimator(
             energy_fraction=self.config.energy_fraction,
-            detrend=True, window="hann")
+            detrend=True, window="hann", aliased_band_fraction=1.0)
         self.detector = detector or DualRateAliasingDetector(
             rate_ratio=self.config.dual_rate_ratio,
             threshold=self.config.aliasing_threshold)

@@ -42,12 +42,24 @@ from __future__ import annotations
 import numpy as np
 
 try:  # scipy's pocketfft is measurably faster; numpy is the fallback.
-    from scipy.fft import rfft as _rfft
+    from scipy.fft import rfft as _scipy_rfft
+
+    def _rfft(values: np.ndarray, fft_workers: int | None = None) -> np.ndarray:
+        """Row-wise rfft, optionally spread over pocketfft worker threads.
+
+        ``fft_workers`` maps to scipy's ``workers=`` argument, which
+        parallelises the batch across rows without changing any row's
+        result (each row's transform is still computed by the same code).
+        """
+        if fft_workers is not None and fft_workers > 1:
+            return _scipy_rfft(values, axis=-1, workers=fft_workers)
+        return _scipy_rfft(values, axis=-1)
 except ImportError:  # pragma: no cover - exercised only without scipy
-    _rfft = np.fft.rfft
+    def _rfft(values: np.ndarray, fft_workers: int | None = None) -> np.ndarray:
+        return np.fft.rfft(values, axis=-1)
 
 from .nyquist import ALIASED_SENTINEL, NyquistEstimate, NyquistEstimator
-from .psd import batch_welch_psd, window_coefficients
+from .psd import batch_welch_psd, taper_energy, window_coefficients
 
 __all__ = ["batch_estimate"]
 
@@ -89,8 +101,8 @@ def _remove_linear_trend_rows(values: np.ndarray) -> np.ndarray:
     return values - row_means - slopes[:, None] * x_centered
 
 
-def _batch_power(values: np.ndarray, interval: float,
-                 estimator: NyquistEstimator) -> tuple[np.ndarray, np.ndarray, float]:
+def _batch_power(values: np.ndarray, interval: float, estimator: NyquistEstimator,
+                 fft_workers: int | None = None) -> tuple[np.ndarray, np.ndarray, float]:
     """Raw one-sided power of every row plus the deferred normalisation.
 
     Returns ``(power, frequencies, scale)`` where ``power / scale`` is the
@@ -103,8 +115,8 @@ def _batch_power(values: np.ndarray, interval: float,
             tapered, taper_power = values, float(n)
         else:
             taper = window_coefficients(estimator.window, n)
-            tapered, taper_power = values * taper, float(np.sum(taper ** 2))
-        power = np.abs(_rfft(tapered, axis=-1))
+            tapered, taper_power = values * taper, taper_energy(taper)
+        power = np.abs(_rfft(tapered, fft_workers))
         np.square(power, out=power)
         if n % 2 == 0:
             power[:, 1:-1] *= 2.0
@@ -143,8 +155,8 @@ def _constant_estimate(estimator: NyquistEstimator, current_rate: float,
 _CONSTANT_SUSPICION: float = 1e-16
 
 
-def _fast_batch_estimate(matrix: np.ndarray, interval: float,
-                         estimator: NyquistEstimator) -> list[NyquistEstimate]:
+def _fast_batch_estimate(matrix: np.ndarray, interval: float, estimator: NyquistEstimator,
+                         fft_workers: int | None = None) -> list[NyquistEstimate]:
     """Hot path for the survey defaults: rectangular-window periodogram, DC excluded.
 
     Runs the FFT over every row up front (constant rows are found from
@@ -164,7 +176,7 @@ def _fast_batch_estimate(matrix: np.ndarray, interval: float,
         working_values = _remove_linear_trend_rows(working_values)
     scale = float(n) * float(n)
 
-    power = np.abs(_rfft(working_values, axis=-1))
+    power = np.abs(_rfft(working_values, fft_workers))
     np.square(power, out=power)
     dc = power[:, 0]
     band = power[:, 1:]
@@ -247,7 +259,8 @@ def _fast_batch_estimate(matrix: np.ndarray, interval: float,
 
 
 def batch_estimate(values: np.ndarray, interval: float,
-                   estimator: NyquistEstimator | None = None) -> list[NyquistEstimate]:
+                   estimator: NyquistEstimator | None = None,
+                   fft_workers: int | None = None) -> list[NyquistEstimate]:
     """Run the Section 3.2 estimator on every row of a trace matrix.
 
     Parameters
@@ -264,6 +277,13 @@ def batch_estimate(values: np.ndarray, interval: float,
         Every knob (``energy_fraction``, ``include_dc``, ``psd_method``,
         ``min_samples``, ``flat_tolerance``, ``aliased_band_fraction``,
         ``detrend``, ``window``) is honoured.
+    fft_workers:
+        Number of pocketfft worker threads for the batched ``rfft``
+        (scipy's ``workers=``; ignored under the numpy fallback and for
+        the Welch path).  Parallelism is across rows, so the per-row
+        results are unchanged; the default (``None``) keeps the FFT
+        single-threaded, which is right for 1-CPU hosts and for surveys
+        already parallelised across worker *processes*.
 
     Returns
     -------
@@ -287,7 +307,7 @@ def batch_estimate(values: np.ndarray, interval: float,
 
     if (estimator.psd_method == "periodogram" and estimator.window == "rectangular"
             and not estimator.include_dc and estimator.flat_tolerance == 0):
-        return _fast_batch_estimate(matrix, interval, estimator)
+        return _fast_batch_estimate(matrix, interval, estimator, fft_workers)
 
     constant = _constant_mask(matrix, estimator)
     results: list[NyquistEstimate | None] = [None] * rows
@@ -303,7 +323,7 @@ def batch_estimate(values: np.ndarray, interval: float,
     if estimator.detrend:
         working_values = _remove_linear_trend_rows(working_values)
 
-    power, all_freqs, scale = _batch_power(working_values, interval, estimator)
+    power, all_freqs, scale = _batch_power(working_values, interval, estimator, fft_workers)
     if estimator.include_dc or (all_freqs.size and all_freqs[0] != 0.0):
         band_power, freqs = power, all_freqs
     else:

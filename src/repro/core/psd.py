@@ -32,6 +32,7 @@ __all__ = [
     "batch_welch_psd",
     "WindowName",
     "window_coefficients",
+    "taper_energy",
 ]
 
 WindowName = Literal["rectangular", "hann", "hamming", "blackman"]
@@ -57,6 +58,24 @@ def window_coefficients(name: WindowName, length: int) -> np.ndarray:
     return np.asarray(builder(length), dtype=np.float64)
 
 
+def taper_energy(taper: np.ndarray) -> float:
+    """Sum of squared taper coefficients, rejecting degenerate tapers.
+
+    A tapered window can be identically (or numerically) zero at very
+    short lengths -- ``hanning(2) == [0, 0]`` is the canonical case -- in
+    which case the PSD normalisation divides by zero and every bin comes
+    out NaN.  Rather than emit a RuntimeWarning and a NaN spectrum, fail
+    with an actionable error.
+    """
+    energy = float(np.sum(taper ** 2))
+    if energy <= taper.size * np.finfo(np.float64).eps ** 2:
+        raise ValueError(
+            f"degenerate tapered window of length {taper.size}: the taper has "
+            "(near-)zero energy (e.g. hann of length 2), so the PSD is undefined; "
+            "use a longer segment or window='rectangular'")
+    return energy
+
+
 def _one_sided_psd(values: np.ndarray, taper: np.ndarray) -> np.ndarray:
     """One-sided PSD along the last axis of ``values``.
 
@@ -68,7 +87,7 @@ def _one_sided_psd(values: np.ndarray, taper: np.ndarray) -> np.ndarray:
     the Nyquist bin are unique).
     """
     n = values.shape[-1]
-    scale = n * np.sum(taper ** 2)
+    scale = n * taper_energy(taper)
     spectrum = np.fft.rfft(values * taper, axis=-1)
     power = (np.abs(spectrum) ** 2) / scale
     if n % 2 == 0:

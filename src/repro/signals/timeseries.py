@@ -192,18 +192,36 @@ class TimeSeries:
         last = max(last, first)
         return self.segment(first, last)
 
+    def iter_window_bounds(self, window: float, step: float) -> Iterator[tuple[int, int]]:
+        """Sample-index bounds ``(first, stop)`` of every moving-window position.
+
+        The single source of truth for the Figure 7 window arithmetic:
+        both the per-window :meth:`iter_windows` iteration and the
+        vectorised sweep of :mod:`repro.core.windowed` consume these
+        bounds, so the two backends always analyse byte-for-byte the same
+        sample slices (including the ragged positions where rounding makes
+        a window one sample shorter or longer than its neighbours).
+        Windows that would extend past the end of the series are not
+        yielded.
+        """
+        if window <= 0 or step <= 0:
+            raise ValueError("window and step must be positive")
+        n = len(self)
+        t = self.start_time
+        while t + window <= self.end_time + 1e-9:
+            first = max(int(math.ceil((t - self.start_time) / self.interval)), 0)
+            last = max(int(math.ceil((t + window - self.start_time) / self.interval)), first)
+            yield min(first, n), min(last, n)
+            t += step
+
     def iter_windows(self, window: float, step: float) -> Iterator["TimeSeries"]:
         """Yield successive windows of ``window`` seconds every ``step`` seconds.
 
         Used by the moving-window Nyquist inference of Figure 7.  Windows
         that would extend past the end of the series are not yielded.
         """
-        if window <= 0 or step <= 0:
-            raise ValueError("window and step must be positive")
-        t = self.start_time
-        while t + window <= self.end_time + 1e-9:
-            yield self.window(t, t + window)
-            t += step
+        for first, stop in self.iter_window_bounds(window, step):
+            yield self.segment(first, stop)
 
     def concatenate(self, other: "TimeSeries") -> "TimeSeries":
         """Append ``other`` (same interval) after this series."""

@@ -181,10 +181,21 @@ class FleetDataset:
                               device_name=pair.device.device_id)
 
     def traces(self, metric_name: str | None = None,
-               limit: int | None = None) -> Iterator[tuple[TracePair, TimeSeries]]:
-        """Iterate (pair, trace) tuples, optionally restricted to one metric."""
+               limit: int | None = None,
+               offset: int = 0) -> Iterator[tuple[TracePair, TimeSeries]]:
+        """Iterate (pair, trace) tuples, optionally restricted to one metric.
+
+        ``offset`` skips that many leading pairs (applied before
+        ``limit``), which is how the multi-worker survey pipeline
+        addresses disjoint slices of one metric's pair list: each worker
+        regenerates only its ``[offset, offset + limit)`` slice locally.
+        """
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
         selected: Sequence[TracePair]
         selected = self.pairs() if metric_name is None else self.pairs_for_metric(metric_name)
+        if offset:
+            selected = selected[offset:]
         if limit is not None:
             selected = selected[:limit]
         for pair in selected:
@@ -192,7 +203,8 @@ class FleetDataset:
 
     def trace_batches(self, metric_name: str | None = None,
                       limit: int | None = None,
-                      chunk_size: int = 1024) -> Iterator[TraceBatch]:
+                      chunk_size: int = 1024,
+                      offset: int = 0) -> Iterator[TraceBatch]:
         """Iterate the survey as equal-shape :class:`TraceBatch` matrices.
 
         Consecutive traces that share a (length, interval) shape are
@@ -202,7 +214,10 @@ class FleetDataset:
         ``chunk_size`` traces regardless of fleet size, and concatenating
         the batches' pairs reproduces :meth:`traces` order exactly (within
         one metric every trace shares a shape, so per-metric iteration
-        yields contiguous chunks).
+        yields contiguous chunks).  ``offset``/``limit`` select a slice of
+        the pair list (offset first), so a survey worker slicing the fleet
+        at ``chunk_size`` boundaries reproduces exactly the matrices the
+        sequential iteration would build.
         """
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
@@ -217,7 +232,7 @@ class FleetDataset:
                 buffered_pairs.clear()
                 buffered_values.clear()
 
-        for pair, trace in self.traces(metric_name, limit=limit):
+        for pair, trace in self.traces(metric_name, limit=limit, offset=offset):
             trace_key = (len(trace), trace.interval)
             if key is not None and (trace_key != key or len(buffered_pairs) >= chunk_size):
                 yield from flush()

@@ -7,9 +7,26 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis.survey import PairCategory, SurveyResult, run_survey
-from repro.core.nyquist import NyquistEstimator
+from repro.analysis.survey import (MemoryRecordSink, PairCategory, RecordBlock,
+                                   SpillingRecordSink, SurveyResult, run_survey,
+                                   run_windowed_survey)
+from repro.core.nyquist import DEFAULT_ALIASED_BAND_FRACTION, NyquistEstimator
 from repro.telemetry.dataset import DatasetConfig, FleetDataset
+
+
+def assert_blocks_byte_identical(left, right) -> None:
+    """Column-for-column exact equality of two block streams."""
+    left_blocks, right_blocks = list(left), list(right)
+    assert len(left_blocks) == len(right_blocks)
+    for a, b in zip(left_blocks, right_blocks):
+        assert a.metric_name == b.metric_name
+        assert np.array_equal(a.device_ids, b.device_ids)
+        for column in ("current_rate", "nyquist_rate", "reduction_ratio",
+                       "true_nyquist_rate", "trace_duration"):
+            assert np.array_equal(getattr(a, column), getattr(b, column),
+                                  equal_nan=True), column
+        assert np.array_equal(a.category, b.category)
+        assert np.array_equal(a.reliable, b.reliable)
 
 
 @pytest.fixture(scope="module")
@@ -172,3 +189,196 @@ class TestAggregations:
             key = (record.metric_name, record.device_id)
             if record.reliable and key in strict_rates:
                 assert strict_rates[key] >= record.nyquist_rate - 1e-12
+
+
+class TestColumnarStorage:
+    def test_records_view_matches_blocks(self, survey):
+        records = survey.records
+        assert len(records) == len(survey)
+        total = sum(len(block) for block in survey.iter_blocks())
+        assert total == len(survey)
+        # The per-pair view carries the same data as the columns.
+        index = 0
+        for block in survey.iter_blocks():
+            for offset in range(len(block)):
+                record = records[index]
+                assert record.metric_name == block.metric_name
+                assert record.device_id == str(block.device_ids[offset])
+                assert record.nyquist_rate == block.nyquist_rate[offset]
+                index += 1
+
+    def test_survey_result_from_records_round_trip(self, survey):
+        rebuilt = SurveyResult(records=survey.records,
+                               oversample_threshold=survey.oversample_threshold)
+        assert len(rebuilt) == len(survey)
+        assert rebuilt.metrics() == survey.metrics()
+        assert rebuilt.headline() == survey.headline()
+        assert np.array_equal(rebuilt.reduction_ratios(), survey.reduction_ratios())
+
+    def test_block_npz_round_trip(self, survey, tmp_path):
+        block = next(iter(survey.iter_blocks()))
+        block.save_npz(tmp_path / "block.npz")
+        loaded = RecordBlock.load_npz(tmp_path / "block.npz")
+        assert_blocks_byte_identical([block], [loaded])
+
+    def test_block_csv_round_trip(self, survey, tmp_path):
+        block = next(iter(survey.iter_blocks()))
+        block.save_csv(tmp_path / "block.csv")
+        loaded = RecordBlock.load_csv(tmp_path / "block.csv")
+        assert_blocks_byte_identical([block], [loaded])
+
+
+class TestParallelWorkers:
+    def test_worker_count_invariance(self):
+        """workers=1 and workers=4 must produce byte-identical records."""
+        dataset = FleetDataset(DatasetConfig(pair_count=56, seed=5))
+        single = run_survey(dataset, workers=1, chunk_size=3)
+        pooled = run_survey(dataset, workers=4, chunk_size=3)
+        assert len(single) == len(pooled) == 56
+        assert_blocks_byte_identical(single.iter_blocks(), pooled.iter_blocks())
+        assert single.headline() == pooled.headline()
+
+    def test_workers_respect_limit_and_metrics(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=5))
+        single = run_survey(dataset, workers=1, limit_per_metric=2,
+                            metrics=["Temperature", "Link util"])
+        pooled = run_survey(dataset, workers=2, limit_per_metric=2,
+                            metrics=["Temperature", "Link util"])
+        assert len(single) == len(pooled) == 4
+        assert_blocks_byte_identical(single.iter_blocks(), pooled.iter_blocks())
+
+    def test_workers_rejects_scalar_backend(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=14, seed=5))
+        with pytest.raises(ValueError, match="batched"):
+            run_survey(dataset, workers=2, backend="scalar")
+
+    def test_rejects_bad_worker_count(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=14, seed=5))
+        with pytest.raises(ValueError, match="workers"):
+            run_survey(dataset, workers=0)
+
+
+class TestSpillToDisk:
+    def test_spilled_aggregations_identical_to_memory(self, tmp_path):
+        """The out-of-core path must aggregate exactly like the in-memory path."""
+        dataset = FleetDataset(DatasetConfig(pair_count=56, seed=5))
+        sink = SpillingRecordSink(tmp_path / "spool")
+        spilled = run_survey(dataset, chunk_size=5, sink=sink)
+        memory = run_survey(dataset, chunk_size=5)
+
+        assert len(sink.files) > 1  # the spill path was actually exercised
+        assert spilled.headline() == memory.headline()
+        assert spilled.oversampled_fraction_by_metric() == \
+            memory.oversampled_fraction_by_metric()
+        assert spilled.estimation_accuracy() == memory.estimation_accuracy()
+        for metric in memory.metrics():
+            assert np.array_equal(spilled.nyquist_rates(metric),
+                                  memory.nyquist_rates(metric))
+            assert np.array_equal(spilled.reduction_ratios(metric),
+                                  memory.reduction_ratios(metric))
+        assert np.array_equal(spilled.reduction_ratios(include_unreliable=True),
+                              memory.reduction_ratios(include_unreliable=True))
+        assert_blocks_byte_identical(spilled.iter_blocks(), memory.iter_blocks())
+
+    def test_spill_directory_reopens(self, tmp_path):
+        """A spilled survey can be re-opened from its directory in a new result."""
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        original = run_survey(dataset, chunk_size=4,
+                              sink=SpillingRecordSink(tmp_path / "spool"))
+        reopened = SurveyResult(sink=SpillingRecordSink(tmp_path / "spool"))
+        assert len(reopened) == len(original)
+        assert reopened.metrics() == original.metrics()
+        assert reopened.headline() == original.headline()
+
+    def test_csv_spill_format(self, tmp_path):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        spilled = run_survey(dataset, chunk_size=4,
+                             sink=SpillingRecordSink(tmp_path / "spool", fmt="csv"))
+        memory = run_survey(dataset, chunk_size=4)
+        assert spilled.headline() == memory.headline()
+        assert all(path.suffix == ".csv" for path in spilled.sink.files)
+
+    def test_rejects_unknown_format(self, tmp_path):
+        with pytest.raises(ValueError, match="format"):
+            SpillingRecordSink(tmp_path, fmt="parquet")  # type: ignore[arg-type]
+
+    def test_run_survey_rejects_non_empty_sink(self, tmp_path):
+        """Regression: re-running a survey into a used spill directory must
+        fail loudly instead of silently merging duplicate records."""
+        dataset = FleetDataset(DatasetConfig(pair_count=14, seed=5))
+        run_survey(dataset, sink=SpillingRecordSink(tmp_path / "spool"))
+        with pytest.raises(ValueError, match="already holds"):
+            run_survey(dataset, sink=SpillingRecordSink(tmp_path / "spool"))
+
+    def test_spill_with_workers(self, tmp_path):
+        """Spilling composes with the worker pool (parent-side sink)."""
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        spilled = run_survey(dataset, workers=2, chunk_size=4,
+                             sink=SpillingRecordSink(tmp_path / "spool"))
+        memory = run_survey(dataset, workers=1, chunk_size=4)
+        assert spilled.headline() == memory.headline()
+        assert_blocks_byte_identical(spilled.iter_blocks(), memory.iter_blocks())
+
+
+#: Metrics whose broadband variant genuinely fills the measurable band
+#: (continuous gauges/counters); sparse burst metrics (drops, discards,
+#: errors) stay low-band even when flagged broadband.
+CONTINUOUS_METRICS = ("Temperature", "Link util", "Memory usage", "5-pct CPU util",
+                      "Unicast bytes", "Multicast bytes", "Lossy paths")
+
+
+class TestAliasedBandCalibration:
+    def test_default_is_calibrated_below_one(self):
+        assert DEFAULT_ALIASED_BAND_FRACTION == 0.9
+        assert NyquistEstimator().aliased_band_fraction == DEFAULT_ALIASED_BAND_FRACTION
+
+    def test_planted_broadband_pairs_are_refused(self):
+        """Regression: the strict 1.0 default never fired on day-length
+        synthetic traces -- planted broadband pairs came back MARGINAL
+        instead of reproducing the paper's "record -1" behaviour."""
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=11,
+                                             broadband_fraction=1.0,
+                                             metrics=CONTINUOUS_METRICS))
+        result = run_survey(dataset)
+        assert all(record.category is PairCategory.ALIASED_SUSPECT
+                   for record in result.records)
+
+    def test_clean_pairs_are_never_refused(self):
+        """The calibrated default must not flag band-limited pairs."""
+        dataset = FleetDataset(DatasetConfig(pair_count=84, seed=11,
+                                             broadband_fraction=0.0))
+        result = run_survey(dataset)
+        assert not any(record.category is PairCategory.ALIASED_SUSPECT
+                       for record in result.records)
+
+    def test_strict_rule_still_available(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=11,
+                                             broadband_fraction=1.0,
+                                             metrics=CONTINUOUS_METRICS))
+        strict = run_survey(dataset, estimator=NyquistEstimator(aliased_band_fraction=1.0))
+        calibrated = run_survey(dataset)
+        strict_suspects = sum(r.category is PairCategory.ALIASED_SUSPECT
+                              for r in strict.records)
+        calibrated_suspects = sum(r.category is PairCategory.ALIASED_SUSPECT
+                                  for r in calibrated.records)
+        assert calibrated_suspects > strict_suspects
+
+
+class TestWindowedSurvey:
+    def test_fleet_windowed_sweep(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        summaries = run_windowed_survey(dataset, limit_per_metric=1)
+        assert len(summaries) == 14
+        for summary in summaries:
+            assert summary.reliable_windows <= summary.windows
+            if summary.reliable_windows:
+                assert summary.min_rate <= summary.mean_rate <= summary.max_rate
+        # Day-length traces admit a dense 6h/5min sweep on most metrics.
+        assert sum(s.windows > 0 for s in summaries) >= 10
+
+    def test_metric_restriction(self):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        summaries = run_windowed_survey(dataset, metrics=["Temperature"],
+                                        limit_per_metric=2)
+        assert len(summaries) == 2
+        assert all(s.metric_name == "Temperature" for s in summaries)

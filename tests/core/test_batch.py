@@ -157,6 +157,20 @@ class TestBatchEstimateEquivalence:
         for a, b in zip(via_method, via_function):
             assert_equivalent(a, b)
 
+    @pytest.mark.parametrize("window", ["rectangular", "hann"])
+    def test_fft_workers_do_not_change_results(self, window):
+        """pocketfft worker threads parallelise across rows only, so the
+        per-row estimates must be bit-identical to the single-threaded run."""
+        estimator = NyquistEstimator(window=window)
+        matrix = make_matrix(128, rows=16, seed=13)
+        single = batch_estimate(matrix, 2.0, estimator=estimator)
+        threaded = batch_estimate(matrix, 2.0, estimator=estimator, fft_workers=4)
+        for a, b in zip(single, threaded):
+            assert a.nyquist_rate == b.nyquist_rate
+            assert a.reliable == b.reliable
+            assert a.captured_fraction == b.captured_fraction
+            assert a.total_energy == b.total_energy
+
     def test_randomised_sweep(self):
         """Property-style: many random shapes/configs, scalar == batched."""
         rng = np.random.default_rng(2024)

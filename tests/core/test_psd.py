@@ -155,6 +155,40 @@ class TestWelch:
         assert averaged_cv < raw_cv
 
 
+class TestDegenerateTaperedWindow:
+    """Regression: a length-2 tapered window (hanning(2) == [0, 0]) used to
+    produce a NaN spectrum with a RuntimeWarning; it must now fail clearly."""
+
+    def test_periodogram_length_two_hann_raises(self):
+        with pytest.raises(ValueError, match="window"):
+            periodogram(TimeSeries([1.0, 2.0], 1.0), window="hann")
+
+    def test_welch_length_two_hann_raises(self):
+        # n=2 resolves the default segment length to 2, and Welch's default
+        # window is hann -- previously a silent all-NaN spectrum.
+        with pytest.raises(ValueError, match="window"):
+            welch_psd(TimeSeries([1.0, 2.0], 1.0))
+
+    def test_welch_explicit_segment_length_two_raises(self):
+        series = sine(1.0, duration=4.0, sampling_rate=16.0)
+        with pytest.raises(ValueError, match="window"):
+            welch_psd(series, segment_length=2, window="hann")
+
+    def test_batch_periodogram_length_two_hann_raises(self):
+        from repro.core.psd import batch_periodogram
+        with pytest.raises(ValueError, match="window"):
+            batch_periodogram(np.ones((3, 2)), 1.0, window="hann")
+
+    def test_rectangular_length_two_still_works(self):
+        spectrum = periodogram(TimeSeries([1.0, 2.0], 1.0), window="rectangular")
+        assert np.all(np.isfinite(spectrum.power))
+
+    def test_longer_tapered_windows_unaffected(self):
+        series = sine(1.0, duration=4.0, sampling_rate=16.0)
+        spectrum = welch_psd(series, segment_length=8, window="hann")
+        assert np.all(np.isfinite(spectrum.power))
+
+
 class TestPowerSpectrumDispatch:
     def test_dispatch(self, sine_1hz):
         assert len(power_spectrum(sine_1hz, method="periodogram")) > 0

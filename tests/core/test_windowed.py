@@ -54,6 +54,79 @@ class TestWindowedEstimates:
         assert estimates == []
 
 
+class TestBackendEquivalence:
+    """The vectorised (sliding_window_view + estimate_batch) sweep must
+    reproduce the scalar per-window reference loop, window for window."""
+
+    @staticmethod
+    def assert_series_equivalent(scalar, batched):
+        assert len(scalar) == len(batched)
+        for a, b in zip(scalar, batched):
+            assert a.window_start == b.window_start
+            assert a.window_end == b.window_end
+            assert a.estimate.reliable == b.estimate.reliable
+            assert a.estimate.reason == b.estimate.reason
+            assert np.isclose(a.estimate.nyquist_rate, b.estimate.nyquist_rate)
+            assert np.isclose(a.estimate.captured_fraction, b.estimate.captured_fraction)
+
+    @pytest.mark.parametrize("window_seconds,step_seconds", [
+        (6 * 3600.0, 3600.0),     # the paper's shape: exact multiples
+        (6 * 3600.0, 300.0),      # Figure 7 defaults on a day-long trace
+        (5000.0, 1700.0),         # window/step not multiples of the interval
+        (4321.0, 987.0),          # fully ragged boundaries
+    ])
+    def test_equivalence_on_tone(self, window_seconds, step_seconds):
+        series = sine(1.0 / 1800.0, duration=86400.0, sampling_rate=1.0 / 60.0,
+                      amplitude=5.0)
+        scalar = windowed_nyquist_rates(series, window_seconds, step_seconds,
+                                        backend="scalar")
+        batched = windowed_nyquist_rates(series, window_seconds, step_seconds,
+                                         backend="batched")
+        assert scalar  # the sweep is non-trivial
+        self.assert_series_equivalent(scalar, batched)
+
+    def test_equivalence_with_ragged_window_lengths(self, rng):
+        """Non-integer window/interval ratios make neighbouring windows
+        differ by one sample; every length group must still be analysed."""
+        series = sine(0.003, duration=3500.0, sampling_rate=1.0 / 7.0, amplitude=3.0)
+        series = series.with_values(series.values + 0.01 * rng.normal(size=len(series)))
+        scalar = windowed_nyquist_rates(series, window_seconds=300.0, step_seconds=93.0,
+                                        backend="scalar")
+        batched = windowed_nyquist_rates(series, window_seconds=300.0, step_seconds=93.0,
+                                         backend="batched")
+        lengths = {round((e.window_end - e.window_start) / 7.0) for e in batched}
+        assert len(lengths) > 1  # the ragged case is actually exercised
+        self.assert_series_equivalent(scalar, batched)
+
+    def test_equivalence_with_tapered_detrended_estimator(self, rng):
+        estimator = NyquistEstimator(detrend=True, window="hann")
+        rate = 1.0 / 30.0
+        slow = sine(1.0 / 7200.0, duration=43200.0, sampling_rate=rate, amplitude=5.0)
+        fast = multi_tone([1.0 / 7200.0, 1.0 / 600.0], duration=43200.0,
+                          sampling_rate=rate, amplitudes=[5.0, 5.0])
+        series = slow.concatenate(fast)
+        scalar = windowed_nyquist_rates(series, 6 * 3600.0, 1800.0,
+                                        estimator=estimator, backend="scalar")
+        batched = windowed_nyquist_rates(series, 6 * 3600.0, 1800.0,
+                                         estimator=estimator, backend="batched")
+        self.assert_series_equivalent(scalar, batched)
+
+    def test_empty_sweep(self):
+        series = sine(1.0, duration=10.0, sampling_rate=2.0)
+        assert windowed_nyquist_rates(series, 1.0, 1.0, backend="batched") == []
+
+    def test_rejects_unknown_backend(self):
+        series = sine(1.0, duration=10.0, sampling_rate=2.0)
+        with pytest.raises(ValueError, match="backend"):
+            windowed_nyquist_rates(series, 5.0, 1.0, backend="gpu")  # type: ignore[arg-type]
+
+    def test_rejects_bad_window(self):
+        series = sine(1.0, duration=10.0, sampling_rate=2.0)
+        for backend in ("scalar", "batched"):
+            with pytest.raises(ValueError):
+                windowed_nyquist_rates(series, 0.0, 1.0, backend=backend)
+
+
 class TestRateStability:
     def test_empty_input(self):
         stats = rate_stability([])

@@ -54,6 +54,40 @@ class TestSurveyCommand:
         output = capsys.readouterr().out
         assert "Surveyed 14 metric-device pairs" in output
 
+    def test_survey_spill_dir(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert main(["survey", "--pairs", "28", "--seed", "3", "--chunk-size", "4",
+                     "--spill-dir", str(spool)]) == 0
+        output = capsys.readouterr().out
+        assert "spilled" in output
+        assert list(spool.glob("records-*.npz"))
+
+    def test_survey_workers_match_single_process(self, capsys):
+        assert main(["survey", "--pairs", "28", "--seed", "3", "--workers", "1"]) == 0
+        single_output = capsys.readouterr().out
+        assert main(["survey", "--pairs", "28", "--seed", "3", "--workers", "2"]) == 0
+        pooled_output = capsys.readouterr().out
+        assert single_output == pooled_output
+
+    def test_survey_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["survey", "--workers", "0"])
+
+
+class TestWindowedCommand:
+    def test_windowed_runs(self, capsys):
+        exit_code = main(["windowed", "--pairs", "28", "--seed", "3",
+                          "--limit-per-metric", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Windowed sweep over 14 metric-device pairs" in output
+        assert "dynamic_range" in output
+
+    def test_windowed_defaults_match_figure7(self):
+        args = build_parser().parse_args(["windowed"])
+        assert args.window_hours == 6.0
+        assert args.step_minutes == 5.0
+
 
 class TestAdaptiveCommand:
     def test_adaptive_runs(self, capsys):
