@@ -21,6 +21,13 @@ PRs:
   because every record block is spilled to npz as it is produced.  Size
   via ``REPRO_BENCH_FLEET_PAIRS`` (default 25200; CI smoke uses a small
   fleet to stay under its time budget).
+* **measured** -- the recorded-telemetry path: the same fleet exported to
+  a per-pair trace-file directory and re-surveyed through
+  :class:`MeasuredFleetDataset` (``workers=2``, file-offset batch
+  specs).  Records must be byte-identical to the generated in-memory
+  survey; both throughputs land in ``BENCH_survey.json`` so the cost of
+  reading traces from disk (vs regenerating them) stays visible.  Size
+  via ``REPRO_BENCH_MEASURED_PAIRS`` (default 392).
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.analysis.survey import SpillingRecordSink, run_survey
 from repro.core.nyquist import NyquistEstimator
 from repro.signals.timeseries import TimeSeries
 from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.measured import MeasuredFleetDataset
 
 from conftest import update_bench_json
 
@@ -49,6 +57,9 @@ FLEET_PAIRS = int(os.environ.get("REPRO_BENCH_FLEET_PAIRS", "25200"))
 
 #: Chunk/spill granularity of the out-of-core run.
 FLEET_CHUNK_SIZE = 512
+
+#: Fleet size for the measured-path (recorded trace files) benchmark.
+MEASURED_PAIRS = int(os.environ.get("REPRO_BENCH_MEASURED_PAIRS", "392"))
 
 
 def _best_of(callable_, repeats: int = 3) -> tuple[float, object]:
@@ -176,6 +187,60 @@ def test_fleet_scale_out_of_core_survey(output_dir, tmp_path):
         "pairs_per_second": FLEET_PAIRS / seconds,
         "spill_files": len(sink.files), "spill_mib": spill_bytes / 2 ** 20,
     }]))
+
+
+def test_measured_vs_generated_throughput(output_dir, tmp_path):
+    """Recorded-telemetry path: export the fleet, re-survey from trace files.
+
+    The measured path must reproduce the generated in-memory survey byte
+    for byte (same records, same order); the benchmark records the
+    export cost and both survey throughputs so regenerating-vs-reading
+    stays a measured trade-off.
+    """
+    dataset = FleetDataset(DatasetConfig(pair_count=MEASURED_PAIRS, seed=7))
+    fleet_dir = tmp_path / "measured-fleet"
+
+    start = time.perf_counter()
+    dataset.export(fleet_dir)
+    export_seconds = time.perf_counter() - start
+    measured = MeasuredFleetDataset(fleet_dir)
+    trace_bytes = sum(path.stat().st_size for path in (fleet_dir / "traces").iterdir())
+
+    start = time.perf_counter()
+    generated = run_survey(dataset, workers=2, chunk_size=FLEET_CHUNK_SIZE)
+    generated_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    recorded = run_survey(measured, workers=2, chunk_size=FLEET_CHUNK_SIZE)
+    recorded_seconds = time.perf_counter() - start
+
+    assert len(generated) == len(recorded) == MEASURED_PAIRS
+    for a, b in zip(generated.iter_blocks(), recorded.iter_blocks()):
+        assert a.metric_name == b.metric_name
+        assert np.array_equal(a.device_ids, b.device_ids)
+        assert np.array_equal(a.nyquist_rate, b.nyquist_rate)
+        assert np.array_equal(a.reduction_ratio, b.reduction_ratio, equal_nan=True)
+        assert np.array_equal(a.category, b.category)
+    assert generated.headline() == recorded.headline()
+
+    update_bench_json("measured", {
+        "pairs": MEASURED_PAIRS,
+        "workers": 2,
+        "export_seconds": export_seconds,
+        "trace_bytes": trace_bytes,
+        "generated_pairs_per_second": MEASURED_PAIRS / generated_seconds,
+        "measured_pairs_per_second": MEASURED_PAIRS / recorded_seconds,
+        "trace_format": "npz",
+    })
+    print(f"\n=== Measured vs generated survey ({MEASURED_PAIRS} pairs, workers=2) ===")
+    print(format_table([
+        {"path": "generated", "seconds": generated_seconds,
+         "pairs_per_second": MEASURED_PAIRS / generated_seconds},
+        {"path": "measured", "seconds": recorded_seconds,
+         "pairs_per_second": MEASURED_PAIRS / recorded_seconds},
+        {"path": "export", "seconds": export_seconds,
+         "pairs_per_second": MEASURED_PAIRS / export_seconds},
+    ]))
 
 
 def test_backends_equivalent_on_default_survey():

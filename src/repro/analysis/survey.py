@@ -1,8 +1,11 @@
 """The fleet survey: running the Nyquist estimator over every (metric, device) pair.
 
 This module reproduces the measurement study of Section 3.2: for every pair
-in a :class:`~repro.telemetry.dataset.FleetDataset`, estimate the Nyquist
-rate, compare it with the production sampling rate and classify the pair.
+of a :class:`~repro.telemetry.source.TraceSource` -- a synthetic
+:class:`~repro.telemetry.dataset.FleetDataset` or a recorded
+:class:`~repro.telemetry.measured.MeasuredFleetDataset` -- estimate the
+Nyquist rate, compare it with the production sampling rate and classify the
+pair.
 The result object exposes exactly the aggregations the paper's figures
 need: the over-sampled fraction per metric (Figure 1), the per-metric
 reduction-ratio CDFs (Figure 4), the per-metric Nyquist-rate distributions
@@ -21,14 +24,20 @@ The pipeline is built for fleets far beyond the paper's 1613 pairs:
   ``.csv``) file, so a 100k+-pair survey holds at most one ``chunk_size``
   block in memory at a time and the aggregations stream back from disk.
 * **Multi-worker execution.**  ``run_survey(workers=N)`` fans the whole
-  per-pair pipeline -- trace *generation* and estimation, not just the
+  per-pair pipeline -- trace *production* and estimation, not just the
   FFT -- out to a process pool.  Workers receive compact picklable batch
-  specs (the dataset config plus a pair-slice address), regenerate their
-  traces locally, run the batched engine and return columnar blocks; the
-  parent only ever concatenates small result arrays.  Records are
-  byte-identical to the single-process run because workers slice the pair
-  list at the same ``chunk_size`` boundaries the sequential iteration
-  flushes at.
+  specs (the source's ``worker_spec()`` plus a pair-slice address),
+  re-open the source locally, run the batched engine and return columnar
+  blocks; the parent only ever concatenates small result arrays.  For a
+  synthetic :class:`FleetDataset` the spec is its config (traces are
+  regenerated in the worker); for a
+  :class:`~repro.telemetry.measured.MeasuredFleetDataset` it is the
+  directory path, and the pair-slice address becomes a file-offset slice
+  of the manifest's pair list.  Records are byte-identical to the
+  single-process run because workers slice the pair list at the same
+  ``chunk_size`` boundaries the sequential iteration flushes at, and a
+  batch spec whose offset falls outside the manifest/pair count fails
+  loudly instead of dropping records.
 
 Two interchangeable backends drive the estimation:
 
@@ -52,6 +61,7 @@ from __future__ import annotations
 import csv
 import enum
 import math
+import zipfile
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -63,7 +73,8 @@ import numpy as np
 from ..core.nyquist import NyquistEstimate, NyquistEstimator
 from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_stability,
                              windowed_nyquist_rates)
-from ..telemetry.dataset import DatasetConfig, FleetDataset, TracePair
+from ..telemetry.dataset import TracePair
+from ..telemetry.source import TraceSource, WorkerSpec
 
 __all__ = [
     "PairCategory",
@@ -219,23 +230,33 @@ class RecordBlock:
 
     @classmethod
     def load_npz(cls, path: Path) -> "RecordBlock":
-        with np.load(path) as data:
-            return cls(metric_name=str(data["metric_name"]),
-                       device_ids=data["device_ids"],
-                       current_rate=data["current_rate"],
-                       nyquist_rate=data["nyquist_rate"],
-                       reduction_ratio=data["reduction_ratio"],
-                       category=data["category"],
-                       reliable=data["reliable"],
-                       true_nyquist_rate=data["true_nyquist_rate"],
-                       trace_duration=data["trace_duration"])
+        try:
+            with np.load(path) as data:
+                return cls(metric_name=str(data["metric_name"]),
+                           device_ids=data["device_ids"],
+                           current_rate=data["current_rate"],
+                           nyquist_rate=data["nyquist_rate"],
+                           reduction_ratio=data["reduction_ratio"],
+                           category=data["category"],
+                           reliable=data["reliable"],
+                           true_nyquist_rate=data["true_nyquist_rate"],
+                           trace_duration=data["trace_duration"])
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
+            raise ValueError(
+                f"corrupt or truncated record file {path}: {error}") from error
 
     _CSV_HEADER = ("metric_name", "device_id", "current_rate", "nyquist_rate",
                    "reduction_ratio", "category", "reliable", "true_nyquist_rate",
                    "trace_duration")
 
+    #: Comment line carrying the block-level metric name, so zero-row blocks
+    #: round-trip through csv without losing it (it is otherwise only stored
+    #: per data row).
+    _CSV_METRIC_PREFIX = "# metric="
+
     def save_csv(self, path: Path) -> None:
         with path.open("w", newline="") as handle:
+            handle.write(f"{self._CSV_METRIC_PREFIX}{self.metric_name}\n")
             writer = csv.writer(handle)
             writer.writerow(self._CSV_HEADER)
             for index in range(len(self)):
@@ -254,20 +275,35 @@ class RecordBlock:
         metric_name = ""
         columns: dict[str, list] = {name: [] for name in cls._CSV_HEADER[1:]}
         with path.open(newline="") as handle:
+            first = handle.readline()
+            if not first.strip():
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 "missing CSV header")
+            if first.startswith(cls._CSV_METRIC_PREFIX):
+                metric_name = first[len(cls._CSV_METRIC_PREFIX):].rstrip("\r\n")
+                header = handle.readline()
+            else:
+                header = first  # legacy file without the metric comment line
+            if header.rstrip("\r\n").split(",") != list(cls._CSV_HEADER):
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 f"unexpected CSV header {header.rstrip()!r}")
             reader = csv.reader(handle)
-            next(reader)  # header
-            for row in reader:
-                metric_name = row[0]
-                columns["device_id"].append(row[1])
-                columns["current_rate"].append(float(row[2]))
-                columns["nyquist_rate"].append(float(row[3]))
-                columns["reduction_ratio"].append(float(row[4]))
-                columns["category"].append(int(row[5]))
-                columns["reliable"].append(bool(int(row[6])))
-                columns["true_nyquist_rate"].append(float(row[7]))
-                columns["trace_duration"].append(float(row[8]))
-        return cls(metric_name=metric_name, device_ids=np.array(columns["device_id"],
-                                                                dtype=np.str_),
+            for line_number, row in enumerate(reader, start=1):
+                try:
+                    metric_name = row[0]
+                    columns["device_id"].append(row[1])
+                    columns["current_rate"].append(float(row[2]))
+                    columns["nyquist_rate"].append(float(row[3]))
+                    columns["reduction_ratio"].append(float(row[4]))
+                    columns["category"].append(int(row[5]))
+                    columns["reliable"].append(bool(int(row[6])))
+                    columns["true_nyquist_rate"].append(float(row[7]))
+                    columns["trace_duration"].append(float(row[8]))
+                except (IndexError, ValueError) as error:
+                    raise ValueError(f"corrupt or truncated record file {path}, "
+                                     f"data row {line_number}: {error}") from error
+        return cls(metric_name=metric_name,
+                   device_ids=np.array(columns["device_id"], dtype=np.str_),
                    current_rate=columns["current_rate"],
                    nyquist_rate=columns["nyquist_rate"],
                    reduction_ratio=columns["reduction_ratio"],
@@ -354,7 +390,7 @@ class SpillingRecordSink(RecordSink):
             with np.load(path) as data:
                 return int(data["device_ids"].shape[0])
         with path.open() as handle:
-            return max(sum(1 for _ in handle) - 1, 0)
+            return max(sum(1 for line in handle if not line.startswith("#")) - 1, 0)
 
     def _load(self, path: Path) -> RecordBlock:
         return self._FORMATS[self.fmt][1](path)
@@ -606,55 +642,64 @@ def _block_from_estimates(metric_name: str, pairs: Sequence[TracePair],
     )
 
 
-#: Per-worker-process dataset cache: rebuilding the pair table once per
-#: process instead of once per task keeps tasks cheap (DatasetConfig is
-#: hashable, so it doubles as the cache key).
-_WORKER_DATASETS: dict[DatasetConfig, FleetDataset] = {}
+#: Per-worker-process source cache: re-opening the source once per process
+#: instead of once per task keeps tasks cheap (worker specs are hashable
+#: frozen dataclasses -- a DatasetConfig or a MeasuredSourceSpec -- so the
+#: spec doubles as the cache key).
+_WORKER_SOURCES: dict[WorkerSpec, TraceSource] = {}
 
 
 def _survey_worker(task: tuple) -> list[RecordBlock]:
-    """Process-pool entry point: regenerate one pair slice, estimate, compact.
+    """Process-pool entry point: serve one pair slice, estimate, compact.
 
-    ``task`` is a picklable batch spec ``(config, metric_name, offset,
-    limit, estimator, oversample_threshold, fft_workers, chunk_size)``;
-    the worker regenerates its traces locally from the dataset config (no
-    trace data crosses the process boundary) and returns compact columnar
-    blocks.
+    ``task`` is a picklable batch spec ``(worker_spec, metric_name,
+    offset, limit, estimator, oversample_threshold, fft_workers,
+    chunk_size)``; the worker re-opens the trace source locally from the
+    spec (``spec.open()``: a synthetic fleet regenerates from its config,
+    a measured fleet re-reads its manifest and serves the file-offset
+    slice) and returns compact columnar blocks -- no trace data crosses
+    the process boundary.  A slice address outside the source's pair list
+    raises instead of silently dropping records.
     """
-    (config, metric_name, offset, limit, estimator,
+    (spec, metric_name, offset, limit, estimator,
      oversample_threshold, fft_workers, chunk_size) = task
-    dataset = _WORKER_DATASETS.get(config)
-    if dataset is None:
-        dataset = FleetDataset(config)
-        _WORKER_DATASETS[config] = dataset
+    source = _WORKER_SOURCES.get(spec)
+    if source is None:
+        source = spec.open()
+        _WORKER_SOURCES[spec] = source
+    trace_duration = source.trace_duration
     blocks: list[RecordBlock] = []
-    for batch in dataset.trace_batches(metric_name, limit=limit, offset=offset,
-                                       chunk_size=chunk_size):
+    for batch in source.trace_batches(metric_name, limit=limit, offset=offset,
+                                      chunk_size=chunk_size):
         estimates = estimator.estimate_batch(batch.values, batch.interval,
                                              fft_workers=fft_workers)
         blocks.append(_block_from_estimates(metric_name, batch.pairs, estimates,
                                             batch.sampling_rate, oversample_threshold,
-                                            config.trace_duration))
+                                            trace_duration))
     return blocks
 
 
-def _run_survey_parallel(dataset: FleetDataset, result: SurveyResult,
+def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
                          estimator: NyquistEstimator, metric_names: Sequence[str],
                          limit_per_metric: int | None, chunk_size: int, workers: int,
                          fft_workers: int | None) -> None:
-    """Fan generation + estimation out to a process pool, in survey order.
+    """Fan trace production + estimation out to a process pool, in survey order.
 
     Tasks slice each metric's pair list at ``chunk_size`` boundaries --
     exactly where the sequential ``trace_batches`` iteration flushes -- so
     the reassembled blocks are byte-identical to a ``workers=1`` run.
+    Offsets are derived from the source's own pair counts (the manifest,
+    for a measured fleet), and the worker-side slice validation rejects
+    any address past that count.
     """
+    spec = dataset.worker_spec()
     tasks = []
     for metric_name in metric_names:
         count = len(dataset.pairs_for_metric(metric_name))
         if limit_per_metric is not None:
             count = min(count, limit_per_metric)
         for offset in range(0, count, chunk_size):
-            tasks.append((dataset.config, metric_name, offset,
+            tasks.append((spec, metric_name, offset,
                           min(chunk_size, count - offset), estimator,
                           result.oversample_threshold, fft_workers, chunk_size))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -663,7 +708,7 @@ def _run_survey_parallel(dataset: FleetDataset, result: SurveyResult,
                 result.append_block(block)
 
 
-def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
+def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
                oversample_threshold: float = 1.25,
                metrics: Sequence[str] | None = None,
                limit_per_metric: int | None = None,
@@ -677,7 +722,11 @@ def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
     Parameters
     ----------
     dataset:
-        The (synthetic) fleet survey dataset.
+        Any :class:`~repro.telemetry.source.TraceSource`: a synthetic
+        :class:`~repro.telemetry.dataset.FleetDataset` or a recorded
+        :class:`~repro.telemetry.measured.MeasuredFleetDataset` (a
+        directory exported by ``FleetDataset.export`` surveys
+        byte-identically to the in-memory dataset it came from).
     estimator:
         Nyquist estimator; defaults to the paper's 99 % configuration.
     oversample_threshold:
@@ -703,12 +752,13 @@ def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
         slice size of the multi-worker batch specs.
     workers:
         Number of survey worker *processes*.  With ``workers >= 2``,
-        trace generation and estimation both fan out to a process pool
-        (batched backend only): workers receive picklable batch specs,
-        regenerate their pair slices locally and return compact columnar
-        blocks.  The records are byte-identical to a single-process run.
-        Requires a dataset reconstructible from its config (the parallel
-        path rebuilds ``FleetDataset(dataset.config)`` in each worker).
+        trace production and estimation both fan out to a process pool
+        (batched backend only): workers receive picklable batch specs
+        (``dataset.worker_spec()`` + a pair-slice address), re-open the
+        source locally and return compact columnar blocks.  The records
+        are byte-identical to a single-process run.  Synthetic fleets
+        ship their config and regenerate; measured fleets ship their
+        directory and serve file-offset slices of the manifest.
     fft_workers:
         pocketfft thread count for the batched engine's ``rfft`` (see
         :func:`repro.core.batch.batch_estimate`).
@@ -736,7 +786,7 @@ def run_survey(dataset: FleetDataset, estimator: NyquistEstimator | None = None,
     estimator = estimator or NyquistEstimator()
     result = SurveyResult(oversample_threshold=oversample_threshold, sink=sink)
     metric_names = list(metrics) if metrics is not None else dataset.metric_names()
-    trace_duration = dataset.config.trace_duration
+    trace_duration = dataset.trace_duration
 
     if workers is not None and workers > 1:
         _run_survey_parallel(dataset, result, estimator, metric_names, limit_per_metric,
@@ -796,7 +846,7 @@ class WindowedPairSummary:
         return math.isfinite(self.dynamic_range) and self.dynamic_range > 2.0
 
 
-def run_windowed_survey(dataset: FleetDataset,
+def run_windowed_survey(dataset: TraceSource,
                         window_seconds: float = FIGURE7_WINDOW_SECONDS,
                         step_seconds: float = FIGURE7_STEP_SECONDS,
                         estimator: NyquistEstimator | None = None,

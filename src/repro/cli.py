@@ -1,13 +1,20 @@
 """Command-line interface: run the survey, the adaptive demo, and quick estimates.
 
 Installed as ``repro-monitor`` (see pyproject) and runnable as
-``python -m repro.cli``.  Four subcommands cover the common workflows:
+``python -m repro.cli``.  Five subcommands cover the common workflows:
 
 * ``survey``   -- run the Section 3.2 fleet survey and print Figures 1/4/5
   style summaries (optionally exporting CSVs).  ``--workers`` fans trace
-  generation + estimation out to a process pool and ``--spill-dir``
+  production + estimation out to a process pool and ``--spill-dir``
   streams the per-pair records to npz chunks on disk, so 100k+-pair
-  fleets run with memory bounded by ``--chunk-size``.
+  fleets run with memory bounded by ``--chunk-size``.  ``--from-dir``
+  surveys a *measured* fleet (a directory of recorded per-pair trace
+  files + manifest, as written by ``export-fleet``) instead of
+  generating synthetic telemetry -- same backends, workers and sinks.
+* ``export-fleet`` -- round-trip a synthetic fleet to a measured-trace
+  directory (one npz/csv file per (metric, device) pair plus
+  ``manifest.json``); ``survey --from-dir`` on the result reproduces the
+  in-memory survey byte-identically.
 * ``windowed`` -- run the Figure 7 moving-window sweep over every pair of
   a fleet (the continuous re-estimation loop) and report how much each
   pair's Nyquist rate drifts.
@@ -34,6 +41,7 @@ from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
 from .core.reconstruction import nyquist_round_trip
 from .signals.timeseries import IrregularTimeSeries
 from .telemetry.dataset import DatasetConfig, FleetDataset
+from .telemetry.measured import MeasuredFleetDataset, export_traces
 from .telemetry.metrics import METRIC_CATALOG
 from .telemetry.models import generate_trace
 from .telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameters
@@ -86,6 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--spill-dir", type=Path, default=None,
                         help="stream per-pair records to npz chunks in this directory "
                              "instead of holding them in memory (out-of-core surveys)")
+    survey.add_argument("--from-dir", type=Path, default=None, metavar="FLEET_DIR",
+                        help="survey a measured fleet: a directory of recorded per-pair "
+                             "trace files + manifest.json (see 'export-fleet'); "
+                             "--pairs/--seed are ignored, the manifest defines the pairs")
+
+    export = subparsers.add_parser(
+        "export-fleet",
+        help="export a synthetic fleet to a measured-trace directory",
+        description="Write one trace file per (metric, device) pair plus a "
+                    "manifest.json, so the fleet can be re-surveyed from disk with "
+                    "'survey --from-dir' (byte-identical records, any --workers).")
+    export.add_argument("directory", type=Path,
+                        help="destination directory (must not already hold a fleet)")
+    export.add_argument("--pairs", type=int, default=280,
+                        help="number of (metric, device) pairs to export (default 280)")
+    export.add_argument("--seed", type=int, default=7, help="dataset seed")
+    export.add_argument("--trace-format", choices=["npz", "csv"], default="npz",
+                        help="per-pair trace file format (default npz; csv files are "
+                             "timestamp,value rows readable by 'estimate')")
 
     windowed = subparsers.add_parser(
         "windowed", help="fleet-wide moving-window Nyquist sweep (Figure 7 at scale)")
@@ -117,13 +144,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _command_survey(args: argparse.Namespace) -> int:
-    dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
+    if args.from_dir is not None:
+        try:
+            dataset = MeasuredFleetDataset(args.from_dir)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"Surveying measured fleet from {args.from_dir} "
+              f"({len(dataset)} recorded pairs)\n")
+    else:
+        dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
     estimator = NyquistEstimator(energy_fraction=args.energy_fraction)
     sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
-    result = run_survey(dataset, estimator=estimator, backend=args.backend,
-                        limit_per_metric=args.limit_per_metric,
-                        workers=args.workers, fft_workers=args.fft_workers,
-                        chunk_size=args.chunk_size, sink=sink)
+    try:
+        result = run_survey(dataset, estimator=estimator, backend=args.backend,
+                            limit_per_metric=args.limit_per_metric,
+                            workers=args.workers, fft_workers=args.fft_workers,
+                            chunk_size=args.chunk_size, sink=sink)
+    except ValueError as error:
+        # E.g. a corrupt/truncated trace file in a measured fleet, or a used
+        # spill directory -- report cleanly instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
     print(f"Surveyed {len(result)} metric-device pairs "
           f"({len(result.metrics())} metrics)\n")
@@ -159,6 +201,22 @@ def _command_survey(args: argparse.Namespace) -> int:
     if args.spill_dir is not None:
         print(f"\nRecord chunks spilled to {args.spill_dir} "
               f"({len(result.sink.files)} npz files)")
+    return 0
+
+
+def _command_export_fleet(args: argparse.Namespace) -> int:
+    dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
+    try:
+        manifest_path = export_traces(dataset, args.directory, fmt=args.trace_format)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"Exported {len(dataset)} metric-device pairs "
+          f"({len(dataset.metric_names())} metrics) to {args.directory}")
+    print(f"  manifest: {manifest_path}")
+    print(f"  traces:   {len(dataset)} {args.trace_format} files under "
+          f"{args.directory / 'traces'}")
+    print(f"\nSurvey the recording with:  repro-monitor survey --from-dir {args.directory}")
     return 0
 
 
@@ -264,6 +322,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "survey": _command_survey,
+        "export-fleet": _command_export_fleet,
         "windowed": _command_windowed,
         "adaptive": _command_adaptive,
         "estimate": _command_estimate,

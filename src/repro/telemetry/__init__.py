@@ -3,13 +3,19 @@
 from .dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset, TraceBatch, TracePair
 from .fleet import DEFAULT_ROLE_MIX, build_fleet, devices_by_role
 from .irregular import add_timing_jitter, drop_samples, duplicate_samples, make_irregular
+from .measured import (MeasuredDevice, MeasuredFleetDataset, MeasuredPair,
+                       MeasuredParameters, MeasuredSourceSpec, export_traces)
 from .metrics import (FIGURE4_METRICS, FIGURE5_ORDER, METRIC_CATALOG, MetricFamily,
                       MetricSpec, get_metric, metric_names)
 from .models import generate_trace
 from .profiles import DeviceProfile, DeviceRole, MetricParameters, draw_metric_parameters
+from .source import BaseTraceSource, TraceSource, WorkerSpec
 
 __all__ = [
     "DatasetConfig", "FleetDataset", "TracePair", "TraceBatch", "PAPER_PAIR_COUNT",
+    "TraceSource", "BaseTraceSource", "WorkerSpec",
+    "MeasuredFleetDataset", "MeasuredPair", "MeasuredDevice", "MeasuredParameters",
+    "MeasuredSourceSpec", "export_traces",
     "build_fleet", "devices_by_role", "DEFAULT_ROLE_MIX",
     "METRIC_CATALOG", "MetricSpec", "MetricFamily", "metric_names", "get_metric",
     "FIGURE4_METRICS", "FIGURE5_ORDER",

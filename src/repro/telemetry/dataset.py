@@ -9,16 +9,22 @@ one day's worth of data per pair at the metric's production polling rate.
 
 Traces are generated lazily so iterating the full survey stays cheap in
 memory; everything is deterministic in the dataset seed.  For the batched
-spectral engine, :meth:`FleetDataset.trace_batches` groups traces that
+spectral engine, :meth:`FleetDataset.trace_batches` (inherited from
+:class:`~repro.telemetry.source.BaseTraceSource`) groups traces that
 share a (length, interval) shape into bounded-size :class:`TraceBatch`
 matrices, so fleet-scale surveys can be analysed one ``rfft`` call per
 chunk while memory stays bounded by ``chunk_size`` rows.
+
+:class:`FleetDataset` is one implementation of the
+:class:`~repro.telemetry.source.TraceSource` protocol; recorded (measured)
+fleets are served by :class:`~repro.telemetry.measured.MeasuredFleetDataset`
+through the same interface, and :meth:`FleetDataset.export` round-trips a
+synthetic fleet to such a directory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -27,6 +33,7 @@ from .fleet import build_fleet
 from .metrics import METRIC_CATALOG, MetricSpec
 from .models import generate_trace
 from .profiles import DeviceProfile, MetricParameters, draw_metric_parameters
+from .source import BaseTraceSource, TraceBatch
 
 __all__ = ["DatasetConfig", "TracePair", "TraceBatch", "FleetDataset", "PAPER_PAIR_COUNT"]
 
@@ -75,6 +82,16 @@ class DatasetConfig:
         if not 0 <= self.broadband_fraction <= 1:
             raise ValueError("broadband_fraction must be in [0, 1]")
 
+    def open(self) -> "FleetDataset":
+        """Materialise the dataset this config describes.
+
+        This makes a ``DatasetConfig`` double as the synthetic fleet's
+        picklable :class:`~repro.telemetry.source.WorkerSpec`: survey
+        workers ship the config across the process boundary and regenerate
+        their pair slices locally.
+        """
+        return FleetDataset(self)
+
 
 @dataclass(frozen=True)
 class TracePair:
@@ -89,34 +106,8 @@ class TracePair:
         return (self.metric.name, self.device.device_id)
 
 
-@dataclass(frozen=True)
-class TraceBatch:
-    """A group of equal-shape traces laid out as one matrix.
-
-    Attributes
-    ----------
-    pairs:
-        The (metric, device) pairs behind each row, in row order.
-    values:
-        ``(len(pairs), n)`` matrix; row ``i`` is the trace of ``pairs[i]``.
-    interval:
-        The common sampling interval of every row, in seconds.
-    """
-
-    pairs: tuple[TracePair, ...]
-    values: np.ndarray
-    interval: float
-
-    def __len__(self) -> int:
-        return len(self.pairs)
-
-    @property
-    def sampling_rate(self) -> float:
-        return 1.0 / self.interval
-
-
 @dataclass
-class FleetDataset:
+class FleetDataset(BaseTraceSource):
     """Lazily generated survey dataset over a synthetic fleet."""
 
     config: DatasetConfig = field(default_factory=DatasetConfig)
@@ -159,12 +150,18 @@ class FleetDataset:
         self._pairs = pairs
         return pairs
 
-    def __len__(self) -> int:
-        return len(self.pairs())
-
     def pairs_for_metric(self, metric_name: str) -> list[TracePair]:
         """All pairs belonging to one metric family."""
         return [pair for pair in self.pairs() if pair.metric.name == metric_name]
+
+    @property
+    def trace_duration(self) -> float:
+        """Nominal trace length in seconds (the config's, paper: one day)."""
+        return self.config.trace_duration
+
+    def worker_spec(self) -> DatasetConfig:
+        """Picklable worker address: the config the fleet regenerates from."""
+        return self.config
 
     # ------------------------------------------------------------------
     def load(self, pair: TracePair, interval: float | None = None) -> TimeSeries:
@@ -179,67 +176,6 @@ class FleetDataset:
         return generate_trace(pair.metric, pair.parameters, self.config.trace_duration,
                               interval=interval, rng=rng,
                               device_name=pair.device.device_id)
-
-    def traces(self, metric_name: str | None = None,
-               limit: int | None = None,
-               offset: int = 0) -> Iterator[tuple[TracePair, TimeSeries]]:
-        """Iterate (pair, trace) tuples, optionally restricted to one metric.
-
-        ``offset`` skips that many leading pairs (applied before
-        ``limit``), which is how the multi-worker survey pipeline
-        addresses disjoint slices of one metric's pair list: each worker
-        regenerates only its ``[offset, offset + limit)`` slice locally.
-        """
-        if offset < 0:
-            raise ValueError("offset must be >= 0")
-        selected: Sequence[TracePair]
-        selected = self.pairs() if metric_name is None else self.pairs_for_metric(metric_name)
-        if offset:
-            selected = selected[offset:]
-        if limit is not None:
-            selected = selected[:limit]
-        for pair in selected:
-            yield pair, self.load(pair)
-
-    def trace_batches(self, metric_name: str | None = None,
-                      limit: int | None = None,
-                      chunk_size: int = 1024,
-                      offset: int = 0) -> Iterator[TraceBatch]:
-        """Iterate the survey as equal-shape :class:`TraceBatch` matrices.
-
-        Consecutive traces that share a (length, interval) shape are
-        stacked into one ``(rows, n)`` matrix, flushed whenever the shape
-        changes or ``chunk_size`` rows are buffered.  This is the feed for
-        the batched spectral engine: memory stays bounded at
-        ``chunk_size`` traces regardless of fleet size, and concatenating
-        the batches' pairs reproduces :meth:`traces` order exactly (within
-        one metric every trace shares a shape, so per-metric iteration
-        yields contiguous chunks).  ``offset``/``limit`` select a slice of
-        the pair list (offset first), so a survey worker slicing the fleet
-        at ``chunk_size`` boundaries reproduces exactly the matrices the
-        sequential iteration would build.
-        """
-        if chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1")
-        buffered_pairs: list[TracePair] = []
-        buffered_values: list[np.ndarray] = []
-        key: tuple[int, float] | None = None
-
-        def flush() -> Iterator[TraceBatch]:
-            if buffered_pairs:
-                assert key is not None
-                yield TraceBatch(tuple(buffered_pairs), np.vstack(buffered_values), key[1])
-                buffered_pairs.clear()
-                buffered_values.clear()
-
-        for pair, trace in self.traces(metric_name, limit=limit, offset=offset):
-            trace_key = (len(trace), trace.interval)
-            if key is not None and (trace_key != key or len(buffered_pairs) >= chunk_size):
-                yield from flush()
-            key = trace_key
-            buffered_pairs.append(pair)
-            buffered_values.append(trace.values)
-        yield from flush()
 
     def metric_names(self) -> list[str]:
         """Metrics included in this dataset."""

@@ -12,6 +12,7 @@ from repro.analysis.survey import (MemoryRecordSink, PairCategory, RecordBlock,
                                    run_windowed_survey)
 from repro.core.nyquist import DEFAULT_ALIASED_BAND_FRACTION, NyquistEstimator
 from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.measured import MeasuredFleetDataset
 
 
 def assert_blocks_byte_identical(left, right) -> None:
@@ -227,6 +228,84 @@ class TestColumnarStorage:
         loaded = RecordBlock.load_csv(tmp_path / "block.csv")
         assert_blocks_byte_identical([block], [loaded])
 
+    @staticmethod
+    def _empty_block(metric_name: str) -> RecordBlock:
+        return RecordBlock(metric_name=metric_name, device_ids=[], current_rate=[],
+                           nyquist_rate=[], reduction_ratio=[], category=[],
+                           reliable=[], true_nyquist_rate=[], trace_duration=[])
+
+    @pytest.mark.parametrize("fmt", ["npz", "csv"])
+    def test_empty_block_round_trip_keeps_metric(self, tmp_path, fmt):
+        """Regression: csv blocks stored the metric only per data row, so a
+        zero-row block came back with metric_name == ''."""
+        block = self._empty_block("Temperature")
+        path = tmp_path / f"block.{fmt}"
+        if fmt == "npz":
+            block.save_npz(path)
+            loaded = RecordBlock.load_npz(path)
+        else:
+            block.save_csv(path)
+            loaded = RecordBlock.load_csv(path)
+        assert loaded.metric_name == "Temperature"
+        assert len(loaded) == 0
+        assert_blocks_byte_identical([block], [loaded])
+
+    def test_load_csv_on_empty_file_raises_value_error(self, tmp_path):
+        """Regression: an empty file used to escape as a bare StopIteration
+        from next(reader)."""
+        path = tmp_path / "records-00000.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match=str(path)):
+            RecordBlock.load_csv(path)
+
+    def test_load_csv_on_truncated_header_raises_value_error(self, tmp_path):
+        path = tmp_path / "records-00000.csv"
+        path.write_text("metric_name,device_id\n")
+        with pytest.raises(ValueError, match="unexpected CSV header"):
+            RecordBlock.load_csv(path)
+
+    def test_load_csv_on_truncated_row_raises_value_error(self, survey, tmp_path):
+        block = next(iter(survey.iter_blocks()))
+        path = tmp_path / "records-00000.csv"
+        block.save_csv(path)
+        content = path.read_text()
+        path.write_text(content[: content.rstrip().rfind(",")])  # cut the last row short
+        with pytest.raises(ValueError, match="corrupt or truncated record file"):
+            RecordBlock.load_csv(path)
+
+    def test_load_npz_on_corrupt_file_raises_value_error(self, tmp_path):
+        path = tmp_path / "records-00000.npz"
+        path.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(ValueError, match="corrupt or truncated record file"):
+            RecordBlock.load_npz(path)
+
+    def test_load_npz_on_truncated_file_raises_value_error(self, survey, tmp_path):
+        block = next(iter(survey.iter_blocks()))
+        path = tmp_path / "records-00000.npz"
+        block.save_npz(path)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(ValueError, match="corrupt or truncated record file"):
+            RecordBlock.load_npz(path)
+
+    def test_legacy_csv_without_metric_comment_still_loads(self, survey, tmp_path):
+        """Spill files written before the metric comment line existed must
+        keep loading (metric recovered from the data rows)."""
+        block = next(iter(survey.iter_blocks()))
+        path = tmp_path / "records-00000.csv"
+        block.save_csv(path)
+        lines = path.read_text().splitlines(keepends=True)
+        assert lines[0].startswith("# metric=")
+        path.write_text("".join(lines[1:]))
+        loaded = RecordBlock.load_csv(path)
+        assert_blocks_byte_identical([block], [loaded])
+
+    def test_csv_spill_sink_row_count_skips_comment_line(self, survey, tmp_path):
+        block = next(iter(survey.iter_blocks()))
+        sink = SpillingRecordSink(tmp_path / "spool", fmt="csv")
+        sink.append(block)
+        reopened = SpillingRecordSink(tmp_path / "spool", fmt="csv")
+        assert reopened.rows == len(block)
+
 
 class TestParallelWorkers:
     def test_worker_count_invariance(self):
@@ -318,6 +397,71 @@ class TestSpillToDisk:
         memory = run_survey(dataset, workers=1, chunk_size=4)
         assert spilled.headline() == memory.headline()
         assert_blocks_byte_identical(spilled.iter_blocks(), memory.iter_blocks())
+
+
+class TestMeasuredSurveyEquivalence:
+    """The measured (file-backed) path must reproduce the in-memory survey
+    byte for byte: same blocks, same order, any worker count or sink."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        dataset = FleetDataset(DatasetConfig(pair_count=56, seed=5))
+        measured = dataset.export(tmp_path_factory.mktemp("measured") / "fleet")
+        return dataset, measured
+
+    def test_single_worker_byte_identical(self, fleet):
+        dataset, measured = fleet
+        memory = run_survey(dataset, chunk_size=3)
+        recorded = run_survey(measured, chunk_size=3)
+        assert len(recorded) == len(memory) == 56
+        assert_blocks_byte_identical(memory.iter_blocks(), recorded.iter_blocks())
+        assert memory.headline() == recorded.headline()
+
+    def test_multi_worker_byte_identical(self, fleet):
+        """Worker batch specs on the measured path are manifest file-offset
+        slices; the reassembled records must equal the in-memory survey."""
+        dataset, measured = fleet
+        memory = run_survey(dataset, chunk_size=3)
+        pooled = run_survey(measured, workers=4, chunk_size=3)
+        assert_blocks_byte_identical(memory.iter_blocks(), pooled.iter_blocks())
+        assert memory.headline() == pooled.headline()
+
+    def test_workers_with_spill_sink(self, fleet, tmp_path):
+        dataset, measured = fleet
+        memory = run_survey(dataset, chunk_size=4)
+        spilled = run_survey(measured, workers=2, chunk_size=4,
+                             sink=SpillingRecordSink(tmp_path / "spool"))
+        assert_blocks_byte_identical(memory.iter_blocks(), spilled.iter_blocks())
+        assert memory.estimation_accuracy() == spilled.estimation_accuracy()
+
+    def test_metric_and_limit_filters(self, fleet):
+        dataset, measured = fleet
+        memory = run_survey(dataset, metrics=["Temperature", "Link util"],
+                            limit_per_metric=2)
+        recorded = run_survey(measured, metrics=["Temperature", "Link util"],
+                              limit_per_metric=2)
+        assert_blocks_byte_identical(memory.iter_blocks(), recorded.iter_blocks())
+
+    def test_csv_trace_files_byte_identical(self, tmp_path):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5))
+        measured = dataset.export(tmp_path / "fleet", fmt="csv")
+        memory = run_survey(dataset, chunk_size=4)
+        recorded = run_survey(measured, workers=2, chunk_size=4)
+        assert_blocks_byte_identical(memory.iter_blocks(), recorded.iter_blocks())
+
+    def test_reopened_directory_surveys_identically(self, fleet):
+        dataset, measured = fleet
+        reopened = MeasuredFleetDataset(measured.directory)
+        assert_blocks_byte_identical(run_survey(dataset).iter_blocks(),
+                                     run_survey(reopened).iter_blocks())
+
+    def test_windowed_survey_runs_on_measured_fleet(self, fleet):
+        dataset, measured = fleet
+        from_memory = run_windowed_survey(dataset, metrics=["Temperature"],
+                                          limit_per_metric=1)
+        from_disk = run_windowed_survey(measured, metrics=["Temperature"],
+                                        limit_per_metric=1)
+        assert from_memory == from_disk
 
 
 #: Metrics whose broadband variant genuinely fills the measurable band

@@ -85,6 +85,30 @@ class TestFleetDataset:
     def test_traces_limit(self, small_dataset):
         assert len(list(small_dataset.traces(limit=5))) == 5
 
+    def test_traces_offset_slices_pair_list(self, small_dataset):
+        keys = [pair.key for pair, _ in small_dataset.traces(limit=4)]
+        shifted = [pair.key for pair, _ in small_dataset.traces(offset=2, limit=2)]
+        assert shifted == keys[2:4]
+
+    def test_traces_offset_past_end_fails_loudly(self, small_dataset):
+        """Regression: an offset past the pair list used to yield nothing,
+        so a stale worker batch spec silently dropped records."""
+        with pytest.raises(ValueError, match="past the end"):
+            list(small_dataset.traces(offset=len(small_dataset)))
+        with pytest.raises(ValueError, match="Temperature"):
+            count = len(small_dataset.pairs_for_metric("Temperature"))
+            list(small_dataset.traces("Temperature", offset=count + 1))
+
+    def test_trace_batches_offset_past_end_fails_loudly(self, small_dataset):
+        with pytest.raises(ValueError, match="past the end"):
+            list(small_dataset.trace_batches(offset=10 ** 9))
+
+    def test_traces_rejects_negative_offset_and_limit(self, small_dataset):
+        with pytest.raises(ValueError):
+            list(small_dataset.traces(offset=-1))
+        with pytest.raises(ValueError):
+            list(small_dataset.traces(limit=-1))
+
     def test_broadband_fraction_roughly_respected(self):
         dataset = FleetDataset(DatasetConfig(pair_count=280, seed=3, broadband_fraction=0.11))
         fraction = np.mean([pair.parameters.broadband for pair in dataset.pairs()])

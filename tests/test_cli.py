@@ -74,6 +74,54 @@ class TestSurveyCommand:
             build_parser().parse_args(["survey", "--workers", "0"])
 
 
+class TestExportFleetCommand:
+    def test_export_then_survey_from_dir_matches_synthetic(self, tmp_path, capsys):
+        """The measured round trip: survey --from-dir on an exported fleet
+        prints exactly the figures of the in-memory survey."""
+        assert main(["survey", "--pairs", "28", "--seed", "3"]) == 0
+        synthetic_output = capsys.readouterr().out
+
+        fleet_dir = tmp_path / "fleet"
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "28", "--seed", "3"]) == 0
+        export_output = capsys.readouterr().out
+        assert "Exported 28 metric-device pairs" in export_output
+        assert (fleet_dir / "manifest.json").exists()
+        assert len(list((fleet_dir / "traces").glob("pair-*.npz"))) == 28
+
+        assert main(["survey", "--from-dir", str(fleet_dir), "--workers", "2"]) == 0
+        measured_output = capsys.readouterr().out
+        assert "Surveying measured fleet" in measured_output
+        # Everything below the measured banner equals the synthetic report.
+        assert measured_output.split("\n", 2)[2] == synthetic_output
+
+    def test_export_fleet_csv_traces(self, tmp_path, capsys):
+        fleet_dir = tmp_path / "fleet"
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "14",
+                     "--trace-format", "csv"]) == 0
+        assert len(list((fleet_dir / "traces").glob("pair-*.csv"))) == 14
+
+    def test_export_fleet_refuses_existing_directory(self, tmp_path, capsys):
+        fleet_dir = tmp_path / "fleet"
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "14"]) == 0
+        capsys.readouterr()
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "14"]) == 1
+        assert "already holds" in capsys.readouterr().err
+
+    def test_survey_from_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["survey", "--from-dir", str(tmp_path / "nope")]) == 1
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_survey_from_dir_with_corrupt_trace_fails_cleanly(self, tmp_path, capsys):
+        """A corrupt trace file surfacing mid-survey (even from a worker
+        process) must report 'error: ...' + exit 1, not a traceback."""
+        fleet_dir = tmp_path / "fleet"
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "14"]) == 0
+        capsys.readouterr()
+        next((fleet_dir / "traces").glob("pair-*.npz")).write_bytes(b"garbage")
+        assert main(["survey", "--from-dir", str(fleet_dir), "--workers", "2"]) == 1
+        assert "corrupt or truncated trace file" in capsys.readouterr().err
+
+
 class TestWindowedCommand:
     def test_windowed_runs(self, capsys):
         exit_code = main(["windowed", "--pairs", "28", "--seed", "3",
