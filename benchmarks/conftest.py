@@ -33,17 +33,21 @@ OUTPUT_DIR = Path(__file__).resolve().parent / "output"
 #: The machine-readable perf-trajectory file shared by the throughput benches.
 BENCH_JSON = OUTPUT_DIR / "BENCH_survey.json"
 
+#: Perf + cost/quality trajectory of the fleet policy survey.
+BENCH_POLICIES_JSON = OUTPUT_DIR / "BENCH_policies.json"
 
-def update_bench_json(section: str, payload: dict) -> None:
-    """Merge one benchmark's numbers into ``BENCH_survey.json``.
 
-    Each bench owns one top-level section, so benches can run in any
-    order (or individually) without clobbering each other's results.
+def update_bench_json(section: str, payload: dict, path: Path = BENCH_JSON) -> None:
+    """Merge one benchmark's numbers into a trajectory JSON file.
+
+    Each bench owns one top-level section of its file (``BENCH_survey.json``
+    by default), so benches can run in any order (or individually) without
+    clobbering each other's results.
     """
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
-    data = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {}
+    data = json.loads(path.read_text()) if path.exists() else {}
     data[section] = payload
-    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def bench_pair_count() -> int:

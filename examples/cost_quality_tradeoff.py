@@ -1,71 +1,79 @@
-"""Cost vs. quality: pricing three sampling policies on a leaf-spine fabric.
+"""Cost vs. quality at fleet scale: pricing three sampling policies on a fabric.
 
-This is the experiment behind the paper's title.  We build a small
-leaf-spine datacenter, deploy the standard monitoring metrics on its
-switches and servers, and compare three ways of sampling them:
+This is the experiment behind the paper's title, run through the
+fleet-scale policy survey.  We build a leaf-spine datacenter, deploy the
+standard monitoring metrics on its switches and servers, and compare three
+ways of sampling every (metric, device) pair:
 
 * the fixed-rate baseline (today's ad-hoc polling interval),
 * the Nyquist-static policy (calibrate once, then poll at the Nyquist rate),
 * the adaptive dual-frequency policy of Section 4.
 
-Each policy is priced with the collection/transmission/storage/analysis
-cost model and scored on reconstruction fidelity and on how quickly it
-detects an injected fail-stop event.
+``run_policy_survey`` evaluates the whole fleet through the batched policy
+engine (one spectral-calibration call and one FFT reconstruction pair per
+trace batch), prices every point with the hop-weighted
+collection/transmission/storage/analysis cost model, and scales exactly
+like the Nyquist survey: ``--workers`` fans the evaluation out to a
+process pool (byte-identical records) and ``--spill-dir`` streams the
+per-point record blocks to disk so memory stays bounded.
 
-Run with:  python examples/cost_quality_tradeoff.py [--points N]
+For per-point event-detection scoring (injected fail-stop steps and the
+detection-latency columns), see ``repro.pipeline.CostQualityEvaluator`` --
+the per-trace driver behind the same columnar records.
+
+Run with:  python examples/cost_quality_tradeoff.py [--leaves N] [--workers N]
 """
 
 from __future__ import annotations
 
 import argparse
+from pathlib import Path
 
-import numpy as np
-
-from repro.analysis import format_table
-from repro.network import (MonitoringDeployment, TelemetryCostAccountant, TopologySpec,
-                           attach_collector, build_leaf_spine)
-from repro.pipeline import (AdaptiveDualRatePolicy, CostQualityEvaluator, EventKind,
-                            FixedRatePolicy, NyquistStaticPolicy, inject_event)
+from repro.analysis import format_table, run_policy_survey
+from repro.network import DeploymentSpec, TopologySpec
+from repro.pipeline import PolicySuite
+from repro.records import SpillingRecordSink
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--points", type=int, default=8,
-                        help="measurement points to evaluate per metric")
-    parser.add_argument("--metrics", nargs="*", default=["Link util", "Temperature", "FCS errors"])
+    parser.add_argument("--spines", type=int, default=2)
+    parser.add_argument("--leaves", type=int, default=4)
+    parser.add_argument("--servers-per-leaf", type=int, default=4)
+    parser.add_argument("--duration-hours", type=float, default=12.0)
     parser.add_argument("--seed", type=int, default=19)
+    parser.add_argument("--workers", type=int, default=1,
+                        help=">= 2 fans the evaluation out to a process pool")
+    parser.add_argument("--spill-dir", type=Path, default=None,
+                        help="stream record blocks to disk (out-of-core run)")
     args = parser.parse_args()
 
-    topology = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=4, servers_per_leaf=4))
-    collector = attach_collector(topology)
-    deployment = MonitoringDeployment(topology, trace_duration=43200.0, seed=args.seed)
-    accountant = TelemetryCostAccountant(topology=topology, collector=collector)
+    spec = DeploymentSpec(
+        topology=TopologySpec(num_spines=args.spines, num_leaves=args.leaves,
+                              servers_per_leaf=args.servers_per_leaf),
+        trace_duration=args.duration_hours * 3600.0,
+        seed=args.seed,
+        oversample_factor=4.0)
+    source = spec.open()
+    accountant = source.accountant()
+    suite = PolicySuite(production_oversample=4.0, adaptive_window=4 * 3600.0)
 
-    rng = np.random.default_rng(args.seed)
-    policies = [
-        FixedRatePolicy(30.0, name="baseline-30s"),
-        NyquistStaticPolicy(production_interval=30.0),
-        AdaptiveDualRatePolicy(window_duration=2 * 3600.0),
-    ]
-    evaluator = CostQualityEvaluator(policies, accountant=accountant)
+    sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
+    result = run_policy_survey(source, suite, accountant=accountant,
+                               workers=args.workers, sink=sink)
 
-    evaluated = 0
-    for metric in args.metrics:
-        for point, reference in deployment.iter_reference_traces(metric, limit=args.points):
-            event_time = reference.start_time + float(rng.uniform(0.5, 0.9)) * reference.duration
-            magnitude = 6.0 * reference.std() + 1.0
-            modified, event = inject_event(reference, EventKind.STEP, event_time, magnitude)
-            evaluator.evaluate_point(point.node, metric, modified, event)
-            evaluated += 1
-
-    print(f"Evaluated {evaluated} measurement points on a "
-          f"{len(topology)}-node leaf-spine fabric\n")
-    print(format_table(evaluator.rows()))
+    print(f"Evaluated {len(source)} measurement points on a "
+          f"{len(source.deployment.topology)}-node leaf-spine fabric "
+          f"(collector at {source.collector})\n")
+    print(format_table(result.rows()))
     print()
-    relative = evaluator.relative_costs("baseline-30s")
+    relative = result.relative_costs("fixed")
     print("Total monitoring cost relative to the fixed-rate baseline:")
     for policy, fraction in relative.items():
         print(f"  {policy:22s} {fraction:.2f}x")
+    if args.spill_dir is not None:
+        print(f"\nRecord chunks spilled to {args.spill_dir} "
+              f"({len(result.sink.files)} files)")
 
 
 if __name__ == "__main__":

@@ -62,7 +62,6 @@ import csv
 import enum
 import math
 import zipfile
-from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -73,6 +72,8 @@ import numpy as np
 from ..core.nyquist import NyquistEstimate, NyquistEstimator
 from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_stability,
                              windowed_nyquist_rates)
+from ..records import (MemoryRecordSink, RecordSink, SpillingRecordSink,
+                       register_block_type)
 from ..telemetry.dataset import TracePair
 from ..telemetry.source import TraceSource, WorkerSpec
 
@@ -146,6 +147,7 @@ _FLOAT_COLUMNS = ("current_rate", "nyquist_rate", "reduction_ratio",
                   "true_nyquist_rate", "trace_duration")
 
 
+@register_block_type
 @dataclass(frozen=True)
 class RecordBlock:
     """Struct-of-arrays storage for one chunk of survey outcomes.
@@ -153,7 +155,8 @@ class RecordBlock:
     All rows belong to one metric (chunks are produced per metric by both
     the sequential and the multi-worker pipeline), so the metric name is a
     single scalar rather than a per-row column.  Blocks are the unit of
-    spilling: each one round-trips losslessly through ``.npz`` or ``.csv``.
+    spilling: each one round-trips losslessly through ``.npz`` or ``.csv``
+    behind the sink layer of :mod:`repro.records`.
     """
 
     metric_name: str
@@ -311,108 +314,17 @@ class RecordBlock:
                    true_nyquist_rate=columns["true_nyquist_rate"],
                    trace_duration=columns["trace_duration"])
 
+    # ---------------------- spill-type sniffing ------------------------
+    @classmethod
+    def sniff_npz(cls, member_names: Sequence[str]) -> bool:
+        """True when an npz spill file holds survey (not policy) records."""
+        return "nyquist_rate" in member_names and "policy_name" not in member_names
 
-# ----------------------------------------------------------------------
-class RecordSink(ABC):
-    """Streaming destination for survey :class:`RecordBlock` chunks.
-
-    The survey pipeline pushes blocks as it produces them and the
-    aggregations pull them back with :meth:`blocks`; a sink therefore
-    decides the memory/durability trade-off (RAM vs disk) without the
-    rest of the pipeline caring.
-    """
-
-    @abstractmethod
-    def append(self, block: RecordBlock) -> None:
-        """Accept the next chunk of survey outcomes."""
-
-    @abstractmethod
-    def blocks(self) -> Iterator[RecordBlock]:
-        """Stream the stored chunks back in append order."""
-
-    @property
-    @abstractmethod
-    def rows(self) -> int:
-        """Total pairs stored so far."""
-
-
-class MemoryRecordSink(RecordSink):
-    """Keeps every block in RAM (the default for paper-scale surveys)."""
-
-    def __init__(self) -> None:
-        self._blocks: list[RecordBlock] = []
-        self._rows = 0
-
-    def append(self, block: RecordBlock) -> None:
-        self._blocks.append(block)
-        self._rows += len(block)
-
-    def blocks(self) -> Iterator[RecordBlock]:
-        return iter(self._blocks)
-
-    @property
-    def rows(self) -> int:
-        return self._rows
-
-
-class SpillingRecordSink(RecordSink):
-    """Streams every block straight to disk; memory stays O(one block).
-
-    Each appended block becomes one ``records-NNNNN.npz`` (or ``.csv``)
-    file under ``directory``; aggregations stream the files back one at a
-    time, so neither writing nor reading ever holds more than a single
-    ``chunk_size`` block in memory.  Opening a sink on a directory that
-    already contains record files resumes from them, which is how a
-    spilled survey is re-opened in a later process
-    (``SurveyResult(sink=SpillingRecordSink(path))``).
-    """
-
-    _FORMATS = {"npz": (RecordBlock.save_npz, RecordBlock.load_npz),
-                "csv": (RecordBlock.save_csv, RecordBlock.load_csv)}
-
-    def __init__(self, directory: Path | str, fmt: Literal["npz", "csv"] = "npz") -> None:
-        if fmt not in self._FORMATS:
-            raise ValueError(f"unknown spill format {fmt!r}; choose 'npz' or 'csv'")
-        self.directory = Path(directory)
-        self.fmt = fmt
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._files: list[Path] = sorted(self.directory.glob(f"records-*.{fmt}"))
-        self._rows = sum(self._count_rows(path) for path in self._files)
-
-    def _count_rows(self, path: Path) -> int:
-        """Row count of one spill file without loading its full columns.
-
-        npz members decompress lazily, so touching only ``device_ids``
-        skips the seven float columns; for csv a line count suffices.
-        Keeps re-opening a 100k+-pair spill directory cheap.
-        """
-        if self.fmt == "npz":
-            with np.load(path) as data:
-                return int(data["device_ids"].shape[0])
-        with path.open() as handle:
-            return max(sum(1 for line in handle if not line.startswith("#")) - 1, 0)
-
-    def _load(self, path: Path) -> RecordBlock:
-        return self._FORMATS[self.fmt][1](path)
-
-    def append(self, block: RecordBlock) -> None:
-        path = self.directory / f"records-{len(self._files):05d}.{self.fmt}"
-        self._FORMATS[self.fmt][0](block, path)
-        self._files.append(path)
-        self._rows += len(block)
-
-    def blocks(self) -> Iterator[RecordBlock]:
-        for path in self._files:
-            yield self._load(path)
-
-    @property
-    def rows(self) -> int:
-        return self._rows
-
-    @property
-    def files(self) -> list[Path]:
-        """The spill files written so far, in append order."""
-        return list(self._files)
+    @classmethod
+    def sniff_csv(cls, head_lines: Sequence[str]) -> bool:
+        """True when a csv spill file's leading lines look like survey records."""
+        header = ",".join(cls._CSV_HEADER)
+        return any(line.rstrip("\r\n") == header for line in head_lines)
 
 
 def _blocks_from_records(records: Iterable[PairRecord]) -> Iterator[RecordBlock]:

@@ -1,7 +1,7 @@
-"""Command-line interface: run the survey, the adaptive demo, and quick estimates.
+"""Command-line interface: run the surveys, the adaptive demo, and quick estimates.
 
 Installed as ``repro-monitor`` (see pyproject) and runnable as
-``python -m repro.cli``.  Five subcommands cover the common workflows:
+``python -m repro.cli``.  Six subcommands cover the common workflows:
 
 * ``survey``   -- run the Section 3.2 fleet survey and print Figures 1/4/5
   style summaries (optionally exporting CSVs).  ``--workers`` fans trace
@@ -11,6 +11,14 @@ Installed as ``repro-monitor`` (see pyproject) and runnable as
   surveys a *measured* fleet (a directory of recorded per-pair trace
   files + manifest, as written by ``export-fleet``) instead of
   generating synthetic telemetry -- same backends, workers and sinks.
+* ``policies`` -- the cost-vs-quality experiment behind the paper's
+  title, at fleet scale: deploy monitoring on a leaf-spine fabric (or
+  read a measured fleet with ``--from-dir``), evaluate today's
+  fixed-rate polling against the Nyquist-static and adaptive dual-rate
+  policies on every (metric, device) pair, price each with the
+  hop-weighted network cost model, and print the relative-cost/quality
+  table.  Same ``--workers`` / ``--chunk-size`` / ``--spill-dir``
+  scaling as ``survey``.
 * ``export-fleet`` -- round-trip a synthetic fleet to a measured-trace
   directory (one npz/csv file per (metric, device) pair plus
   ``manifest.json``); ``survey --from-dir`` on the result reproduces the
@@ -33,12 +41,17 @@ from pathlib import Path
 
 import numpy as np
 
+from .analysis.policy_survey import PolicySurveyResult, run_policy_survey
 from .analysis.reporting import ascii_bar_chart, box_stats, format_table, write_csv
 from .analysis.survey import SpillingRecordSink, run_survey, run_windowed_survey
 from .core.adaptive import AdaptiveSamplingController, ControllerConfig
 from .core.errors import compare
 from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
 from .core.reconstruction import nyquist_round_trip
+from .network.cost import TelemetryCostAccountant
+from .network.monitoring import DeploymentSpec
+from .network.topology import TopologySpec
+from .pipeline.policies import PolicySuite
 from .signals.timeseries import IrregularTimeSeries
 from .telemetry.dataset import DatasetConfig, FleetDataset
 from .telemetry.measured import MeasuredFleetDataset, export_traces
@@ -98,6 +111,50 @@ def build_parser() -> argparse.ArgumentParser:
                         help="survey a measured fleet: a directory of recorded per-pair "
                              "trace files + manifest.json (see 'export-fleet'); "
                              "--pairs/--seed are ignored, the manifest defines the pairs")
+
+    policies = subparsers.add_parser(
+        "policies",
+        help="fleet-scale cost vs quality of sampling policies (the paper's title)",
+        description="Deploy monitoring on a demo leaf-spine fabric (or read a "
+                    "measured fleet with --from-dir), evaluate the fixed-rate "
+                    "baseline, the Nyquist-static policy and the adaptive "
+                    "dual-rate controller on every (metric, device) pair, and "
+                    "price each with the hop-weighted network cost model.")
+    policies.add_argument("--spines", type=_positive_int, default=2,
+                          help="spine switches in the demo fabric")
+    policies.add_argument("--leaves", type=_positive_int, default=4,
+                          help="leaf (ToR) switches in the demo fabric")
+    policies.add_argument("--servers-per-leaf", type=_non_negative_int, default=2,
+                          help="servers attached to each leaf")
+    policies.add_argument("--duration-hours", type=float, default=12.0,
+                          help="reference trace length in hours")
+    policies.add_argument("--seed", type=int, default=11, help="deployment seed")
+    policies.add_argument("--oversample", type=float, default=None,
+                          help="reference traces are sampled this much faster than "
+                               "production polls (default 4 for the demo fabric, "
+                               "1 for --from-dir fleets recorded at production rate)")
+    policies.add_argument("--adaptive-window-hours", type=float, default=4.0,
+                          help="adaptation window of the dual-rate controller")
+    policies.add_argument("--calibration-fraction", type=float, default=0.25,
+                          help="fraction of each trace the static policy calibrates on")
+    policies.add_argument("--limit-per-metric", type=_non_negative_int, default=None,
+                          help="cap the number of measurement points per metric")
+    policies.add_argument("--metrics", nargs="*", default=None,
+                          help="restrict the evaluation to these metrics")
+    policies.add_argument("--workers", type=_positive_int, default=1,
+                          help="worker processes for policy evaluation "
+                               "(>= 2 fans the survey out to a process pool)")
+    policies.add_argument("--chunk-size", type=_positive_int, default=256,
+                          help="traces held in memory at once (bounds survey memory)")
+    policies.add_argument("--spill-dir", type=Path, default=None,
+                          help="stream per-point records to npz chunks in this "
+                               "directory instead of holding them in memory")
+    policies.add_argument("--csv-dir", type=Path, default=None,
+                          help="directory to write the cost/quality table CSV into")
+    policies.add_argument("--from-dir", type=Path, default=None, metavar="FLEET_DIR",
+                          help="evaluate a measured fleet (see 'export-fleet') instead "
+                               "of the demo fabric; costs use the default hop count "
+                               "since recorded fleets carry no topology")
 
     export = subparsers.add_parser(
         "export-fleet",
@@ -198,6 +255,76 @@ def _command_survey(args: argparse.Namespace) -> int:
                       for record in result.records if record.reliable]
         write_csv(args.csv_dir / "figure4_reduction_ratios.csv", ratio_rows)
         print(f"\nCSV series written under {args.csv_dir}")
+    if args.spill_dir is not None:
+        print(f"\nRecord chunks spilled to {args.spill_dir} "
+              f"({len(result.sink.files)} npz files)")
+    return 0
+
+
+def _command_policies(args: argparse.Namespace) -> int:
+    try:
+        if args.from_dir is not None:
+            source = MeasuredFleetDataset(args.from_dir)
+            oversample = args.oversample if args.oversample is not None else 1.0
+            if oversample < 1:
+                raise ValueError("--oversample must be >= 1")
+            accountant = TelemetryCostAccountant()
+            print(f"Evaluating policies on measured fleet from {args.from_dir} "
+                  f"({len(source)} recorded pairs)\n")
+        else:
+            oversample = args.oversample if args.oversample is not None else 4.0
+            spec = DeploymentSpec(
+                topology=TopologySpec(num_spines=args.spines, num_leaves=args.leaves,
+                                      servers_per_leaf=args.servers_per_leaf),
+                trace_duration=args.duration_hours * 3600.0,
+                seed=args.seed,
+                oversample_factor=oversample)
+            source = spec.open()
+            accountant = source.accountant()
+            print(f"Deployed monitoring on a "
+                  f"{len(source.deployment.topology)}-node leaf-spine fabric "
+                  f"({len(source)} measurement points, collector at {source.collector})\n")
+        if args.metrics is not None:
+            unknown = sorted(set(args.metrics) - set(source.metric_names()))
+            if not args.metrics or unknown:
+                raise ValueError(
+                    f"{'--metrics needs at least one name' if not args.metrics else f'unknown metrics {unknown}'}; "
+                    f"this fleet serves {source.metric_names()}")
+        suite = PolicySuite(production_oversample=oversample,
+                            calibration_fraction=args.calibration_fraction,
+                            adaptive_window=args.adaptive_window_hours * 3600.0)
+        sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
+        result = run_policy_survey(source, suite, accountant=accountant,
+                                   metrics=args.metrics,
+                                   limit_per_metric=args.limit_per_metric,
+                                   chunk_size=args.chunk_size, workers=args.workers,
+                                   sink=sink)
+    except ValueError as error:
+        # Bad spec/suite parameters, unknown metrics, a corrupt measured
+        # fleet or a used spill directory -- report cleanly, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    points = len(result) // max(len(result.policies()), 1)
+    print(f"Evaluated {len(result.policies())} policies on {points} "
+          f"(metric, device) pairs ({len(result.metrics())} metrics)\n")
+    rows = result.rows()
+    print("Cost vs quality per policy (cf. the paper's title):")
+    print(format_table(rows))
+    print()
+    try:
+        relative = result.relative_costs("fixed")
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print("Total monitoring cost relative to the fixed-rate baseline:")
+    for policy, fraction in relative.items():
+        print(f"  {policy:22s} {fraction:.2f}x")
+    if args.csv_dir is not None:
+        for row, fraction in zip(rows, relative.values()):
+            row["cost_vs_fixed"] = fraction
+        write_csv(args.csv_dir / "policy_cost_quality.csv", rows)
+        print(f"\nCSV written under {args.csv_dir}")
     if args.spill_dir is not None:
         print(f"\nRecord chunks spilled to {args.spill_dir} "
               f"({len(result.sink.files)} npz files)")
@@ -322,6 +449,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "survey": _command_survey,
+        "policies": _command_policies,
         "export-fleet": _command_export_fleet,
         "windowed": _command_windowed,
         "adaptive": _command_adaptive,

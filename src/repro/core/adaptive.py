@@ -308,6 +308,25 @@ class AdaptiveSamplingController:
         self.current_rate = next_rate
         return decision
 
+    def _probe_toward(self, proposed: float, rate: float, ceiling: float) -> float:
+        """Enter probe mode toward ``proposed`` -- unless we are already pinned.
+
+        When the clamped proposal cannot exceed the current rate the
+        controller sits at its ceiling (``max_rate`` or the reference
+        rate): there is no faster rate left to probe, so paying the
+        dual-stream cost every window buys nothing.  Settle instead; the
+        periodic steady-mode aliasing check keeps watching for change.
+        Without this, a genuinely broadband metric keeps the controller
+        in probe mode forever and its cost *exceeds* the fixed baseline
+        it is supposed to undercut.
+        """
+        clamped = self._clamp(proposed, ceiling)
+        if clamped <= rate:
+            self.mode = ControllerMode.STEADY
+            return clamped
+        self.mode = ControllerMode.PROBE
+        return clamped
+
     def _next_rate(self, rate: float, verdict: AliasingVerdict,
                    estimate: NyquistEstimate, ceiling: float) -> float:
         """Apply the §4.2 adaptation rules and return the next window's rate."""
@@ -315,11 +334,10 @@ class AdaptiveSamplingController:
         if verdict.aliased or (estimate.reliable and estimate.nyquist_rate > rate):
             # Under-sampling detected: multiplicative increase, jump-started
             # by the remembered maximum if we have one.
-            self.mode = ControllerMode.PROBE
             proposed = rate * config.probe_multiplier
             if self.remembered_max_rate > proposed:
                 proposed = self.remembered_max_rate
-            return self._clamp(proposed, ceiling)
+            return self._probe_toward(proposed, rate, ceiling)
 
         if not estimate.reliable:
             if self.mode is ControllerMode.STEADY and estimate.reason == "trace too short":
@@ -331,8 +349,7 @@ class AdaptiveSamplingController:
             # looks aliased): keep increasing until the Nyquist rate becomes
             # observable.  The remembered maximum is only used when aliasing
             # is positively detected, not for mere lack of data.
-            self.mode = ControllerMode.PROBE
-            return self._clamp(rate * config.probe_multiplier, ceiling)
+            return self._probe_toward(rate * config.probe_multiplier, rate, ceiling)
 
         # Clean estimate available: settle at Nyquist rate plus headroom.
         self.mode = ControllerMode.STEADY

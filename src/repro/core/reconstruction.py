@@ -19,10 +19,12 @@ from ..signals.timeseries import TimeSeries
 from .errors import ReconstructionError, compare
 from .nyquist import NyquistEstimate, NyquistEstimator
 from .quantization import UniformQuantizer
-from .resampling import downsample, fourier_resample, resample_to_rate
+from .resampling import (downsample, fourier_resample, fourier_resample_matrix,
+                         resample_to_rate)
 
 __all__ = [
     "reconstruct",
+    "reconstruct_batch",
     "upsample_to_length",
     "RoundTripResult",
     "nyquist_round_trip",
@@ -69,6 +71,26 @@ def reconstruct(downsampled: TimeSeries, original_rate: float,
                                        quantizer=quantizer)
     return TimeSeries(reconstructed.values, 1.0 / original_rate,
                       start_time=downsampled.start_time, name=downsampled.name)
+
+
+def reconstruct_batch(values: np.ndarray, interval: float,
+                      original_rate: float) -> np.ndarray:
+    """Row-wise :func:`reconstruct` over a ``(rows, m)`` matrix of collected samples.
+
+    Every row is a down-sampled trace at ``interval`` seconds per sample;
+    the result holds each row's band-limited reconstruction at
+    ``original_rate``, computed with one batched FFT pair.  The target
+    length matches the scalar path exactly (``round(duration *
+    original_rate)``), so a row of the result equals ``reconstruct`` on
+    that row's :class:`~repro.signals.timeseries.TimeSeries`.
+    """
+    if original_rate <= 0:
+        raise ValueError("original_rate must be positive")
+    if values.ndim != 2:
+        raise ValueError(f"values must be a (rows, m) matrix, got shape {values.shape}")
+    duration = values.shape[1] * interval
+    target_length = max(int(round(duration * original_rate)), 1)
+    return fourier_resample_matrix(values, target_length)
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,9 @@ __all__ = [
     "nearest_neighbor_resample",
     "downsample",
     "resample_to_rate",
+    "decimation_factor",
     "fourier_resample",
+    "fourier_resample_matrix",
     "linear_resample",
 ]
 
@@ -94,6 +96,20 @@ def downsample(series: TimeSeries, factor: int, anti_alias: bool = True) -> Time
     return filtered.decimate(factor)
 
 
+def decimation_factor(current_rate: float, target_rate: float) -> int:
+    """The integer decimation step :func:`resample_to_rate` uses.
+
+    One shared definition keeps the scalar policy/resampling path and the
+    batched (matrix) policy evaluation on exactly the same sample grids: a
+    factor of 1 means "already at or below the target rate".
+    """
+    if target_rate <= 0:
+        raise ValueError("target_rate must be positive")
+    if target_rate >= current_rate:
+        return 1
+    return max(int(math.ceil(current_rate / target_rate - 1e-12)), 1)
+
+
 def resample_to_rate(series: TimeSeries, target_rate: float,
                      anti_alias: bool = True) -> TimeSeries:
     """Down-sample ``series`` to (approximately) ``target_rate`` samples/second.
@@ -108,8 +124,7 @@ def resample_to_rate(series: TimeSeries, target_rate: float,
         raise ValueError("target_rate must be positive")
     if target_rate >= series.sampling_rate or len(series) == 0:
         return series
-    factor = int(math.ceil(series.sampling_rate / target_rate - 1e-12))
-    factor = max(factor, 1)
+    factor = decimation_factor(series.sampling_rate, target_rate)
     return downsample(series, factor, anti_alias=anti_alias)
 
 
@@ -142,6 +157,36 @@ def fourier_resample(series: TimeSeries, target_length: int) -> TimeSeries:
     values = np.fft.irfft(new_spectrum, n=target_length) * (target_length / n)
     new_interval = series.duration / target_length
     return TimeSeries(values, new_interval, start_time=series.start_time, name=series.name)
+
+
+def fourier_resample_matrix(values: np.ndarray, target_length: int) -> np.ndarray:
+    """Row-wise :func:`fourier_resample` over a ``(rows, n)`` matrix.
+
+    One ``rfft``/``irfft`` pair for the whole batch instead of one per
+    trace; every row's result equals ``fourier_resample`` on that row
+    (same transform lengths, same Nyquist-bin handling), which is what
+    lets the batched policy evaluation reproduce the scalar path.
+    """
+    if values.ndim != 2:
+        raise ValueError(f"values must be a (rows, n) matrix, got shape {values.shape}")
+    n = values.shape[1]
+    if target_length < 1:
+        raise ValueError("target_length must be >= 1")
+    if n == 0:
+        raise ValueError("cannot resample empty rows")
+    if target_length == n:
+        return values
+    spectrum = np.fft.rfft(values, axis=-1)
+    target_bins = target_length // 2 + 1
+    new_spectrum = np.zeros((values.shape[0], target_bins), dtype=np.complex128)
+    copy = min(spectrum.shape[1], target_bins)
+    new_spectrum[:, :copy] = spectrum[:, :copy]
+    # Same even-length Nyquist-bin split as the scalar interpolator: the
+    # folded +/- Nyquist components are halved so the up-sampled rows stay
+    # real-valued and energy-preserving.
+    if target_length > n and n % 2 == 0 and copy == spectrum.shape[1]:
+        new_spectrum[:, copy - 1] *= 0.5
+    return np.fft.irfft(new_spectrum, n=target_length, axis=-1) * (target_length / n)
 
 
 def linear_resample(series: TimeSeries, target_rate: float) -> TimeSeries:

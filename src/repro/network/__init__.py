@@ -1,7 +1,8 @@
 """Datacenter network substrate: topologies, monitoring deployment and cost model."""
 
 from .cost import CostBreakdown, CostModel, TelemetryCostAccountant
-from .monitoring import MonitoredPoint, MonitoringDeployment
+from .monitoring import (DeploymentSpec, DeploymentTraceSource, MonitoredPoint,
+                         MonitoringDeployment)
 from .topology import (NodeRole, TopologySpec, attach_collector, build_fat_tree,
                        build_leaf_spine, servers, switches)
 
@@ -10,4 +11,5 @@ __all__ = [
     "switches", "servers", "attach_collector",
     "CostModel", "CostBreakdown", "TelemetryCostAccountant",
     "MonitoredPoint", "MonitoringDeployment",
+    "DeploymentSpec", "DeploymentTraceSource",
 ]

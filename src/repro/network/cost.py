@@ -19,8 +19,10 @@ insensitive to the exact constants.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import networkx as nx
+import numpy as np
 
 __all__ = ["CostModel", "CostBreakdown", "TelemetryCostAccountant"]
 
@@ -146,3 +148,36 @@ class TelemetryCostAccountant:
             storage_bytes=bytes_moved * model.storage_cost_per_byte,
             analysis=sample_count * model.analysis_cost_per_sample,
         )
+
+    def hops_array(self, devices: Sequence[str]) -> np.ndarray:
+        """Hop count per device, as an integer column."""
+        return np.fromiter((self.hops(device) for device in devices), np.int64,
+                           len(devices))
+
+    def price_sample_block(self, devices: Sequence[str],
+                           sample_counts: np.ndarray) -> dict[str, np.ndarray]:
+        """Vectorised :meth:`price_samples`: one priced column per cost component.
+
+        ``devices[i]`` collected ``sample_counts[i]`` samples; the result
+        maps component name (``hops``, ``collection_cpu_us``,
+        ``transmission``, ``storage_bytes``, ``analysis``) to a per-row
+        array.  Row ``i`` equals ``price_samples(devices[i],
+        sample_counts[i])`` -- this is the cost-accounting hot path of the
+        fleet policy survey, where pricing a block is five array
+        multiplies instead of one Python call per (device, policy) row.
+        """
+        counts = np.asarray(sample_counts, dtype=np.int64)
+        if counts.ndim != 1 or counts.shape[0] != len(devices):
+            raise ValueError("sample_counts must be 1-D with one entry per device")
+        if np.any(counts < 0):
+            raise ValueError("sample_count must be non-negative")
+        model = self.cost_model
+        hops = self.hops_array(devices)
+        bytes_moved = counts * model.bytes_per_sample
+        return {
+            "hops": hops,
+            "collection_cpu_us": counts * model.collection_cpu_us,
+            "transmission": bytes_moved * hops * model.transmission_cost_per_byte_hop,
+            "storage_bytes": bytes_moved * model.storage_cost_per_byte,
+            "analysis": counts * model.analysis_cost_per_sample,
+        }

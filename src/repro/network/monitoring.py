@@ -6,6 +6,16 @@ telemetry generators (:mod:`repro.telemetry`) and the pipeline simulator
 specs to fabric nodes, draws the per-(device, metric) generative
 parameters, and can materialise the reference (ground-truth) traces the
 simulator samples from.
+
+:class:`DeploymentTraceSource` exposes a deployment through the
+:class:`~repro.telemetry.source.TraceSource` protocol, so the fleet
+pipelines (``run_survey``, ``run_policy_survey``) run over a monitored
+fabric exactly like over a :class:`~repro.telemetry.dataset.FleetDataset`
+-- with the crucial difference that every measurement point is a real
+topology node, which lets the cost model price its telemetry with actual
+hop counts.  :class:`DeploymentSpec` is the picklable worker address: a
+leaf-spine recipe the multi-worker survey ships to its process pool and
+rebuilds deterministically.
 """
 
 from __future__ import annotations
@@ -17,13 +27,18 @@ import networkx as nx
 import numpy as np
 
 from ..signals.timeseries import TimeSeries
+from ..telemetry.dataset import TracePair
 from ..telemetry.metrics import METRIC_CATALOG, MetricSpec
 from ..telemetry.models import generate_trace
 from ..telemetry.profiles import (DeviceProfile, DeviceRole, MetricParameters,
                                   draw_metric_parameters)
-from .topology import NodeRole, servers, switches
+from ..telemetry.source import BaseTraceSource
+from .cost import CostModel, TelemetryCostAccountant
+from .topology import (NodeRole, TopologySpec, attach_collector, build_leaf_spine,
+                       servers, switches)
 
-__all__ = ["MonitoredPoint", "MonitoringDeployment"]
+__all__ = ["MonitoredPoint", "MonitoringDeployment", "DeploymentSpec",
+           "DeploymentTraceSource"]
 
 #: Which metric families make sense on which kind of fabric node.
 _SWITCH_METRICS = ("Link util", "Unicast bytes", "Multicast bytes", "Unicast drops",
@@ -149,3 +164,148 @@ class MonitoringDeployment:
             selected = selected[:limit]
         for point in selected:
             yield point, self.reference_trace(point, oversample_factor=oversample_factor)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Picklable recipe for a leaf-spine monitoring deployment.
+
+    This is the deployment counterpart of
+    :class:`~repro.telemetry.dataset.DatasetConfig`: a hashable worker
+    address from which a survey worker process deterministically rebuilds
+    the fabric, the collector attachment, the deployment's parameter
+    draws and the resulting :class:`DeploymentTraceSource` -- traces
+    regenerate bit-identically because everything derives from the seed.
+
+    Attributes
+    ----------
+    topology:
+        The leaf-spine fabric parameters.
+    trace_duration / seed / broadband_fraction:
+        Passed to :class:`MonitoringDeployment`.
+    oversample_factor:
+        How much faster than the production polling rate the reference
+        traces are generated (sampling policies need headroom to probe
+        above today's rate).
+    with_collector:
+        Attach a telemetry collector to the spines (the hop-count anchor
+        of the cost model).
+    """
+
+    topology: TopologySpec = TopologySpec()
+    trace_duration: float = 43200.0
+    seed: int = 11
+    broadband_fraction: float = 0.11
+    oversample_factor: float = 4.0
+    with_collector: bool = True
+
+    def __post_init__(self) -> None:
+        if self.oversample_factor < 1:
+            raise ValueError("oversample_factor must be >= 1")
+
+    def build_topology(self) -> tuple[nx.Graph, str | None]:
+        """The fabric graph plus the collector node name (None if detached)."""
+        graph = build_leaf_spine(self.topology)
+        collector = attach_collector(graph) if self.with_collector else None
+        return graph, collector
+
+    def open(self) -> "DeploymentTraceSource":
+        """Materialise the trace source this spec describes (the WorkerSpec hook)."""
+        graph, collector = self.build_topology()
+        deployment = MonitoringDeployment(graph, trace_duration=self.trace_duration,
+                                          seed=self.seed,
+                                          broadband_fraction=self.broadband_fraction)
+        return DeploymentTraceSource(deployment, oversample_factor=self.oversample_factor,
+                                     spec=self, collector=collector)
+
+
+class DeploymentTraceSource(BaseTraceSource):
+    """A monitoring deployment served through the ``TraceSource`` protocol.
+
+    Pairs are the deployment's measurement points grouped by metric (the
+    survey order), each exposed as a
+    :class:`~repro.telemetry.dataset.TracePair` whose device id is the
+    fabric node name -- so a
+    :class:`~repro.network.cost.TelemetryCostAccountant` built on the
+    same topology prices every record with real hop counts.  Traces are
+    the deployment's reference traces: generated ``oversample_factor``
+    times faster than the metric's production polling rate, which gives
+    sampling policies the headroom to probe above today's rate.
+
+    Multi-worker runs need a :class:`DeploymentSpec` (build the source
+    via ``spec.open()`` or pass ``spec=``); a source wrapped around an
+    arbitrary hand-built deployment still serves single-process surveys.
+    """
+
+    def __init__(self, deployment: MonitoringDeployment,
+                 oversample_factor: float = 4.0,
+                 spec: DeploymentSpec | None = None,
+                 collector: str | None = None) -> None:
+        if oversample_factor < 1:
+            raise ValueError("oversample_factor must be >= 1")
+        self.deployment = deployment
+        self.oversample_factor = oversample_factor
+        self.spec = spec
+        self.collector = collector
+        self._metric_order = list(dict.fromkeys((*deployment.switch_metrics,
+                                                 *deployment.server_metrics)))
+        self._pairs: list[TracePair] | None = None
+        self._by_metric: dict[str, list[TracePair]] = {}
+
+    def accountant(self, cost_model: CostModel | None = None) -> TelemetryCostAccountant:
+        """A cost accountant on this deployment's own fabric and collector.
+
+        Prices every measurement point with its real hop count -- the same
+        graph the traces come from, so consumers do not have to rebuild
+        the topology a second time.  Without a collector (a spec built
+        with ``with_collector=False`` or a hand-built deployment), falls
+        back to the accountant's ``default_hops`` for every device.
+        """
+        if self.collector is None:
+            return TelemetryCostAccountant(cost_model=cost_model)
+        return TelemetryCostAccountant(cost_model=cost_model,
+                                       topology=self.deployment.topology,
+                                       collector=self.collector)
+
+    # ------------------------------------------------------------------
+    def pairs(self) -> list[TracePair]:
+        if self._pairs is None:
+            by_metric = {name: [] for name in self._metric_order}
+            for point in self.deployment.points():
+                by_metric[point.metric.name].append(
+                    TracePair(point.metric, point.profile, point.parameters))
+            self._by_metric = by_metric
+            self._pairs = [pair for name in self._metric_order for pair in by_metric[name]]
+        return self._pairs
+
+    def pairs_for_metric(self, metric_name: str) -> list[TracePair]:
+        self.pairs()
+        return list(self._by_metric.get(metric_name, []))
+
+    def metric_names(self) -> list[str]:
+        return list(self._metric_order)
+
+    @property
+    def trace_duration(self) -> float:
+        return self.deployment.trace_duration
+
+    def worker_spec(self) -> DeploymentSpec:
+        if self.spec is None:
+            raise ValueError(
+                "this DeploymentTraceSource wraps a hand-built deployment and has no "
+                "picklable spec; construct it via DeploymentSpec(...).open() to use "
+                "multi-worker surveys")
+        return self.spec
+
+    def load(self, pair: TracePair) -> TimeSeries:
+        """Generate the reference trace for one measurement point.
+
+        Same generation path as :meth:`MonitoringDeployment.reference_trace`
+        (identical parameters, seed and interval), keyed off the pair view.
+        """
+        interval = pair.metric.poll_interval / self.oversample_factor
+        rng = np.random.default_rng(pair.parameters.seed)
+        return generate_trace(pair.metric, pair.parameters,
+                              self.deployment.trace_duration, interval=interval,
+                              rng=rng, device_name=pair.device.device_id)

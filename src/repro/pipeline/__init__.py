@@ -1,17 +1,19 @@
 """Monitoring pipeline: sampling policies, event injection and cost/quality evaluation."""
 
-from .evaluation import CostQualityEvaluator, PointEvaluation, PolicySummary
+from .evaluation import (CostQualityEvaluator, PointEvaluation, PolicyRecordBlock,
+                         PolicySummary)
 from .events import (DetectionOutcome, EventKind, InjectedEvent, ThresholdDetector,
                      inject_event, score_detection)
 from .policies import (AdaptiveDualRatePolicy, FixedRatePolicy, NyquistStaticPolicy,
-                       PolicyResult, SamplingPolicy)
+                       PolicyBatchEvaluation, PolicyResult, PolicySuite, SamplingPolicy,
+                       StaticPolicySuite)
 from .retention import AposterioriRetention, RetentionDecision, RetentionReport
 
 __all__ = [
-    "SamplingPolicy", "PolicyResult", "FixedRatePolicy", "NyquistStaticPolicy",
-    "AdaptiveDualRatePolicy",
+    "SamplingPolicy", "PolicyResult", "PolicyBatchEvaluation", "FixedRatePolicy",
+    "NyquistStaticPolicy", "AdaptiveDualRatePolicy", "PolicySuite", "StaticPolicySuite",
     "EventKind", "InjectedEvent", "inject_event", "ThresholdDetector",
     "DetectionOutcome", "score_detection",
-    "CostQualityEvaluator", "PointEvaluation", "PolicySummary",
+    "CostQualityEvaluator", "PointEvaluation", "PolicyRecordBlock", "PolicySummary",
     "AposterioriRetention", "RetentionDecision", "RetentionReport",
 ]

@@ -3,31 +3,57 @@
 This is the experiment behind the paper's title: for each sampling policy,
 what does monitoring cost (samples collected, bytes moved and stored) and
 what quality do we get back (reconstruction fidelity, event-detection
-latency)?  The evaluator runs a set of policies over a set of measurement
-points, prices every policy with the network cost model, and produces one
-comparable row per policy.
+latency)?
+
+Outcomes are stored columnarly: every evaluated (policy, measurement
+point) row lands in a :class:`PolicyRecordBlock` -- a struct-of-arrays
+chunk behind the shared :class:`~repro.records.RecordSink` abstraction --
+so fleet-scale runs stream their results to disk
+(:class:`~repro.records.SpillingRecordSink`) and aggregate with vectorised
+numpy reductions, exactly like the Nyquist survey's
+:class:`~repro.analysis.survey.RecordBlock`.  :class:`PointEvaluation`
+remains as a lazily materialised per-row view.
+
+Two drivers feed these blocks:
+
+* :class:`CostQualityEvaluator` -- the per-point driver: runs every policy
+  on one reference trace at a time, scores injected-event detection, and
+  keeps the classic ``summaries`` / ``rows`` reporting surface.
+* :func:`repro.analysis.policy_survey.run_policy_survey` -- the
+  fleet-scale driver: batched policy evaluation over any trace source,
+  priced with the same accountant, multi-worker and out-of-core.
 """
 
 from __future__ import annotations
 
+import csv
 import math
+import zipfile
 from dataclasses import dataclass, field
-from typing import Sequence
+from pathlib import Path
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..core.errors import compare
 from ..network.cost import CostBreakdown, TelemetryCostAccountant
+from ..records import MemoryRecordSink, RecordSink, register_block_type
 from ..signals.timeseries import TimeSeries
 from .events import DetectionOutcome, InjectedEvent, ThresholdDetector, score_detection
-from .policies import PolicyResult, SamplingPolicy
+from .policies import PolicyBatchEvaluation, PolicyResult, SamplingPolicy
 
-__all__ = ["PointEvaluation", "PolicySummary", "CostQualityEvaluator"]
+__all__ = ["PointEvaluation", "PolicyRecordBlock", "PolicySummary",
+           "CostQualityEvaluator"]
 
 
 @dataclass(frozen=True)
 class PointEvaluation:
-    """One (policy, measurement point) outcome."""
+    """One (policy, measurement point) outcome.
+
+    A per-row *view*: evaluations are stored columnarly in
+    :class:`PolicyRecordBlock` arrays and materialised into these objects
+    on demand.
+    """
 
     policy_name: str
     point_name: str
@@ -41,6 +67,253 @@ class PointEvaluation:
     @property
     def detected(self) -> bool | None:
         return None if self.detection is None else self.detection.detected
+
+
+#: Column name -> per-row float64 arrays of a PolicyRecordBlock.
+_FLOAT_COLUMNS = ("mean_rate_hz", "nrmse", "max_abs_error", "collection_cpu_us",
+                  "transmission", "storage_bytes", "analysis", "detection_latency")
+
+#: Codes of the int8 ``detected`` column.
+DETECTION_UNSCORED: int = -1
+DETECTION_MISSED: int = 0
+DETECTION_DETECTED: int = 1
+
+
+@register_block_type
+@dataclass(frozen=True)
+class PolicyRecordBlock:
+    """Struct-of-arrays storage for one chunk of policy-evaluation outcomes.
+
+    All rows belong to one (metric, policy) pair -- chunks are produced
+    per metric batch and per policy by both the per-point evaluator and
+    the fleet policy survey -- so both names are block-level scalars.
+    Rows carry the evaluated measurement point (``device_ids``), the
+    policy's collection volume and achieved rate, the reconstruction
+    error, the priced cost components (hop-weighted transmission
+    included), and the optional event-detection outcome.  Blocks are the
+    unit of spilling: each round-trips losslessly through ``.npz`` or
+    ``.csv`` behind the sink layer of :mod:`repro.records`.
+    """
+
+    metric_name: str
+    policy_name: str
+    device_ids: np.ndarray
+    samples: np.ndarray
+    mean_rate_hz: np.ndarray
+    nrmse: np.ndarray
+    max_abs_error: np.ndarray
+    hops: np.ndarray
+    collection_cpu_us: np.ndarray
+    transmission: np.ndarray
+    storage_bytes: np.ndarray
+    analysis: np.ndarray
+    detected: np.ndarray
+    detection_latency: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "device_ids", np.asarray(self.device_ids, dtype=np.str_))
+        object.__setattr__(self, "samples", np.asarray(self.samples, dtype=np.int64))
+        object.__setattr__(self, "hops", np.asarray(self.hops, dtype=np.int64))
+        object.__setattr__(self, "detected", np.asarray(self.detected, dtype=np.int8))
+        for column in _FLOAT_COLUMNS:
+            object.__setattr__(self, column,
+                               np.asarray(getattr(self, column), dtype=np.float64))
+        rows = self.device_ids.shape[0]
+        for column in ("samples", "hops", "detected", *_FLOAT_COLUMNS):
+            array = getattr(self, column)
+            if array.ndim != 1 or array.shape[0] != rows:
+                raise ValueError(f"column {column!r} must be 1-D with {rows} rows, "
+                                 f"got shape {array.shape}")
+
+    def __len__(self) -> int:
+        return int(self.device_ids.shape[0])
+
+    @property
+    def total_cost(self) -> np.ndarray:
+        """Per-row unit-weighted cost total (the :attr:`CostBreakdown.total` sum)."""
+        return (self.collection_cpu_us + self.transmission
+                + self.storage_bytes + self.analysis)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_batch(cls, metric_name: str, evaluation: PolicyBatchEvaluation,
+                   device_ids: Sequence[str],
+                   priced: dict[str, np.ndarray]) -> "PolicyRecordBlock":
+        """Assemble a block from one batched policy evaluation plus its pricing.
+
+        ``priced`` is the column dict of
+        :meth:`~repro.network.cost.TelemetryCostAccountant.price_sample_block`
+        for the same rows.  Detection columns default to "not scored" (the
+        fleet survey evaluates reconstruction cost/quality; event scoring
+        is the per-point evaluator's job).
+        """
+        rows = len(evaluation)
+        return cls(
+            metric_name=metric_name,
+            policy_name=evaluation.policy_name,
+            device_ids=np.array(list(device_ids), dtype=np.str_),
+            samples=evaluation.samples_collected,
+            mean_rate_hz=evaluation.mean_sampling_rate,
+            nrmse=evaluation.nrmse,
+            max_abs_error=evaluation.max_abs_error,
+            hops=priced["hops"],
+            collection_cpu_us=priced["collection_cpu_us"],
+            transmission=priced["transmission"],
+            storage_bytes=priced["storage_bytes"],
+            analysis=priced["analysis"],
+            detected=np.full(rows, DETECTION_UNSCORED, dtype=np.int8),
+            detection_latency=np.full(rows, np.nan),
+        )
+
+    def to_evaluations(self) -> Iterator[PointEvaluation]:
+        """Materialise one :class:`PointEvaluation` view per row."""
+        for index in range(len(self)):
+            code = int(self.detected[index])
+            detection = None
+            if code != DETECTION_UNSCORED:
+                detection = DetectionOutcome(
+                    policy_name=self.policy_name,
+                    detected=code == DETECTION_DETECTED,
+                    latency=float(self.detection_latency[index]),
+                )
+            yield PointEvaluation(
+                policy_name=self.policy_name,
+                point_name=str(self.device_ids[index]),
+                metric_name=self.metric_name,
+                samples_collected=int(self.samples[index]),
+                cost=CostBreakdown(
+                    samples=int(self.samples[index]),
+                    collection_cpu_us=float(self.collection_cpu_us[index]),
+                    transmission=float(self.transmission[index]),
+                    storage_bytes=float(self.storage_bytes[index]),
+                    analysis=float(self.analysis[index]),
+                ),
+                nrmse=float(self.nrmse[index]),
+                max_abs_error=float(self.max_abs_error[index]),
+                detection=detection,
+            )
+
+    # ------------------------- disk round trip -------------------------
+    def save_npz(self, path: Path) -> None:
+        np.savez_compressed(
+            path, metric_name=np.array(self.metric_name),
+            policy_name=np.array(self.policy_name), device_ids=self.device_ids,
+            samples=self.samples, mean_rate_hz=self.mean_rate_hz, nrmse=self.nrmse,
+            max_abs_error=self.max_abs_error, hops=self.hops,
+            collection_cpu_us=self.collection_cpu_us, transmission=self.transmission,
+            storage_bytes=self.storage_bytes, analysis=self.analysis,
+            detected=self.detected, detection_latency=self.detection_latency)
+
+    @classmethod
+    def load_npz(cls, path: Path) -> "PolicyRecordBlock":
+        try:
+            with np.load(path) as data:
+                return cls(metric_name=str(data["metric_name"]),
+                           policy_name=str(data["policy_name"]),
+                           device_ids=data["device_ids"], samples=data["samples"],
+                           mean_rate_hz=data["mean_rate_hz"], nrmse=data["nrmse"],
+                           max_abs_error=data["max_abs_error"], hops=data["hops"],
+                           collection_cpu_us=data["collection_cpu_us"],
+                           transmission=data["transmission"],
+                           storage_bytes=data["storage_bytes"],
+                           analysis=data["analysis"], detected=data["detected"],
+                           detection_latency=data["detection_latency"])
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
+            raise ValueError(
+                f"corrupt or truncated record file {path}: {error}") from error
+
+    _CSV_HEADER = ("metric_name", "policy_name", "device_id", "samples",
+                   "mean_rate_hz", "nrmse", "max_abs_error", "hops",
+                   "collection_cpu_us", "transmission", "storage_bytes", "analysis",
+                   "detected", "detection_latency")
+
+    #: Comment lines carrying the block-level scalars, so zero-row blocks
+    #: round-trip through csv without losing them.
+    _CSV_METRIC_PREFIX = "# metric="
+    _CSV_POLICY_PREFIX = "# policy="
+
+    def save_csv(self, path: Path) -> None:
+        with path.open("w", newline="") as handle:
+            handle.write(f"{self._CSV_METRIC_PREFIX}{self.metric_name}\n")
+            handle.write(f"{self._CSV_POLICY_PREFIX}{self.policy_name}\n")
+            writer = csv.writer(handle)
+            writer.writerow(self._CSV_HEADER)
+            for index in range(len(self)):
+                writer.writerow([
+                    self.metric_name, self.policy_name, str(self.device_ids[index]),
+                    int(self.samples[index]),
+                    repr(float(self.mean_rate_hz[index])),
+                    repr(float(self.nrmse[index])),
+                    repr(float(self.max_abs_error[index])),
+                    int(self.hops[index]),
+                    repr(float(self.collection_cpu_us[index])),
+                    repr(float(self.transmission[index])),
+                    repr(float(self.storage_bytes[index])),
+                    repr(float(self.analysis[index])),
+                    int(self.detected[index]),
+                    repr(float(self.detection_latency[index])),
+                ])
+
+    @classmethod
+    def load_csv(cls, path: Path) -> "PolicyRecordBlock":
+        metric_name = policy_name = ""
+        columns: dict[str, list] = {name: [] for name in cls._CSV_HEADER[2:]}
+        with path.open(newline="") as handle:
+            line = handle.readline()
+            if not line.strip():
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 "missing CSV header")
+            if line.startswith(cls._CSV_METRIC_PREFIX):
+                metric_name = line[len(cls._CSV_METRIC_PREFIX):].rstrip("\r\n")
+                line = handle.readline()
+            if line.startswith(cls._CSV_POLICY_PREFIX):
+                policy_name = line[len(cls._CSV_POLICY_PREFIX):].rstrip("\r\n")
+                line = handle.readline()
+            if line.rstrip("\r\n").split(",") != list(cls._CSV_HEADER):
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 f"unexpected CSV header {line.rstrip()!r}")
+            reader = csv.reader(handle)
+            for line_number, row in enumerate(reader, start=1):
+                try:
+                    metric_name = row[0]
+                    policy_name = row[1]
+                    columns["device_id"].append(row[2])
+                    columns["samples"].append(int(row[3]))
+                    columns["mean_rate_hz"].append(float(row[4]))
+                    columns["nrmse"].append(float(row[5]))
+                    columns["max_abs_error"].append(float(row[6]))
+                    columns["hops"].append(int(row[7]))
+                    columns["collection_cpu_us"].append(float(row[8]))
+                    columns["transmission"].append(float(row[9]))
+                    columns["storage_bytes"].append(float(row[10]))
+                    columns["analysis"].append(float(row[11]))
+                    columns["detected"].append(int(row[12]))
+                    columns["detection_latency"].append(float(row[13]))
+                except (IndexError, ValueError) as error:
+                    raise ValueError(f"corrupt or truncated record file {path}, "
+                                     f"data row {line_number}: {error}") from error
+        return cls(metric_name=metric_name, policy_name=policy_name,
+                   device_ids=np.array(columns["device_id"], dtype=np.str_),
+                   samples=columns["samples"], mean_rate_hz=columns["mean_rate_hz"],
+                   nrmse=columns["nrmse"], max_abs_error=columns["max_abs_error"],
+                   hops=columns["hops"],
+                   collection_cpu_us=columns["collection_cpu_us"],
+                   transmission=columns["transmission"],
+                   storage_bytes=columns["storage_bytes"], analysis=columns["analysis"],
+                   detected=columns["detected"],
+                   detection_latency=columns["detection_latency"])
+
+    # ---------------------- spill-type sniffing ------------------------
+    @classmethod
+    def sniff_npz(cls, member_names: Sequence[str]) -> bool:
+        """True when an npz spill file holds policy-evaluation records."""
+        return "policy_name" in member_names and "nrmse" in member_names
+
+    @classmethod
+    def sniff_csv(cls, head_lines: Sequence[str]) -> bool:
+        """True when a csv spill file's leading lines look like policy records."""
+        header = ",".join(cls._CSV_HEADER)
+        return any(line.rstrip("\r\n") == header for line in head_lines)
 
 
 @dataclass
@@ -102,11 +375,18 @@ class PolicySummary:
 
 
 class CostQualityEvaluator:
-    """Run several sampling policies over the same measurement points and compare them."""
+    """Run several sampling policies over the same measurement points and compare them.
+
+    Every evaluated (policy, point) row is appended to a
+    :class:`PolicyRecordBlock` behind ``sink`` (in-memory by default; pass
+    a :class:`~repro.records.SpillingRecordSink` to stream rows to disk).
+    ``summaries`` and ``rows`` are views over that columnar store.
+    """
 
     def __init__(self, policies: Sequence[SamplingPolicy],
                  accountant: TelemetryCostAccountant | None = None,
-                 detector: ThresholdDetector | None = None) -> None:
+                 detector: ThresholdDetector | None = None,
+                 sink: RecordSink | None = None) -> None:
         if not policies:
             raise ValueError("need at least one policy")
         names = [policy.name for policy in policies]
@@ -115,10 +395,18 @@ class CostQualityEvaluator:
         self.policies = list(policies)
         self.accountant = accountant or TelemetryCostAccountant()
         self.detector = detector or ThresholdDetector()
-        self.summaries: dict[str, PolicySummary] = {
-            policy.name: PolicySummary(policy.name) for policy in self.policies}
+        self._sink = sink if sink is not None else MemoryRecordSink()
+        self._summaries_cache: tuple[int, dict[str, PolicySummary]] | None = None
 
     # ------------------------------------------------------------------
+    @property
+    def sink(self) -> RecordSink:
+        return self._sink
+
+    def iter_blocks(self) -> Iterator[PolicyRecordBlock]:
+        """Stream the stored columnar chunks in evaluation order."""
+        return self._sink.blocks()
+
     def evaluate_point(self, point_name: str, metric_name: str, reference: TimeSeries,
                        event: InjectedEvent | None = None) -> list[PointEvaluation]:
         """Run every policy on one measurement point's reference trace."""
@@ -131,31 +419,76 @@ class CostQualityEvaluator:
             if event is not None:
                 detection = score_detection(policy.name, outcome.collected, event,
                                             detector=self.detector)
-            evaluation = PointEvaluation(
-                policy_name=policy.name,
-                point_name=point_name,
+            if detection is None:
+                detected_code, latency = DETECTION_UNSCORED, float("nan")
+            elif detection.detected:
+                detected_code, latency = DETECTION_DETECTED, detection.latency
+            else:
+                detected_code, latency = DETECTION_MISSED, detection.latency
+            block = PolicyRecordBlock(
                 metric_name=metric_name,
-                samples_collected=outcome.samples_collected,
-                cost=cost,
-                nrmse=error.nrmse,
-                max_abs_error=error.max_abs,
-                detection=detection,
+                policy_name=policy.name,
+                device_ids=np.array([point_name], dtype=np.str_),
+                samples=np.array([outcome.samples_collected], dtype=np.int64),
+                mean_rate_hz=np.array([outcome.mean_sampling_rate]),
+                nrmse=np.array([error.nrmse]),
+                max_abs_error=np.array([error.max_abs]),
+                hops=np.array([self.accountant.hops(point_name)], dtype=np.int64),
+                collection_cpu_us=np.array([cost.collection_cpu_us]),
+                transmission=np.array([cost.transmission]),
+                storage_bytes=np.array([cost.storage_bytes]),
+                analysis=np.array([cost.analysis]),
+                detected=np.array([detected_code], dtype=np.int8),
+                detection_latency=np.array([latency]),
             )
-            self.summaries[policy.name].evaluations.append(evaluation)
-            results.append(evaluation)
+            self._sink.append(block)
+            results.extend(block.to_evaluations())
         return results
+
+    # ------------------------------------------------------------------
+    @property
+    def summaries(self) -> dict[str, PolicySummary]:
+        """Per-policy summaries, materialised from the columnar store.
+
+        Cached per sink state: the (possibly spilled) blocks are only
+        re-read after new evaluations land, so repeated reporting calls
+        (``rows``, ``relative_costs``, direct ``summaries`` access) do
+        not re-stream a spill directory each time.
+        """
+        if self._summaries_cache is not None and \
+                self._summaries_cache[0] == self._sink.rows:
+            return self._summaries_cache[1]
+        summaries = {policy.name: PolicySummary(policy.name) for policy in self.policies}
+        for block in self._sink.blocks():
+            summary = summaries.get(block.policy_name)
+            if summary is None:  # pragma: no cover - foreign blocks in a reused sink
+                summary = summaries.setdefault(block.policy_name,
+                                               PolicySummary(block.policy_name))
+            summary.evaluations.extend(block.to_evaluations())
+        self._summaries_cache = (self._sink.rows, summaries)
+        return summaries
 
     def rows(self) -> list[dict[str, float | str]]:
         """One aggregate row per policy (in the order policies were given)."""
-        return [self.summaries[policy.name].as_row() for policy in self.policies]
+        summaries = self.summaries
+        return [summaries[policy.name].as_row() for policy in self.policies]
 
     def relative_costs(self, baseline_policy: str) -> dict[str, float]:
-        """Total cost of each policy relative to ``baseline_policy``."""
-        if baseline_policy not in self.summaries:
+        """Total cost of each policy relative to ``baseline_policy``.
+
+        Raises :class:`ValueError` when the baseline's total cost is zero
+        (e.g. no points evaluated yet, or a zero cost model): dividing by
+        it would silently turn every relative cost into ``nan`` and
+        propagate through reports.
+        """
+        summaries = self.summaries
+        if baseline_policy not in summaries:
             raise KeyError(f"unknown policy {baseline_policy!r}")
-        baseline = self.summaries[baseline_policy].total_cost.total
-        result = {}
-        for name, summary in self.summaries.items():
-            total = summary.total_cost.total
-            result[name] = total / baseline if baseline else float("nan")
-        return result
+        baseline = summaries[baseline_policy].total_cost.total
+        if baseline == 0:
+            raise ValueError(
+                f"baseline policy {baseline_policy!r} has zero total cost "
+                f"({len(summaries[baseline_policy].evaluations)} points evaluated); "
+                "relative costs are undefined")
+        return {name: summary.total_cost.total / baseline
+                for name, summary in summaries.items()}

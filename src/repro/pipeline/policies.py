@@ -12,9 +12,28 @@ actually collects.  Three policies are provided:
   dual-frequency sampling, detect aliasing, settle at the Nyquist rate and
   keep adapting.
 
-Every policy returns a :class:`PolicyResult` containing the samples it
-collected, a reconstruction of the full-rate signal (the paper's low-pass
-interpolator) and bookkeeping for cost accounting.
+Two execution paths share these semantics:
+
+* :meth:`SamplingPolicy.collect` runs a policy over one reference
+  :class:`~repro.signals.timeseries.TimeSeries` and returns a
+  :class:`PolicyResult` with the collected samples, a reconstruction of
+  the full-rate signal (the paper's low-pass interpolator) and
+  bookkeeping for cost accounting -- the reference implementation, and
+  the one event-detection scoring needs (it sees the collected stream).
+* :meth:`SamplingPolicy.evaluate_batch` runs a policy over a whole
+  ``(rows, n)`` matrix of equal-shape reference traces and returns
+  columnar per-trace outcome arrays (:class:`PolicyBatchEvaluation`).
+  :class:`FixedRatePolicy` and :class:`NyquistStaticPolicy` override it
+  with vectorised implementations (batched decimation, one
+  ``estimate_batch`` call for the whole calibration matrix, one FFT pair
+  for all reconstructions); the adaptive controller is inherently
+  sequential per trace and uses the row-loop default.  This is the feed
+  of the fleet-scale policy survey
+  (:func:`repro.analysis.policy_survey.run_policy_survey`).
+
+:class:`PolicySuite` builds the paper's three-policy comparison for a
+metric's production interval, so fleets whose metrics poll at different
+rates can be evaluated with one configuration object.
 """
 
 from __future__ import annotations
@@ -25,13 +44,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.adaptive import AdaptiveRun, AdaptiveSamplingController, ControllerConfig
+from ..core.errors import compare, compare_batch
 from ..core.nyquist import NyquistEstimator
-from ..core.reconstruction import reconstruct
-from ..core.resampling import resample_to_rate
+from ..core.reconstruction import reconstruct, reconstruct_batch
+from ..core.resampling import decimation_factor, resample_to_rate
 from ..signals.timeseries import TimeSeries
 
-__all__ = ["PolicyResult", "SamplingPolicy", "FixedRatePolicy",
-           "NyquistStaticPolicy", "AdaptiveDualRatePolicy"]
+__all__ = ["PolicyResult", "PolicyBatchEvaluation", "SamplingPolicy", "FixedRatePolicy",
+           "NyquistStaticPolicy", "AdaptiveDualRatePolicy", "PolicySuite",
+           "StaticPolicySuite"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +74,37 @@ class PolicyResult:
         return self.samples_collected / (duration / 3600.0)
 
 
+@dataclass(frozen=True)
+class PolicyBatchEvaluation:
+    """Columnar outcome of one policy over a batch of reference traces.
+
+    One entry per row of the evaluated ``(rows, n)`` matrix, in row
+    order.  This is the per-point record the fleet policy survey stores;
+    the reconstruction itself is never materialised outside the batch
+    call (only its error against the reference is).
+    """
+
+    policy_name: str
+    samples_collected: np.ndarray
+    mean_sampling_rate: np.ndarray
+    nrmse: np.ndarray
+    max_abs_error: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "samples_collected",
+                           np.asarray(self.samples_collected, dtype=np.int64))
+        for column in ("mean_sampling_rate", "nrmse", "max_abs_error"):
+            object.__setattr__(self, column,
+                               np.asarray(getattr(self, column), dtype=np.float64))
+        rows = self.samples_collected.shape[0]
+        for column in ("mean_sampling_rate", "nrmse", "max_abs_error"):
+            if getattr(self, column).shape != (rows,):
+                raise ValueError(f"column {column!r} must be 1-D with {rows} rows")
+
+    def __len__(self) -> int:
+        return int(self.samples_collected.shape[0])
+
+
 class SamplingPolicy(abc.ABC):
     """Interface every sampling policy implements."""
 
@@ -69,17 +121,52 @@ class SamplingPolicy(abc.ABC):
         it read (including probe traffic).
         """
 
+    def evaluate_batch(self, values: np.ndarray, interval: float) -> PolicyBatchEvaluation:
+        """Run the policy over every row of a ``(rows, n)`` reference matrix.
+
+        All rows share one sampling ``interval`` (group heterogeneous
+        fleets with :meth:`~repro.telemetry.source.BaseTraceSource.trace_batches`).
+        Returns columnar per-row outcomes: samples collected, achieved
+        mean rate, and the reconstruction error against the reference.
+
+        The default implementation loops :meth:`collect` row by row (used
+        by the sequential adaptive controller); vectorisable policies
+        override it with batched implementations that produce the same
+        numbers without per-trace Python overhead.
+        """
+        if values.ndim != 2:
+            raise ValueError(f"values must be a (rows, n) matrix, got shape {values.shape}")
+        rows = values.shape[0]
+        samples = np.zeros(rows, dtype=np.int64)
+        mean_rate = np.zeros(rows)
+        nrmse = np.zeros(rows)
+        max_abs = np.zeros(rows)
+        for index in range(rows):
+            reference = TimeSeries(values[index], interval)
+            outcome = self.collect(reference)
+            error = compare(reference, outcome.reconstructed)
+            samples[index] = outcome.samples_collected
+            mean_rate[index] = outcome.mean_sampling_rate
+            nrmse[index] = error.nrmse
+            max_abs[index] = error.max_abs
+        return PolicyBatchEvaluation(self.name, samples, mean_rate, nrmse, max_abs)
+
     # ------------------------------------------------------------------
     @staticmethod
     def _finish(name: str, reference: TimeSeries, collected: TimeSeries,
                 samples_collected: int, detail: dict[str, float] | None = None) -> PolicyResult:
         """Shared epilogue: reconstruct at the reference rate and bundle the result."""
-        if len(collected) >= 2:
-            reconstructed = reconstruct(collected, reference.sampling_rate)
-        else:
-            # Degenerate case: a single sample reconstructs to a constant.
-            value = collected.values[0] if len(collected) else 0.0
-            reconstructed = reference.with_values(np.full(len(reference), value))
+        if len(collected) < 2:
+            # A policy that collected fewer than two samples has no signal
+            # to reconstruct from; silently reporting a constant (formerly
+            # 0.0 for an empty stream) produced a bogus-but-plausible
+            # nrmse that skewed whole-fleet quality aggregates.
+            raise ValueError(
+                f"policy {name!r} collected only {len(collected)} sample(s) from "
+                f"{reference.name or 'the reference trace'} "
+                f"({len(reference)} samples over {reference.duration:g}s); "
+                "at least 2 are needed to reconstruct")
+        reconstructed = reconstruct(collected, reference.sampling_rate)
         duration = reference.duration
         mean_rate = samples_collected / duration if duration > 0 else float("nan")
         return PolicyResult(
@@ -113,6 +200,37 @@ class FixedRatePolicy(SamplingPolicy):
         collected = resample_to_rate(reference, rate, anti_alias=False)
         return self._finish(self.name, reference, collected, len(collected),
                             detail={"rate_hz": rate})
+
+    def evaluate_batch(self, values: np.ndarray, interval: float) -> PolicyBatchEvaluation:
+        """Vectorised path: one decimation + one batched FFT reconstruction.
+
+        Every row polls at the same fixed rate, so the whole batch shares
+        one decimation factor and one reconstruction shape -- the entire
+        evaluation is three matrix operations.
+        """
+        if values.ndim != 2:
+            raise ValueError(f"values must be a (rows, n) matrix, got shape {values.shape}")
+        rows, n = values.shape
+        reference_rate = 1.0 / interval
+        rate = min(1.0 / self.interval, reference_rate)
+        factor = decimation_factor(reference_rate, rate)
+        collected = values[:, ::factor]
+        m = collected.shape[1]
+        if m < 2:
+            raise ValueError(
+                f"policy {self.name!r} collected only {m} sample(s) per trace "
+                f"({n} reference samples at {interval:g}s); at least 2 are needed "
+                "to reconstruct")
+        reconstructed = reconstruct_batch(collected, interval * factor, reference_rate)
+        nrmse, max_abs = compare_batch(values, reconstructed)
+        duration = n * interval
+        return PolicyBatchEvaluation(
+            policy_name=self.name,
+            samples_collected=np.full(rows, m, dtype=np.int64),
+            mean_sampling_rate=np.full(rows, m / duration),
+            nrmse=nrmse,
+            max_abs_error=max_abs,
+        )
 
 
 class NyquistStaticPolicy(SamplingPolicy):
@@ -182,6 +300,83 @@ class NyquistStaticPolicy(SamplingPolicy):
         }
         return self._finish(self.name, reference, collected, samples, detail)
 
+    def evaluate_batch(self, values: np.ndarray, interval: float) -> PolicyBatchEvaluation:
+        """Vectorised path: one ``estimate_batch`` calibration for the whole batch.
+
+        The calibration prefix of every row is estimated with a single
+        batched spectral call, rows are then grouped by their resulting
+        steady-state decimation factor, and each group's merged
+        calibration + steady stream is reconstructed with one batched FFT
+        pair.  Numbers match :meth:`collect` row for row.
+        """
+        if values.ndim != 2:
+            raise ValueError(f"values must be a (rows, n) matrix, got shape {values.shape}")
+        rows, n = values.shape
+        reference_rate = 1.0 / interval
+        production_rate = min(1.0 / self.production_interval, reference_rate)
+        duration = n * interval
+
+        # Calibration prefix: same index arithmetic as TimeSeries.window on
+        # a start_time-0 trace, then the same decimation resample_to_rate
+        # would apply.
+        cal_stop = min(max(int(np.ceil(duration * self.calibration_fraction / interval)),
+                           0), n)
+        factor_c = decimation_factor(reference_rate, production_rate)
+        calibration = values[:, :cal_stop:factor_c]
+        cal_m = calibration.shape[1]
+        cal_interval = interval * factor_c
+
+        nyquist = np.full(rows, np.nan)
+        reliable = np.zeros(rows, dtype=bool)
+        if cal_m >= 2:
+            estimates = self.estimator.estimate_batch(calibration, cal_interval)
+            reliable = np.fromiter((e.reliable for e in estimates), bool, rows)
+            nyquist = np.fromiter((e.nyquist_rate for e in estimates), np.float64, rows)
+        target = np.where(reliable, np.minimum(nyquist * self.headroom, production_rate),
+                          production_rate)
+
+        remainder = values[:, cal_stop:]
+        rem_m = remainder.shape[1]
+        if rem_m >= 2:
+            with np.errstate(divide="ignore"):
+                raw = np.ceil(reference_rate / target - 1e-12)
+            factor_s = np.where(target >= reference_rate, 1,
+                                np.maximum(raw, 1)).astype(np.int64)
+        else:
+            # Too short to resample: the scalar path keeps the remainder
+            # as-is at the reference interval.
+            factor_s = np.ones(rows, dtype=np.int64)
+
+        samples = np.zeros(rows, dtype=np.int64)
+        nrmse = np.zeros(rows)
+        max_abs = np.zeros(rows)
+        for factor in np.unique(factor_s):
+            group = np.nonzero(factor_s == factor)[0]
+            steady = remainder[group, ::factor] if rem_m >= 2 else remainder[group]
+            steady_interval = interval * factor if rem_m >= 2 else interval
+            steady_m = steady.shape[1]
+            if steady_m:
+                repeat = max(int(round(steady_interval / cal_interval)), 1)
+                merged = np.concatenate(
+                    [calibration[group], np.repeat(steady, repeat, axis=1)], axis=1)
+            else:
+                merged = calibration[group]
+            if merged.shape[1] < 2:
+                raise ValueError(
+                    f"policy {self.name!r} collected only {merged.shape[1]} sample(s) "
+                    f"per trace ({n} reference samples at {interval:g}s); at least 2 "
+                    "are needed to reconstruct")
+            reconstructed = reconstruct_batch(merged, cal_interval, reference_rate)
+            nrmse[group], max_abs[group] = compare_batch(values[group], reconstructed)
+            samples[group] = cal_m + steady_m
+        return PolicyBatchEvaluation(
+            policy_name=self.name,
+            samples_collected=samples,
+            mean_sampling_rate=samples / duration,
+            nrmse=nrmse,
+            max_abs_error=max_abs,
+        )
+
 
 class AdaptiveDualRatePolicy(SamplingPolicy):
     """The §4 dynamic sampling controller wrapped as a policy.
@@ -221,3 +416,101 @@ class AdaptiveDualRatePolicy(SamplingPolicy):
             "aliased_windows": float(sum(decision.aliased for decision in run.decisions)),
         }
         return self._finish(self.name, reference, collected, samples, detail)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PolicySuite:
+    """Builds the paper's three-policy comparison for one reference interval.
+
+    Fleet surveys evaluate metrics whose production polling rates differ
+    (Link util every 30 s, Temperature every 300 s, ...), so the policies
+    themselves must be derived per metric rather than fixed up front.  A
+    suite is a small picklable recipe the policy survey ships to its
+    worker processes: given the interval of a reference trace batch it
+    instantiates the fixed-rate baseline, the Nyquist-static policy and
+    the adaptive dual-rate controller with rates expressed relative to
+    the metric's production rate.
+
+    Attributes
+    ----------
+    production_oversample:
+        How much faster the reference traces are sampled than production
+        polls (the ``oversample_factor`` the trace source was built with).
+        1.0 means the traces *are* the production stream -- the right
+        setting for measured fleets recorded at today's rates.
+    calibration_fraction / headroom:
+        Passed to :class:`NyquistStaticPolicy`.
+    adaptive_window:
+        Adaptation window of :class:`AdaptiveDualRatePolicy`, in seconds.
+    adaptive_backoff:
+        The adaptive controller starts probing at ``production_rate /
+        adaptive_backoff`` so it has to earn its way up.
+    adaptive_max_rate_factor:
+        Rate ceiling of the adaptive controller, as a multiple of the
+        production rate.  The default (1.0) holds the controller to
+        today's polling rate: the cost comparison of the paper's title is
+        about spending *less* than the fixed baseline, so a broadband
+        (already-aliased) metric should cost at most what it costs today
+        rather than ramping to the full reference rate.  Raise it to let
+        the controller probe above production (the §4.1 aliasing hunt).
+    """
+
+    production_oversample: float = 1.0
+    calibration_fraction: float = 0.25
+    headroom: float = 1.2
+    adaptive_window: float = 4 * 3600.0
+    adaptive_backoff: float = 8.0
+    adaptive_max_rate_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.production_oversample < 1:
+            raise ValueError("production_oversample must be >= 1")
+        if self.adaptive_window <= 0:
+            raise ValueError("adaptive_window must be positive")
+        if self.adaptive_backoff < 1:
+            raise ValueError("adaptive_backoff must be >= 1")
+        if self.adaptive_max_rate_factor <= 0:
+            raise ValueError("adaptive_max_rate_factor must be positive")
+
+    def build(self, reference_interval: float) -> list[SamplingPolicy]:
+        """The three policies for traces sampled every ``reference_interval`` s."""
+        if reference_interval <= 0:
+            raise ValueError("reference_interval must be positive")
+        production_interval = reference_interval * self.production_oversample
+        production_rate = 1.0 / production_interval
+        return [
+            FixedRatePolicy(production_interval, name="fixed"),
+            NyquistStaticPolicy(production_interval=production_interval,
+                                calibration_fraction=self.calibration_fraction,
+                                headroom=self.headroom),
+            AdaptiveDualRatePolicy(
+                window_duration=self.adaptive_window,
+                config=ControllerConfig(
+                    initial_rate=production_rate / self.adaptive_backoff,
+                    max_rate=production_rate * self.adaptive_max_rate_factor,
+                    headroom=self.headroom)),
+        ]
+
+
+@dataclass(frozen=True)
+class StaticPolicySuite:
+    """A fixed set of policies served for every metric, suite-style.
+
+    Wraps an explicit policy list in the :class:`PolicySuite` interface so
+    ``run_policy_survey`` can treat "the same policies everywhere" and
+    "per-metric policies" uniformly.  The policies must be picklable for
+    multi-worker runs (the built-in ones are).
+    """
+
+    policies: tuple[SamplingPolicy, ...]
+
+    def __post_init__(self) -> None:
+        if not self.policies:
+            raise ValueError("need at least one policy")
+        names = [policy.name for policy in self.policies]
+        if len(set(names)) != len(names):
+            raise ValueError("policy names must be unique")
+
+    def build(self, reference_interval: float) -> list[SamplingPolicy]:
+        return list(self.policies)

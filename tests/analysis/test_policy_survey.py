@@ -1,0 +1,275 @@
+"""Unit tests for the fleet-scale policy survey (cost vs quality at scale)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.policy_survey import PolicySurveyResult, run_policy_survey
+from repro.network.cost import TelemetryCostAccountant
+from repro.network.monitoring import DeploymentSpec, DeploymentTraceSource, MonitoringDeployment
+from repro.network.topology import TopologySpec, build_leaf_spine
+from repro.pipeline.evaluation import PolicyRecordBlock
+from repro.pipeline.policies import FixedRatePolicy, NyquistStaticPolicy, PolicySuite
+from repro.records import SpillingRecordSink
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+
+#: Columns every policy block must reproduce bit for bit across workers,
+#: sinks and (for exported fleets) storage round trips.
+POLICY_COLUMNS = ("device_ids", "samples", "mean_rate_hz", "nrmse", "max_abs_error",
+                  "hops", "collection_cpu_us", "transmission", "storage_bytes",
+                  "analysis", "detected", "detection_latency")
+
+
+def assert_policy_blocks_byte_identical(left, right) -> None:
+    """Column-for-column exact equality of two policy block streams."""
+    left_blocks, right_blocks = list(left), list(right)
+    assert len(left_blocks) == len(right_blocks)
+    for a, b in zip(left_blocks, right_blocks):
+        assert (a.metric_name, a.policy_name) == (b.metric_name, b.policy_name)
+        for column in POLICY_COLUMNS:
+            assert np.array_equal(getattr(a, column), getattr(b, column),
+                                  equal_nan=getattr(a, column).dtype == np.float64), \
+                (column, a.metric_name, a.policy_name)
+
+
+@pytest.fixture(scope="module")
+def demo_spec() -> DeploymentSpec:
+    return DeploymentSpec(
+        topology=TopologySpec(num_spines=2, num_leaves=2, servers_per_leaf=1),
+        trace_duration=21600.0, seed=11, oversample_factor=4.0)
+
+
+@pytest.fixture(scope="module")
+def demo_accountant(demo_spec) -> TelemetryCostAccountant:
+    graph, collector = demo_spec.build_topology()
+    return TelemetryCostAccountant(topology=graph, collector=collector)
+
+
+@pytest.fixture(scope="module")
+def demo_suite() -> PolicySuite:
+    return PolicySuite(production_oversample=4.0, adaptive_window=2 * 3600.0)
+
+
+@pytest.fixture(scope="module")
+def demo_survey(demo_spec, demo_accountant, demo_suite) -> PolicySurveyResult:
+    return run_policy_survey(demo_spec.open(), demo_suite, accountant=demo_accountant)
+
+
+class TestRunPolicySurvey:
+    def test_one_row_per_point_and_policy(self, demo_spec, demo_survey):
+        points = len(demo_spec.open())
+        assert len(demo_survey) == points * 3
+        rows = demo_survey.rows()
+        assert [row["policy"] for row in rows] == \
+            ["fixed", "nyquist-static", "adaptive-dual-rate"]
+        assert all(row["points"] == points for row in rows)
+
+    def test_reproduces_paper_cost_ordering(self, demo_survey):
+        """The acceptance claim: fixed > Nyquist-static > adaptive total cost
+        at matched (bounded-nrmse) quality on the demo deployment."""
+        relative = demo_survey.relative_costs("fixed")
+        assert relative["fixed"] == pytest.approx(1.0)
+        assert relative["nyquist-static"] < 1.0
+        assert relative["adaptive-dual-rate"] < relative["nyquist-static"]
+        by_policy = {row["policy"]: row for row in demo_survey.rows()}
+        assert by_policy["fixed"]["mean_nrmse"] < 0.1
+        assert by_policy["nyquist-static"]["mean_nrmse"] < 0.4
+        assert by_policy["adaptive-dual-rate"]["mean_nrmse"] < 0.4
+
+    def test_costs_are_hop_weighted(self, demo_survey, demo_accountant):
+        """Transmission must reflect each node's real fabric distance."""
+        for block in demo_survey.iter_blocks():
+            model = demo_accountant.cost_model
+            expected = (block.samples * model.bytes_per_sample * block.hops
+                        * model.transmission_cost_per_byte_hop)
+            assert np.array_equal(block.transmission, expected.astype(np.float64))
+            hops = demo_accountant.hops_array([str(d) for d in block.device_ids])
+            assert np.array_equal(block.hops, hops)
+
+    def test_chunking_preserves_records(self, demo_spec, demo_accountant, demo_suite):
+        source = demo_spec.open()
+        whole = run_policy_survey(source, demo_suite, accountant=demo_accountant)
+        chunked = run_policy_survey(source, demo_suite, accountant=demo_accountant,
+                                    chunk_size=3)
+        assert whole.rows() == chunked.rows()
+
+    def test_metric_and_limit_filters(self, demo_spec, demo_accountant, demo_suite):
+        result = run_policy_survey(demo_spec.open(), demo_suite,
+                                   accountant=demo_accountant,
+                                   metrics=["Temperature", "Link util"],
+                                   limit_per_metric=2)
+        assert set(result.metrics()) == {"Temperature", "Link util"}
+        assert all(row["points"] == 4 for row in result.rows())
+
+    def test_explicit_policy_sequence(self, demo_spec, demo_accountant):
+        """A plain policy list (StaticPolicySuite coercion) works too."""
+        policies = [FixedRatePolicy(120.0, name="baseline"),
+                    NyquistStaticPolicy(production_interval=120.0)]
+        result = run_policy_survey(demo_spec.open(), policies,
+                                   accountant=demo_accountant,
+                                   metrics=["Temperature"])
+        assert result.policies() == ["baseline", "nyquist-static"]
+
+    def test_relative_costs_unknown_baseline(self, demo_survey):
+        with pytest.raises(KeyError):
+            demo_survey.relative_costs("nope")
+
+    def test_relative_costs_zero_baseline_raises(self, demo_spec, demo_suite):
+        """Satellite fix: a zero-cost baseline must raise a clear ValueError
+        naming the policy instead of propagating NaNs into reports."""
+        from repro.network.cost import CostModel
+        free = TelemetryCostAccountant(cost_model=CostModel(
+            bytes_per_sample=0.0, collection_cpu_us=0.0,
+            transmission_cost_per_byte_hop=0.0, storage_cost_per_byte=0.0,
+            analysis_cost_per_sample=0.0))
+        result = run_policy_survey(demo_spec.open(), demo_suite, accountant=free,
+                                   metrics=["Temperature"])
+        with pytest.raises(ValueError, match="'fixed'.*zero total cost"):
+            result.relative_costs("fixed")
+
+    def test_rejects_bad_worker_count(self, demo_spec, demo_suite):
+        with pytest.raises(ValueError, match="workers"):
+            run_policy_survey(demo_spec.open(), demo_suite, workers=0)
+
+    def test_rejects_non_empty_sink(self, demo_spec, demo_accountant, demo_suite,
+                                    tmp_path):
+        run_policy_survey(demo_spec.open(), demo_suite, accountant=demo_accountant,
+                          metrics=["Temperature"],
+                          sink=SpillingRecordSink(tmp_path / "spool"))
+        with pytest.raises(ValueError, match="already holds"):
+            run_policy_survey(demo_spec.open(), demo_suite, accountant=demo_accountant,
+                              metrics=["Temperature"],
+                              sink=SpillingRecordSink(tmp_path / "spool"))
+
+    def test_hand_built_deployment_needs_spec_for_workers(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=1, num_leaves=1,
+                                              servers_per_leaf=0))
+        source = DeploymentTraceSource(MonitoringDeployment(graph, trace_duration=7200.0))
+        with pytest.raises(ValueError, match="spec"):
+            source.worker_spec()
+
+
+class TestPolicyRecordBlockStorage:
+    @pytest.fixture(scope="class")
+    def block(self, demo_survey) -> PolicyRecordBlock:
+        return next(iter(demo_survey.iter_blocks()))
+
+    def test_npz_round_trip(self, block, tmp_path):
+        block.save_npz(tmp_path / "block.npz")
+        loaded = PolicyRecordBlock.load_npz(tmp_path / "block.npz")
+        assert_policy_blocks_byte_identical([block], [loaded])
+
+    def test_csv_round_trip(self, block, tmp_path):
+        block.save_csv(tmp_path / "block.csv")
+        loaded = PolicyRecordBlock.load_csv(tmp_path / "block.csv")
+        assert_policy_blocks_byte_identical([block], [loaded])
+
+    def test_empty_block_round_trip_keeps_scalars(self, tmp_path):
+        empty = PolicyRecordBlock(
+            metric_name="Temperature", policy_name="fixed", device_ids=[], samples=[],
+            mean_rate_hz=[], nrmse=[], max_abs_error=[], hops=[], collection_cpu_us=[],
+            transmission=[], storage_bytes=[], analysis=[], detected=[],
+            detection_latency=[])
+        for fmt in ("npz", "csv"):
+            path = tmp_path / f"block.{fmt}"
+            getattr(empty, f"save_{fmt}")(path)
+            loaded = getattr(PolicyRecordBlock, f"load_{fmt}")(path)
+            assert (loaded.metric_name, loaded.policy_name) == ("Temperature", "fixed")
+            assert len(loaded) == 0
+
+    def test_corrupt_files_raise_value_error(self, tmp_path):
+        npz = tmp_path / "records-00000.npz"
+        npz.write_bytes(b"definitely not a zip archive")
+        with pytest.raises(ValueError, match="corrupt or truncated record file"):
+            PolicyRecordBlock.load_npz(npz)
+        empty_csv = tmp_path / "records-00000.csv"
+        empty_csv.write_text("")
+        with pytest.raises(ValueError, match="missing CSV header"):
+            PolicyRecordBlock.load_csv(empty_csv)
+
+    def test_truncated_csv_row_raises(self, block, tmp_path):
+        path = tmp_path / "records-00000.csv"
+        block.save_csv(path)
+        content = path.read_text()
+        path.write_text(content[: content.rstrip().rfind(",")])
+        with pytest.raises(ValueError, match="corrupt or truncated record file"):
+            PolicyRecordBlock.load_csv(path)
+
+    def test_point_evaluation_views(self, block):
+        views = list(block.to_evaluations())
+        assert len(views) == len(block)
+        for index, view in enumerate(views):
+            assert view.policy_name == block.policy_name
+            assert view.metric_name == block.metric_name
+            assert view.samples_collected == int(block.samples[index])
+            assert view.cost.transmission == pytest.approx(block.transmission[index])
+            assert view.detection is None  # fleet survey does not score events
+
+
+class TestPolicyWorkerEquivalence:
+    """The multi-worker policy survey must reproduce workers=1 byte for
+    byte: same blocks, same order, any sink -- on a synthetic fleet, a
+    deployment source, and an exported measured fleet."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        dataset = FleetDataset(DatasetConfig(pair_count=28, seed=5,
+                                             trace_duration=21600.0))
+        measured = dataset.export(tmp_path_factory.mktemp("measured") / "fleet")
+        return dataset, measured
+
+    @pytest.fixture(scope="class")
+    def fleet_suite(self) -> PolicySuite:
+        # Fleet traces are generated at production rate: oversample 1.
+        return PolicySuite(production_oversample=1.0, adaptive_window=2 * 3600.0)
+
+    def test_deployment_workers_byte_identical(self, demo_spec, demo_accountant,
+                                               demo_suite):
+        source = demo_spec.open()
+        single = run_policy_survey(source, demo_suite, accountant=demo_accountant,
+                                   chunk_size=3)
+        pooled = run_policy_survey(source, demo_suite, accountant=demo_accountant,
+                                   chunk_size=3, workers=2)
+        assert_policy_blocks_byte_identical(single.iter_blocks(), pooled.iter_blocks())
+        assert single.rows() == pooled.rows()
+
+    def test_synthetic_fleet_workers_byte_identical(self, fleet, fleet_suite):
+        dataset, _ = fleet
+        single = run_policy_survey(dataset, fleet_suite, chunk_size=3)
+        pooled = run_policy_survey(dataset, fleet_suite, chunk_size=3, workers=4)
+        assert_policy_blocks_byte_identical(single.iter_blocks(), pooled.iter_blocks())
+
+    def test_measured_fleet_workers_byte_identical(self, fleet, fleet_suite):
+        """Worker batch specs on the measured path are manifest file-offset
+        slices; the reassembled records must equal the in-memory run."""
+        dataset, measured = fleet
+        memory = run_policy_survey(dataset, fleet_suite, chunk_size=3)
+        recorded = run_policy_survey(measured, fleet_suite, chunk_size=3, workers=2)
+        assert_policy_blocks_byte_identical(memory.iter_blocks(), recorded.iter_blocks())
+        assert memory.rows() == recorded.rows()
+
+    def test_workers_with_spill_sink_and_reopen(self, fleet, fleet_suite, tmp_path):
+        dataset, measured = fleet
+        memory = run_policy_survey(dataset, fleet_suite, chunk_size=4)
+        spilled = run_policy_survey(measured, fleet_suite, chunk_size=4, workers=2,
+                                    sink=SpillingRecordSink(tmp_path / "spool"))
+        assert_policy_blocks_byte_identical(memory.iter_blocks(), spilled.iter_blocks())
+        reopened = PolicySurveyResult(sink=SpillingRecordSink(tmp_path / "spool"))
+        assert reopened.rows() == memory.rows()
+        assert reopened.relative_costs("fixed") == memory.relative_costs("fixed")
+        assert reopened.policies() == memory.policies()
+
+    def test_csv_spill_round_trip(self, demo_spec, demo_accountant, demo_suite,
+                                  tmp_path):
+        source = demo_spec.open()
+        memory = run_policy_survey(source, demo_suite, accountant=demo_accountant,
+                                   metrics=["Temperature", "Link util"])
+        spilled = run_policy_survey(source, demo_suite, accountant=demo_accountant,
+                                    metrics=["Temperature", "Link util"],
+                                    sink=SpillingRecordSink(tmp_path / "spool",
+                                                            fmt="csv"))
+        assert_policy_blocks_byte_identical(memory.iter_blocks(), spilled.iter_blocks())
+        reopened = PolicySurveyResult(
+            sink=SpillingRecordSink(tmp_path / "spool", fmt="csv"))
+        assert_policy_blocks_byte_identical(memory.iter_blocks(), reopened.iter_blocks())

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.network.cost import CostBreakdown, CostModel, TelemetryCostAccountant
-from repro.network.topology import TopologySpec, attach_collector, build_leaf_spine
+from repro.network.monitoring import MonitoringDeployment
+from repro.network.topology import (NodeRole, TopologySpec, attach_collector,
+                                    build_leaf_spine)
 
 
 class TestCostModel:
@@ -101,3 +104,77 @@ class TestAccountant:
         far = accountant.price_samples("server-0-0", 100)
         assert far.transmission > near.transmission
         assert far.storage_bytes == near.storage_bytes
+
+
+class TestVectorisedPricing:
+    def make_accountant(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=2, servers_per_leaf=2))
+        collector = attach_collector(graph)
+        return TelemetryCostAccountant(topology=graph, collector=collector)
+
+    def test_block_matches_per_device_pricing(self):
+        accountant = self.make_accountant()
+        devices = ["spine-0", "leaf-1", "server-0-0", "not-a-node"]
+        counts = np.array([10, 20, 30, 40])
+        priced = accountant.price_sample_block(devices, counts)
+        for index, (device, count) in enumerate(zip(devices, counts)):
+            scalar = accountant.price_samples(device, int(count))
+            assert priced["hops"][index] == accountant.hops(device)
+            assert priced["collection_cpu_us"][index] == pytest.approx(scalar.collection_cpu_us)
+            assert priced["transmission"][index] == pytest.approx(scalar.transmission)
+            assert priced["storage_bytes"][index] == pytest.approx(scalar.storage_bytes)
+            assert priced["analysis"][index] == pytest.approx(scalar.analysis)
+
+    def test_rejects_bad_shapes_and_negatives(self):
+        accountant = self.make_accountant()
+        with pytest.raises(ValueError):
+            accountant.price_sample_block(["a", "b"], np.array([1]))
+        with pytest.raises(ValueError):
+            accountant.price_sample_block(["a"], np.array([-1]))
+
+
+class TestDeploymentPricing:
+    """Satellite coverage: hop-weighted pricing through a real
+    MonitoringDeployment topology (previously only exercised indirectly)."""
+
+    def make_deployment(self):
+        graph = build_leaf_spine(TopologySpec(num_spines=2, num_leaves=2,
+                                              servers_per_leaf=2))
+        collector = attach_collector(graph)
+        deployment = MonitoringDeployment(graph, trace_duration=7200.0, seed=3)
+        return deployment, TelemetryCostAccountant(topology=graph, collector=collector), graph
+
+    def test_every_point_is_priced_with_its_fabric_distance(self):
+        deployment, accountant, graph = self.make_deployment()
+        for point in deployment.points():
+            role = graph.nodes[point.node]["role"]
+            expected_hops = {NodeRole.SPINE: 1, NodeRole.LEAF: 2,
+                             NodeRole.SERVER: 3}[role]
+            assert accountant.hops(point.node) == expected_hops
+            cost = accountant.price_samples(point.node, 100)
+            model = accountant.cost_model
+            assert cost.transmission == pytest.approx(
+                100 * model.bytes_per_sample * expected_hops
+                * model.transmission_cost_per_byte_hop)
+
+    def test_server_points_cost_more_than_spine_points(self):
+        deployment, accountant, graph = self.make_deployment()
+        by_role: dict[str, float] = {}
+        for point in deployment.points():
+            role = graph.nodes[point.node]["role"]
+            by_role.setdefault(role, accountant.price_samples(point.node, 1000).total)
+        assert by_role[NodeRole.SERVER] > by_role[NodeRole.LEAF] > by_role[NodeRole.SPINE]
+
+    def test_deployment_point_block_pricing(self):
+        """Vectorised pricing over a deployment's measurement points equals
+        per-point scalar pricing, hop counts included."""
+        deployment, accountant, _ = self.make_deployment()
+        points = deployment.points_for_metric("Temperature")
+        devices = [point.node for point in points]
+        counts = np.arange(1, len(points) + 1) * 7
+        priced = accountant.price_sample_block(devices, counts)
+        totals = (priced["collection_cpu_us"] + priced["transmission"]
+                  + priced["storage_bytes"] + priced["analysis"])
+        for index, point in enumerate(points):
+            scalar = accountant.price_samples(point.node, int(counts[index]))
+            assert totals[index] == pytest.approx(scalar.total)

@@ -81,3 +81,70 @@ class TestEvaluator:
         assert 0.0 <= row["mean_nrmse"] < 1.0
         assert row["samples"] > 0
         assert row["total_cost"] > 0
+
+
+class TestColumnarStore:
+    """The evaluator's canonical storage is columnar PolicyRecordBlocks."""
+
+    def test_blocks_back_the_summaries(self, reference):
+        evaluator = make_evaluator()
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        evaluator.evaluate_point("dev-2", "Link util", reference)
+        blocks = list(evaluator.iter_blocks())
+        assert len(blocks) == 4  # 2 points x 2 policies, one 1-row block each
+        assert evaluator.sink.rows == 4
+        assert {block.policy_name for block in blocks} == {"baseline", "nyquist-static"}
+        summary = evaluator.summaries["baseline"]
+        assert [entry.point_name for entry in summary.evaluations] == ["dev-1", "dev-2"]
+        assert summary.total_samples == sum(
+            int(block.samples.sum()) for block in blocks
+            if block.policy_name == "baseline")
+
+    def test_spilled_evaluator_round_trips(self, reference, tmp_path):
+        from repro.records import SpillingRecordSink
+
+        policies = [FixedRatePolicy(30.0, name="baseline"),
+                    NyquistStaticPolicy(production_interval=30.0)]
+        spilling = CostQualityEvaluator(policies, accountant=TelemetryCostAccountant(),
+                                        sink=SpillingRecordSink(tmp_path / "spool"))
+        memory = make_evaluator()
+        for name in ("dev-1", "dev-2"):
+            spilling.evaluate_point(name, "Link util", reference)
+            memory.evaluate_point(name, "Link util", reference)
+        for left, right in zip(spilling.rows(), memory.rows()):
+            assert left.keys() == right.keys()
+            for key in left:
+                assert left[key] == pytest.approx(right[key], nan_ok=True), key
+
+    def test_detection_round_trips_through_blocks(self, reference):
+        evaluator = make_evaluator()
+        modified, event = inject_event(reference, EventKind.STEP,
+                                       reference.start_time + 0.7 * reference.duration,
+                                       magnitude=30.0)
+        results = evaluator.evaluate_point("dev-1", "Link util", modified, event)
+        rebuilt = [entry for block in evaluator.iter_blocks()
+                   for entry in block.to_evaluations()]
+        assert [entry.detection for entry in rebuilt] == \
+            [result.detection for result in results]
+
+
+class TestRelativeCostGuards:
+    def test_zero_baseline_raises_naming_the_policy(self, reference):
+        """Satellite fix: a zero-cost baseline used to turn every policy's
+        relative cost into nan; it must raise naming the baseline."""
+        from repro.network.cost import CostModel
+
+        free = TelemetryCostAccountant(cost_model=CostModel(
+            bytes_per_sample=0.0, collection_cpu_us=0.0,
+            transmission_cost_per_byte_hop=0.0, storage_cost_per_byte=0.0,
+            analysis_cost_per_sample=0.0))
+        evaluator = CostQualityEvaluator(
+            [FixedRatePolicy(30.0, name="baseline")], accountant=free)
+        evaluator.evaluate_point("dev-1", "Link util", reference)
+        with pytest.raises(ValueError, match="'baseline'.*zero total cost"):
+            evaluator.relative_costs("baseline")
+
+    def test_no_points_evaluated_raises(self):
+        evaluator = make_evaluator()
+        with pytest.raises(ValueError, match="zero total cost"):
+            evaluator.relative_costs("baseline")

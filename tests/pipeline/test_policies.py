@@ -7,9 +7,11 @@ import pytest
 
 from repro.core.errors import compare
 from repro.pipeline.policies import (AdaptiveDualRatePolicy, FixedRatePolicy,
-                                     NyquistStaticPolicy)
+                                     NyquistStaticPolicy, PolicySuite, SamplingPolicy,
+                                     StaticPolicySuite)
 from repro.signals.generators import multi_tone
 from repro.signals.noise import add_white_noise
+from repro.signals.timeseries import TimeSeries
 
 
 @pytest.fixture(scope="module")
@@ -65,6 +67,100 @@ class TestNyquistStaticPolicy:
             NyquistStaticPolicy(production_interval=30.0, calibration_fraction=0.0)
         with pytest.raises(ValueError):
             NyquistStaticPolicy(production_interval=30.0, headroom=0.9)
+
+
+class TestFinishGuard:
+    def test_policy_collecting_under_two_samples_raises(self):
+        """Satellite fix: a policy that collects 0 or 1 samples used to
+        silently reconstruct a constant (0.0 for an empty stream),
+        producing a bogus nrmse; it must now fail loudly."""
+        short = TimeSeries(np.arange(20, dtype=float), interval=1.0, name="short")
+        with pytest.raises(ValueError, match="collected only 1 sample"):
+            FixedRatePolicy(100.0).collect(short)
+
+    def test_batch_path_raises_too(self):
+        values = np.arange(40, dtype=float).reshape(2, 20)
+        with pytest.raises(ValueError, match="collected only 1 sample"):
+            FixedRatePolicy(100.0).evaluate_batch(values, 1.0)
+
+
+class TestBatchEvaluation:
+    """evaluate_batch (vectorised) must reproduce the scalar collect path."""
+
+    @pytest.fixture(scope="class")
+    def batch(self):
+        rng = np.random.default_rng(21)
+        rows = []
+        for k in range(5):
+            trace = multi_tone([1.0 / (3600.0 * (k + 1)), 1.0 / 1800.0],
+                               duration=43200.0, sampling_rate=1.0 / 7.5,
+                               amplitudes=[8.0, 2.0], offset=40.0)
+            rows.append(add_white_noise(trace, 0.05, rng=rng).values)
+        return np.vstack(rows), 7.5
+
+    @pytest.mark.parametrize("make_policy", [
+        lambda: FixedRatePolicy(30.0),
+        lambda: NyquistStaticPolicy(production_interval=30.0),
+        lambda: AdaptiveDualRatePolicy(window_duration=2 * 3600.0),
+    ])
+    def test_matches_scalar_reference(self, batch, make_policy):
+        values, interval = batch
+        policy = make_policy()
+        vectorised = policy.evaluate_batch(values, interval)
+        # The base-class default runs collect() row by row -- the scalar
+        # reference the vectorised overrides must reproduce.
+        reference = SamplingPolicy.evaluate_batch(policy, values, interval)
+        assert np.array_equal(vectorised.samples_collected, reference.samples_collected)
+        assert np.allclose(vectorised.mean_sampling_rate, reference.mean_sampling_rate,
+                           rtol=1e-12)
+        assert np.allclose(vectorised.nrmse, reference.nrmse, rtol=1e-9, equal_nan=True)
+        assert np.allclose(vectorised.max_abs_error, reference.max_abs_error,
+                           rtol=1e-9, equal_nan=True)
+
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError, match="matrix"):
+            FixedRatePolicy(30.0).evaluate_batch(np.arange(10.0), 1.0)
+        with pytest.raises(ValueError, match="matrix"):
+            NyquistStaticPolicy(production_interval=30.0).evaluate_batch(
+                np.arange(10.0), 1.0)
+
+
+class TestPolicySuite:
+    def test_builds_the_three_paper_policies(self):
+        suite = PolicySuite(production_oversample=4.0)
+        policies = suite.build(reference_interval=7.5)
+        assert [policy.name for policy in policies] == \
+            ["fixed", "nyquist-static", "adaptive-dual-rate"]
+        fixed, static, adaptive = policies
+        assert fixed.interval == pytest.approx(30.0)
+        assert static.production_interval == pytest.approx(30.0)
+        # The controller starts backed off from the production rate.
+        assert adaptive.config.initial_rate == pytest.approx((1.0 / 30.0) / 8.0)
+
+    def test_measured_fleet_default_is_production_rate(self):
+        policies = PolicySuite().build(reference_interval=30.0)
+        assert policies[0].interval == pytest.approx(30.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            PolicySuite(production_oversample=0.5)
+        with pytest.raises(ValueError):
+            PolicySuite(adaptive_window=0.0)
+        with pytest.raises(ValueError):
+            PolicySuite().build(reference_interval=0.0)
+
+    def test_static_suite_serves_fixed_policies(self):
+        policies = (FixedRatePolicy(30.0, name="a"), FixedRatePolicy(60.0, name="b"))
+        suite = StaticPolicySuite(policies)
+        assert suite.build(7.5) == list(policies)
+        assert suite.build(300.0) == list(policies)
+
+    def test_static_suite_rejects_duplicates_and_empty(self):
+        with pytest.raises(ValueError):
+            StaticPolicySuite(())
+        with pytest.raises(ValueError):
+            StaticPolicySuite((FixedRatePolicy(30.0, name="x"),
+                               FixedRatePolicy(60.0, name="x")))
 
 
 class TestAdaptivePolicy:

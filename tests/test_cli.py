@@ -74,6 +74,91 @@ class TestSurveyCommand:
             build_parser().parse_args(["survey", "--workers", "0"])
 
 
+POLICY_DEMO_ARGS = ["policies", "--leaves", "2", "--servers-per-leaf", "1",
+                    "--duration-hours", "6", "--adaptive-window-hours", "2"]
+
+
+class TestPoliciesCommand:
+    @staticmethod
+    def parse_relative(output: str) -> dict[str, float]:
+        relative = {}
+        lines = output.splitlines()
+        start = next(i for i, line in enumerate(lines) if "relative to" in line)
+        for line in lines[start + 1:]:
+            parts = line.split()
+            if len(parts) == 2 and parts[1].endswith("x"):
+                relative[parts[0]] = float(parts[1][:-1])
+        return relative
+
+    def test_policies_demo_reproduces_cost_ordering(self, capsys):
+        """Acceptance: the demo deployment reproduces the paper's relative
+        cost ordering fixed > Nyquist-static > adaptive."""
+        assert main(POLICY_DEMO_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "Cost vs quality per policy" in output
+        relative = self.parse_relative(output)
+        assert relative["fixed"] == 1.0
+        assert relative["nyquist-static"] < 1.0
+        assert relative["adaptive-dual-rate"] < relative["nyquist-static"]
+
+    def test_policies_workers_match_single_process(self, capsys):
+        assert main([*POLICY_DEMO_ARGS, "--workers", "1"]) == 0
+        single_output = capsys.readouterr().out
+        assert main([*POLICY_DEMO_ARGS, "--workers", "2"]) == 0
+        pooled_output = capsys.readouterr().out
+        assert single_output == pooled_output
+
+    def test_policies_spill_dir(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert main([*POLICY_DEMO_ARGS, "--metrics", "Temperature", "Link util",
+                     "--chunk-size", "2", "--spill-dir", str(spool)]) == 0
+        assert "spilled" in capsys.readouterr().out
+        assert list(spool.glob("records-*.npz"))
+
+    def test_policies_csv_dir(self, tmp_path, capsys):
+        assert main([*POLICY_DEMO_ARGS, "--metrics", "Temperature",
+                     "--csv-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "policy_cost_quality.csv").exists()
+
+    def test_policies_from_dir(self, tmp_path, capsys):
+        fleet_dir = tmp_path / "fleet"
+        assert main(["export-fleet", str(fleet_dir), "--pairs", "14", "--seed", "3"]) == 0
+        capsys.readouterr()
+        assert main(["policies", "--from-dir", str(fleet_dir), "--workers", "2",
+                     "--adaptive-window-hours", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "measured fleet" in output
+        relative = self.parse_relative(output)
+        assert relative["fixed"] == 1.0
+        assert relative["nyquist-static"] < 1.0
+
+    def test_policies_from_missing_dir_fails_cleanly(self, tmp_path, capsys):
+        assert main(["policies", "--from-dir", str(tmp_path / "nope")]) == 1
+        assert "manifest.json" in capsys.readouterr().err
+
+    def test_policies_bad_parameters_fail_cleanly(self, capsys):
+        """Regression: bad --oversample/--adaptive-window-hours used to
+        escape as raw tracebacks (spec built outside the error handler)."""
+        assert main(["policies", "--oversample", "0.5"]) == 1
+        assert "oversample" in capsys.readouterr().err
+        assert main([*POLICY_DEMO_ARGS[:-1], "0"]) == 1  # window hours 0
+        assert "adaptive_window" in capsys.readouterr().err
+
+    def test_policies_unknown_metric_fails_cleanly(self, capsys):
+        """Regression: a misspelled --metrics name used to run an empty
+        survey and then blame a missing policy."""
+        assert main([*POLICY_DEMO_ARGS, "--metrics", "Link utilization"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown metrics" in err
+        assert "Link utilization" in err
+
+    def test_policies_empty_metrics_fails_cleanly(self, capsys):
+        """Regression: a bare --metrics (empty list) slipped past the
+        unknown-name validation and ran an empty survey."""
+        assert main([*POLICY_DEMO_ARGS, "--metrics"]) == 1
+        assert "at least one name" in capsys.readouterr().err
+
+
 class TestExportFleetCommand:
     def test_export_then_survey_from_dir_matches_synthetic(self, tmp_path, capsys):
         """The measured round trip: survey --from-dir on an exported fleet
