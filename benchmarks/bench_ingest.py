@@ -1,0 +1,128 @@
+"""Raw-export ingest throughput: lines/sec and bounded accumulator memory.
+
+The streaming importer (:mod:`repro.telemetry.ingest`) is the door through
+which production archives enter the survey pipeline, so its throughput and
+memory ceiling are tracked in ``BENCH_ingest.json`` alongside the survey
+and policy trajectories:
+
+* **gnmi** -- a ~1k-pair synthetic fleet exported as one interleaved
+  gNMI-style JSON-lines stream (all pairs merged in time order, the worst
+  case for the accumulator: every pair's buffer stays hot at once), then
+  ingested with a deliberately small ``memory_budget_samples``.  Records
+  lines/sec, updates/sec, the peak in-memory accumulator size (the
+  peak-RSS proxy: buffered samples x 16 bytes of array payload) and the
+  spill volume; asserts the peak stayed within the budget and that the
+  ingested directory surveys bit-identically to the originating fleet.
+* **snmp** -- the same fleet as an SNMP-poller wide CSV (one row per
+  poll per device), ingested and verified the same way.
+
+Sizes via ``REPRO_BENCH_INGEST_PAIRS`` (default 1008) and
+``REPRO_BENCH_INGEST_DURATION`` seconds per trace (default 14400); the CI
+smoke job shrinks both to stay inside its time budget.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.survey import run_survey
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.ingest import export_gnmi_dump, export_snmp_dump, ingest_dump
+
+from conftest import BENCH_INGEST_JSON, update_bench_json
+
+#: Fleet size of the fabricated dumps (>= 1000 pairs by default: the
+#: acceptance workload for the importer).
+INGEST_PAIRS = int(os.environ.get("REPRO_BENCH_INGEST_PAIRS", "1008"))
+
+#: Seconds of telemetry per pair (4 hours keeps the default dump ~500k
+#: updates; a full paper-scale day triples it).
+INGEST_DURATION = float(os.environ.get("REPRO_BENCH_INGEST_DURATION", "14400"))
+
+#: In-memory accumulator budget, deliberately far below the dump's total
+#: sample count so the spill path carries most of the stream.
+MEMORY_BUDGET_SAMPLES = int(os.environ.get("REPRO_BENCH_INGEST_BUDGET", "65536"))
+
+
+def _assert_bit_identical_survey(fleet, ingested) -> None:
+    reference = {(r.metric_name, r.device_id): r for r in run_survey(fleet).records}
+    records = run_survey(ingested).records
+    assert len(records) == len(reference)
+    for record in records:
+        expected = reference[(record.metric_name, record.device_id)]
+        assert record.nyquist_rate == expected.nyquist_rate
+        assert record.category is expected.category
+        assert (record.reduction_ratio == expected.reduction_ratio
+                or (np.isnan(record.reduction_ratio)
+                    and np.isnan(expected.reduction_ratio)))
+
+
+def _run_ingest_bench(section: str, exporter, dump_name: str, tmp_path) -> dict:
+    fleet = FleetDataset(DatasetConfig(pair_count=INGEST_PAIRS, seed=7,
+                                       trace_duration=INGEST_DURATION))
+    dump = tmp_path / dump_name
+
+    start = time.perf_counter()
+    exporter(fleet, dump)
+    export_seconds = time.perf_counter() - start
+    with dump.open() as handle:
+        lines = sum(1 for _ in handle)
+
+    start = time.perf_counter()
+    ingested = ingest_dump(dump, tmp_path / f"fleet-{section}",
+                           memory_budget_samples=MEMORY_BUDGET_SAMPLES)
+    ingest_seconds = time.perf_counter() - start
+
+    manifest = json.loads((tmp_path / f"fleet-{section}" / "manifest.json").read_text())
+    summary = manifest["ingest"]
+    # The whole point of the accumulator: peak memory bounded by the budget.
+    assert summary["peak_buffered_samples"] <= MEMORY_BUDGET_SAMPLES
+    assert summary["spilled_samples"] > 0, "budget never hit; bench not exercising spill"
+    assert len(ingested) == INGEST_PAIRS
+    _assert_bit_identical_survey(fleet, ingested)
+
+    payload = {
+        "pairs": INGEST_PAIRS,
+        "trace_seconds": INGEST_DURATION,
+        "dump_lines": lines,
+        "dump_bytes": dump.stat().st_size,
+        "export_seconds": export_seconds,
+        "ingest_seconds": ingest_seconds,
+        "lines_per_second": lines / ingest_seconds,
+        "updates_per_second": summary["updates"] / ingest_seconds,
+        "memory_budget_samples": MEMORY_BUDGET_SAMPLES,
+        "peak_buffered_samples": summary["peak_buffered_samples"],
+        "peak_buffer_bytes": summary["peak_buffered_samples"] * 16,
+        "spilled_samples": summary["spilled_samples"],
+        "spill_writes": summary["spill_writes"],
+    }
+    update_bench_json(section, payload, path=BENCH_INGEST_JSON)
+    return payload
+
+
+def test_gnmi_ingest_throughput(output_dir, tmp_path):
+    payload = _run_ingest_bench("gnmi", export_gnmi_dump, "fleet.jsonl", tmp_path)
+    print(f"\n=== gNMI ingest ({INGEST_PAIRS} pairs interleaved) ===")
+    print(format_table([{
+        "lines": payload["dump_lines"], "seconds": payload["ingest_seconds"],
+        "lines_per_second": payload["lines_per_second"],
+        "peak_buffer_mib": payload["peak_buffer_bytes"] / 2 ** 20,
+        "spilled_samples": payload["spilled_samples"],
+    }]))
+
+
+def test_snmp_ingest_throughput(output_dir, tmp_path):
+    payload = _run_ingest_bench("snmp", export_snmp_dump, "fleet.csv", tmp_path)
+    print(f"\n=== SNMP ingest ({INGEST_PAIRS} pairs, wide CSV) ===")
+    print(format_table([{
+        "rows": payload["dump_lines"], "seconds": payload["ingest_seconds"],
+        "rows_per_second": payload["lines_per_second"],
+        "updates_per_second": payload["updates_per_second"],
+        "peak_buffer_mib": payload["peak_buffer_bytes"] / 2 ** 20,
+        "spilled_samples": payload["spilled_samples"],
+    }]))

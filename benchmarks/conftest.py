@@ -36,6 +36,9 @@ BENCH_JSON = OUTPUT_DIR / "BENCH_survey.json"
 #: Perf + cost/quality trajectory of the fleet policy survey.
 BENCH_POLICIES_JSON = OUTPUT_DIR / "BENCH_policies.json"
 
+#: Throughput + memory trajectory of the raw-export ingest pipeline.
+BENCH_INGEST_JSON = OUTPUT_DIR / "BENCH_ingest.json"
+
 
 def update_bench_json(section: str, payload: dict, path: Path = BENCH_JSON) -> None:
     """Merge one benchmark's numbers into a trajectory JSON file.

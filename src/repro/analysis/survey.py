@@ -58,13 +58,10 @@ continuous re-estimation the paper's Section 4 argues for.
 
 from __future__ import annotations
 
-import csv
 import enum
 import math
-import zipfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Iterable, Iterator, Literal, Sequence
 
 import numpy as np
@@ -72,8 +69,8 @@ import numpy as np
 from ..core.nyquist import NyquistEstimate, NyquistEstimator
 from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_stability,
                              windowed_nyquist_rates)
-from ..records import (MemoryRecordSink, RecordSink, SpillingRecordSink,
-                       register_block_type)
+from ..records import (BlockSchema, ColumnarBlock, ColumnSpec, MemoryRecordSink,
+                       RecordSink, ScalarSpec, SpillingRecordSink, register_block_type)
 from ..telemetry.dataset import TracePair
 from ..telemetry.source import TraceSource, WorkerSpec
 
@@ -141,23 +138,31 @@ class PairRecord:
         return self.category is PairCategory.OVERSAMPLED
 
 
-#: Column name -> dtype of the per-row arrays in a RecordBlock (the
-#: device_ids column is unicode and handled separately).
-_FLOAT_COLUMNS = ("current_rate", "nyquist_rate", "reduction_ratio",
-                  "true_nyquist_rate", "trace_duration")
-
-
 @register_block_type
 @dataclass(frozen=True)
-class RecordBlock:
+class RecordBlock(ColumnarBlock):
     """Struct-of-arrays storage for one chunk of survey outcomes.
 
     All rows belong to one metric (chunks are produced per metric by both
     the sequential and the multi-worker pipeline), so the metric name is a
     single scalar rather than a per-row column.  Blocks are the unit of
     spilling: each one round-trips losslessly through ``.npz`` or ``.csv``
-    behind the sink layer of :mod:`repro.records`.
+    behind the sink layer of :mod:`repro.records`, with the layout (and
+    hence the on-disk format) declared once in ``_SCHEMA``.
     """
+
+    _SCHEMA = BlockSchema(
+        scalars=(ScalarSpec("metric_name", "metric"),),
+        columns=(
+            ColumnSpec("device_ids", "str", csv_name="device_id"),
+            ColumnSpec("current_rate", "float"),
+            ColumnSpec("nyquist_rate", "float"),
+            ColumnSpec("reduction_ratio", "float"),
+            ColumnSpec("category", "int8"),
+            ColumnSpec("reliable", "bool"),
+            ColumnSpec("true_nyquist_rate", "float"),
+            ColumnSpec("trace_duration", "float"),
+        ))
 
     metric_name: str
     device_ids: np.ndarray
@@ -168,23 +173,6 @@ class RecordBlock:
     reliable: np.ndarray
     true_nyquist_rate: np.ndarray
     trace_duration: np.ndarray
-
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "device_ids", np.asarray(self.device_ids, dtype=np.str_))
-        for column in _FLOAT_COLUMNS:
-            object.__setattr__(self, column, np.asarray(getattr(self, column),
-                                                        dtype=np.float64))
-        object.__setattr__(self, "category", np.asarray(self.category, dtype=np.int8))
-        object.__setattr__(self, "reliable", np.asarray(self.reliable, dtype=bool))
-        rows = self.device_ids.shape[0]
-        for column in (*_FLOAT_COLUMNS, "category", "reliable"):
-            array = getattr(self, column)
-            if array.ndim != 1 or array.shape[0] != rows:
-                raise ValueError(f"column {column!r} must be 1-D with {rows} rows, "
-                                 f"got shape {array.shape}")
-
-    def __len__(self) -> int:
-        return int(self.device_ids.shape[0])
 
     # ------------------------------------------------------------------
     def to_records(self) -> Iterator[PairRecord]:
@@ -221,111 +209,6 @@ class RecordBlock:
             trace_duration=np.fromiter((r.trace_duration for r in records),
                                        np.float64, rows),
         )
-
-    # ------------------------- disk round trip -------------------------
-    def save_npz(self, path: Path) -> None:
-        np.savez_compressed(
-            path, metric_name=np.array(self.metric_name), device_ids=self.device_ids,
-            current_rate=self.current_rate, nyquist_rate=self.nyquist_rate,
-            reduction_ratio=self.reduction_ratio, category=self.category,
-            reliable=self.reliable, true_nyquist_rate=self.true_nyquist_rate,
-            trace_duration=self.trace_duration)
-
-    @classmethod
-    def load_npz(cls, path: Path) -> "RecordBlock":
-        try:
-            with np.load(path) as data:
-                return cls(metric_name=str(data["metric_name"]),
-                           device_ids=data["device_ids"],
-                           current_rate=data["current_rate"],
-                           nyquist_rate=data["nyquist_rate"],
-                           reduction_ratio=data["reduction_ratio"],
-                           category=data["category"],
-                           reliable=data["reliable"],
-                           true_nyquist_rate=data["true_nyquist_rate"],
-                           trace_duration=data["trace_duration"])
-        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
-            raise ValueError(
-                f"corrupt or truncated record file {path}: {error}") from error
-
-    _CSV_HEADER = ("metric_name", "device_id", "current_rate", "nyquist_rate",
-                   "reduction_ratio", "category", "reliable", "true_nyquist_rate",
-                   "trace_duration")
-
-    #: Comment line carrying the block-level metric name, so zero-row blocks
-    #: round-trip through csv without losing it (it is otherwise only stored
-    #: per data row).
-    _CSV_METRIC_PREFIX = "# metric="
-
-    def save_csv(self, path: Path) -> None:
-        with path.open("w", newline="") as handle:
-            handle.write(f"{self._CSV_METRIC_PREFIX}{self.metric_name}\n")
-            writer = csv.writer(handle)
-            writer.writerow(self._CSV_HEADER)
-            for index in range(len(self)):
-                writer.writerow([
-                    self.metric_name, str(self.device_ids[index]),
-                    repr(float(self.current_rate[index])),
-                    repr(float(self.nyquist_rate[index])),
-                    repr(float(self.reduction_ratio[index])),
-                    int(self.category[index]), int(self.reliable[index]),
-                    repr(float(self.true_nyquist_rate[index])),
-                    repr(float(self.trace_duration[index])),
-                ])
-
-    @classmethod
-    def load_csv(cls, path: Path) -> "RecordBlock":
-        metric_name = ""
-        columns: dict[str, list] = {name: [] for name in cls._CSV_HEADER[1:]}
-        with path.open(newline="") as handle:
-            first = handle.readline()
-            if not first.strip():
-                raise ValueError(f"corrupt or truncated record file {path}: "
-                                 "missing CSV header")
-            if first.startswith(cls._CSV_METRIC_PREFIX):
-                metric_name = first[len(cls._CSV_METRIC_PREFIX):].rstrip("\r\n")
-                header = handle.readline()
-            else:
-                header = first  # legacy file without the metric comment line
-            if header.rstrip("\r\n").split(",") != list(cls._CSV_HEADER):
-                raise ValueError(f"corrupt or truncated record file {path}: "
-                                 f"unexpected CSV header {header.rstrip()!r}")
-            reader = csv.reader(handle)
-            for line_number, row in enumerate(reader, start=1):
-                try:
-                    metric_name = row[0]
-                    columns["device_id"].append(row[1])
-                    columns["current_rate"].append(float(row[2]))
-                    columns["nyquist_rate"].append(float(row[3]))
-                    columns["reduction_ratio"].append(float(row[4]))
-                    columns["category"].append(int(row[5]))
-                    columns["reliable"].append(bool(int(row[6])))
-                    columns["true_nyquist_rate"].append(float(row[7]))
-                    columns["trace_duration"].append(float(row[8]))
-                except (IndexError, ValueError) as error:
-                    raise ValueError(f"corrupt or truncated record file {path}, "
-                                     f"data row {line_number}: {error}") from error
-        return cls(metric_name=metric_name,
-                   device_ids=np.array(columns["device_id"], dtype=np.str_),
-                   current_rate=columns["current_rate"],
-                   nyquist_rate=columns["nyquist_rate"],
-                   reduction_ratio=columns["reduction_ratio"],
-                   category=columns["category"], reliable=columns["reliable"],
-                   true_nyquist_rate=columns["true_nyquist_rate"],
-                   trace_duration=columns["trace_duration"])
-
-    # ---------------------- spill-type sniffing ------------------------
-    @classmethod
-    def sniff_npz(cls, member_names: Sequence[str]) -> bool:
-        """True when an npz spill file holds survey (not policy) records."""
-        return "nyquist_rate" in member_names and "policy_name" not in member_names
-
-    @classmethod
-    def sniff_csv(cls, head_lines: Sequence[str]) -> bool:
-        """True when a csv spill file's leading lines look like survey records."""
-        header = ",".join(cls._CSV_HEADER)
-        return any(line.rstrip("\r\n") == header for line in head_lines)
-
 
 def _blocks_from_records(records: Iterable[PairRecord]) -> Iterator[RecordBlock]:
     """Group an ordered record stream into per-metric-run columnar blocks."""

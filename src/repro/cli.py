@@ -23,6 +23,13 @@ Installed as ``repro-monitor`` (see pyproject) and runnable as
   directory (one npz/csv file per (metric, device) pair plus
   ``manifest.json``); ``survey --from-dir`` on the result reproduces the
   in-memory survey byte-identically.
+* ``ingest`` -- stream a raw monitoring export (gNMI-style JSON lines or
+  SNMP-poller wide CSV, format sniffed) into such a measured-fleet
+  directory with bounded memory (``--memory-budget`` caps the in-memory
+  accumulator; partial series spill to scratch files), so production
+  archives become surveyable with ``survey --from-dir``.
+* ``export-dump`` -- fabricate a raw monitoring export from a synthetic
+  fleet (the inverse of ``ingest``), for demos, tests and benchmarks.
 * ``windowed`` -- run the Figure 7 moving-window sweep over every pair of
   a fleet (the continuous re-estimation loop) and report how much each
   pair's Nyquist rate drifts.
@@ -54,6 +61,9 @@ from .network.topology import TopologySpec
 from .pipeline.policies import PolicySuite
 from .signals.timeseries import IrregularTimeSeries
 from .telemetry.dataset import DatasetConfig, FleetDataset
+from .telemetry.ingest import (DEFAULT_MEMORY_BUDGET_SAMPLES, EXPORT_FORMATS,
+                               GNMI_FORMAT, SNMP_FORMAT, export_gnmi_dump,
+                               export_snmp_dump, ingest_dump, open_export)
 from .telemetry.measured import MeasuredFleetDataset, export_traces
 from .telemetry.metrics import METRIC_CATALOG
 from .telemetry.models import generate_trace
@@ -170,6 +180,55 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--trace-format", choices=["npz", "csv"], default="npz",
                         help="per-pair trace file format (default npz; csv files are "
                              "timestamp,value rows readable by 'estimate')")
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="stream a raw monitoring export (gNMI/SNMP dump) into a fleet directory",
+        description="Convert a raw monitoring export -- gNMI-style JSON lines "
+                    "(one timestamp/device/path/value update per line, pairs "
+                    "interleaved) or an SNMP-poller wide CSV (one row per poll, "
+                    "one column per OID/metric) -- into a measured-fleet "
+                    "directory that 'survey --from-dir' and 'policies "
+                    "--from-dir' read unchanged.  Streams with bounded memory: "
+                    "partial per-pair series spill to scratch files once "
+                    "--memory-budget is hit, and irregular timestamps are "
+                    "re-sampled onto each pair's dominant polling interval.")
+    ingest.add_argument("dump", type=Path, help="raw export file to ingest")
+    ingest.add_argument("directory", type=Path,
+                        help="destination fleet directory (must not already hold one)")
+    ingest.add_argument("--format", choices=[*EXPORT_FORMATS, "auto"], default="auto",
+                        help="wire format of the dump (default: sniff from the "
+                             "first line)")
+    ingest.add_argument("--memory-budget", type=_positive_int,
+                        default=DEFAULT_MEMORY_BUDGET_SAMPLES, metavar="SAMPLES",
+                        help="peak (timestamp, value) samples buffered in memory "
+                             "across all pairs, 16 bytes each (default "
+                             f"{DEFAULT_MEMORY_BUDGET_SAMPLES}); larger series "
+                             "spill to per-pair scratch files")
+    ingest.add_argument("--min-samples", type=_positive_int, default=2,
+                        help="skip pairs with fewer distinct-timestamp samples "
+                             "than this (recorded in the manifest; default 2)")
+    ingest.add_argument("--trace-format", choices=["npz", "csv"], default="npz",
+                        help="per-pair trace file format of the ingested fleet")
+
+    export_dump = subparsers.add_parser(
+        "export-dump",
+        help="fabricate a raw monitoring export from a synthetic fleet",
+        description="Write a synthetic fleet as a raw monitoring export -- the "
+                    "kind of file 'ingest' consumes -- for demos, tests and "
+                    "benchmarks.  gNMI dumps interleave all pairs' updates in "
+                    "global time order; SNMP dumps tabulate one row per "
+                    "(poll, device).")
+    export_dump.add_argument("path", type=Path, help="destination dump file")
+    export_dump.add_argument("--format", choices=list(EXPORT_FORMATS),
+                             default=GNMI_FORMAT,
+                             help=f"wire format to emit (default {GNMI_FORMAT})")
+    export_dump.add_argument("--pairs", type=int, default=56,
+                             help="number of (metric, device) pairs to export")
+    export_dump.add_argument("--seed", type=int, default=7, help="dataset seed")
+    export_dump.add_argument("--duration-hours", type=float, default=24.0,
+                             help="trace length in hours (default 24, the paper's "
+                                  "one day per pair)")
 
     windowed = subparsers.add_parser(
         "windowed", help="fleet-wide moving-window Nyquist sweep (Figure 7 at scale)")
@@ -347,6 +406,64 @@ def _command_export_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    import json
+
+    fmt = None if args.format == "auto" else args.format
+    try:
+        dump = open_export(args.dump, fmt)
+        print(f"Ingesting {dump.format} export {dump.path} "
+              f"(memory budget {args.memory_budget} samples, "
+              f"~{args.memory_budget * 16 / 2 ** 20:.1f} MiB)...")
+        dataset = ingest_dump(dump, args.directory,
+                              memory_budget_samples=args.memory_budget,
+                              min_samples=args.min_samples,
+                              trace_format=args.trace_format)
+    except ValueError as error:
+        # Malformed updates (reported with file + line), a used destination
+        # directory, or an empty dump -- report cleanly, no traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    manifest = json.loads((args.directory / "manifest.json").read_text())
+    summary = manifest["ingest"]
+    print(f"Ingested {len(dataset)} (metric, device) pairs "
+          f"({len(dataset.metric_names())} metrics) from "
+          f"{summary['updates']} updates into {args.directory}")
+    print(f"  peak in-memory accumulator: {summary['peak_buffered_samples']} samples "
+          f"(budget {summary['memory_budget_samples']}); "
+          f"{summary['spilled_samples']} samples spilled to scratch in "
+          f"{summary['spill_writes']} writes")
+    if summary["pairs_skipped"]:
+        print(f"  skipped {len(summary['pairs_skipped'])} pairs below "
+              f"--min-samples {args.min_samples}:")
+        for entry in summary["pairs_skipped"]:
+            print(f"    {entry['metric']} @ {entry['device']}: {entry['skipped']}")
+    resampled = sum(1 for entry in manifest["pairs"] if entry["ingest"]["resampled"])
+    if resampled:
+        print(f"  {resampled} pairs had irregular timestamps and were re-sampled "
+              "onto their dominant interval")
+    print(f"\nSurvey the ingested fleet with:  repro-monitor survey --from-dir "
+          f"{args.directory}")
+    return 0
+
+
+def _command_export_dump(args: argparse.Namespace) -> int:
+    try:
+        config = DatasetConfig(pair_count=args.pairs, seed=args.seed,
+                               trace_duration=args.duration_hours * 3600.0)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    dataset = FleetDataset(config)
+    exporter = export_gnmi_dump if args.format == GNMI_FORMAT else export_snmp_dump
+    exporter(dataset, args.path)
+    print(f"Exported {len(dataset)} metric-device pairs "
+          f"({len(dataset.metric_names())} metrics) as a {args.format} dump:")
+    print(f"  {args.path}: {args.path.stat().st_size / 2 ** 20:.1f} MiB")
+    print(f"\nIngest it with:  repro-monitor ingest {args.path} FLEET_DIR")
+    return 0
+
+
 def _command_windowed(args: argparse.Namespace) -> int:
     dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
     summaries = run_windowed_survey(dataset,
@@ -451,6 +568,8 @@ def main(argv: list[str] | None = None) -> int:
         "survey": _command_survey,
         "policies": _command_policies,
         "export-fleet": _command_export_fleet,
+        "ingest": _command_ingest,
+        "export-dump": _command_export_dump,
         "windowed": _command_windowed,
         "adaptive": _command_adaptive,
         "estimate": _command_estimate,

@@ -26,18 +26,16 @@ Two drivers feed these blocks:
 
 from __future__ import annotations
 
-import csv
 import math
-import zipfile
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..core.errors import compare
 from ..network.cost import CostBreakdown, TelemetryCostAccountant
-from ..records import MemoryRecordSink, RecordSink, register_block_type
+from ..records import (BlockSchema, ColumnarBlock, ColumnSpec, MemoryRecordSink,
+                       RecordSink, ScalarSpec, register_block_type)
 from ..signals.timeseries import TimeSeries
 from .events import DetectionOutcome, InjectedEvent, ThresholdDetector, score_detection
 from .policies import PolicyBatchEvaluation, PolicyResult, SamplingPolicy
@@ -69,10 +67,6 @@ class PointEvaluation:
         return None if self.detection is None else self.detection.detected
 
 
-#: Column name -> per-row float64 arrays of a PolicyRecordBlock.
-_FLOAT_COLUMNS = ("mean_rate_hz", "nrmse", "max_abs_error", "collection_cpu_us",
-                  "transmission", "storage_bytes", "analysis", "detection_latency")
-
 #: Codes of the int8 ``detected`` column.
 DETECTION_UNSCORED: int = -1
 DETECTION_MISSED: int = 0
@@ -81,7 +75,7 @@ DETECTION_DETECTED: int = 1
 
 @register_block_type
 @dataclass(frozen=True)
-class PolicyRecordBlock:
+class PolicyRecordBlock(ColumnarBlock):
     """Struct-of-arrays storage for one chunk of policy-evaluation outcomes.
 
     All rows belong to one (metric, policy) pair -- chunks are produced
@@ -92,8 +86,27 @@ class PolicyRecordBlock:
     error, the priced cost components (hop-weighted transmission
     included), and the optional event-detection outcome.  Blocks are the
     unit of spilling: each round-trips losslessly through ``.npz`` or
-    ``.csv`` behind the sink layer of :mod:`repro.records`.
+    ``.csv`` behind the sink layer of :mod:`repro.records`, with the
+    layout (and hence the on-disk format) declared once in ``_SCHEMA``.
     """
+
+    _SCHEMA = BlockSchema(
+        scalars=(ScalarSpec("metric_name", "metric"),
+                 ScalarSpec("policy_name", "policy")),
+        columns=(
+            ColumnSpec("device_ids", "str", csv_name="device_id"),
+            ColumnSpec("samples", "int"),
+            ColumnSpec("mean_rate_hz", "float"),
+            ColumnSpec("nrmse", "float"),
+            ColumnSpec("max_abs_error", "float"),
+            ColumnSpec("hops", "int"),
+            ColumnSpec("collection_cpu_us", "float"),
+            ColumnSpec("transmission", "float"),
+            ColumnSpec("storage_bytes", "float"),
+            ColumnSpec("analysis", "float"),
+            ColumnSpec("detected", "int8"),
+            ColumnSpec("detection_latency", "float"),
+        ))
 
     metric_name: str
     policy_name: str
@@ -109,24 +122,6 @@ class PolicyRecordBlock:
     analysis: np.ndarray
     detected: np.ndarray
     detection_latency: np.ndarray
-
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "device_ids", np.asarray(self.device_ids, dtype=np.str_))
-        object.__setattr__(self, "samples", np.asarray(self.samples, dtype=np.int64))
-        object.__setattr__(self, "hops", np.asarray(self.hops, dtype=np.int64))
-        object.__setattr__(self, "detected", np.asarray(self.detected, dtype=np.int8))
-        for column in _FLOAT_COLUMNS:
-            object.__setattr__(self, column,
-                               np.asarray(getattr(self, column), dtype=np.float64))
-        rows = self.device_ids.shape[0]
-        for column in ("samples", "hops", "detected", *_FLOAT_COLUMNS):
-            array = getattr(self, column)
-            if array.ndim != 1 or array.shape[0] != rows:
-                raise ValueError(f"column {column!r} must be 1-D with {rows} rows, "
-                                 f"got shape {array.shape}")
-
-    def __len__(self) -> int:
-        return int(self.device_ids.shape[0])
 
     @property
     def total_cost(self) -> np.ndarray:
@@ -192,129 +187,6 @@ class PolicyRecordBlock:
                 max_abs_error=float(self.max_abs_error[index]),
                 detection=detection,
             )
-
-    # ------------------------- disk round trip -------------------------
-    def save_npz(self, path: Path) -> None:
-        np.savez_compressed(
-            path, metric_name=np.array(self.metric_name),
-            policy_name=np.array(self.policy_name), device_ids=self.device_ids,
-            samples=self.samples, mean_rate_hz=self.mean_rate_hz, nrmse=self.nrmse,
-            max_abs_error=self.max_abs_error, hops=self.hops,
-            collection_cpu_us=self.collection_cpu_us, transmission=self.transmission,
-            storage_bytes=self.storage_bytes, analysis=self.analysis,
-            detected=self.detected, detection_latency=self.detection_latency)
-
-    @classmethod
-    def load_npz(cls, path: Path) -> "PolicyRecordBlock":
-        try:
-            with np.load(path) as data:
-                return cls(metric_name=str(data["metric_name"]),
-                           policy_name=str(data["policy_name"]),
-                           device_ids=data["device_ids"], samples=data["samples"],
-                           mean_rate_hz=data["mean_rate_hz"], nrmse=data["nrmse"],
-                           max_abs_error=data["max_abs_error"], hops=data["hops"],
-                           collection_cpu_us=data["collection_cpu_us"],
-                           transmission=data["transmission"],
-                           storage_bytes=data["storage_bytes"],
-                           analysis=data["analysis"], detected=data["detected"],
-                           detection_latency=data["detection_latency"])
-        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
-            raise ValueError(
-                f"corrupt or truncated record file {path}: {error}") from error
-
-    _CSV_HEADER = ("metric_name", "policy_name", "device_id", "samples",
-                   "mean_rate_hz", "nrmse", "max_abs_error", "hops",
-                   "collection_cpu_us", "transmission", "storage_bytes", "analysis",
-                   "detected", "detection_latency")
-
-    #: Comment lines carrying the block-level scalars, so zero-row blocks
-    #: round-trip through csv without losing them.
-    _CSV_METRIC_PREFIX = "# metric="
-    _CSV_POLICY_PREFIX = "# policy="
-
-    def save_csv(self, path: Path) -> None:
-        with path.open("w", newline="") as handle:
-            handle.write(f"{self._CSV_METRIC_PREFIX}{self.metric_name}\n")
-            handle.write(f"{self._CSV_POLICY_PREFIX}{self.policy_name}\n")
-            writer = csv.writer(handle)
-            writer.writerow(self._CSV_HEADER)
-            for index in range(len(self)):
-                writer.writerow([
-                    self.metric_name, self.policy_name, str(self.device_ids[index]),
-                    int(self.samples[index]),
-                    repr(float(self.mean_rate_hz[index])),
-                    repr(float(self.nrmse[index])),
-                    repr(float(self.max_abs_error[index])),
-                    int(self.hops[index]),
-                    repr(float(self.collection_cpu_us[index])),
-                    repr(float(self.transmission[index])),
-                    repr(float(self.storage_bytes[index])),
-                    repr(float(self.analysis[index])),
-                    int(self.detected[index]),
-                    repr(float(self.detection_latency[index])),
-                ])
-
-    @classmethod
-    def load_csv(cls, path: Path) -> "PolicyRecordBlock":
-        metric_name = policy_name = ""
-        columns: dict[str, list] = {name: [] for name in cls._CSV_HEADER[2:]}
-        with path.open(newline="") as handle:
-            line = handle.readline()
-            if not line.strip():
-                raise ValueError(f"corrupt or truncated record file {path}: "
-                                 "missing CSV header")
-            if line.startswith(cls._CSV_METRIC_PREFIX):
-                metric_name = line[len(cls._CSV_METRIC_PREFIX):].rstrip("\r\n")
-                line = handle.readline()
-            if line.startswith(cls._CSV_POLICY_PREFIX):
-                policy_name = line[len(cls._CSV_POLICY_PREFIX):].rstrip("\r\n")
-                line = handle.readline()
-            if line.rstrip("\r\n").split(",") != list(cls._CSV_HEADER):
-                raise ValueError(f"corrupt or truncated record file {path}: "
-                                 f"unexpected CSV header {line.rstrip()!r}")
-            reader = csv.reader(handle)
-            for line_number, row in enumerate(reader, start=1):
-                try:
-                    metric_name = row[0]
-                    policy_name = row[1]
-                    columns["device_id"].append(row[2])
-                    columns["samples"].append(int(row[3]))
-                    columns["mean_rate_hz"].append(float(row[4]))
-                    columns["nrmse"].append(float(row[5]))
-                    columns["max_abs_error"].append(float(row[6]))
-                    columns["hops"].append(int(row[7]))
-                    columns["collection_cpu_us"].append(float(row[8]))
-                    columns["transmission"].append(float(row[9]))
-                    columns["storage_bytes"].append(float(row[10]))
-                    columns["analysis"].append(float(row[11]))
-                    columns["detected"].append(int(row[12]))
-                    columns["detection_latency"].append(float(row[13]))
-                except (IndexError, ValueError) as error:
-                    raise ValueError(f"corrupt or truncated record file {path}, "
-                                     f"data row {line_number}: {error}") from error
-        return cls(metric_name=metric_name, policy_name=policy_name,
-                   device_ids=np.array(columns["device_id"], dtype=np.str_),
-                   samples=columns["samples"], mean_rate_hz=columns["mean_rate_hz"],
-                   nrmse=columns["nrmse"], max_abs_error=columns["max_abs_error"],
-                   hops=columns["hops"],
-                   collection_cpu_us=columns["collection_cpu_us"],
-                   transmission=columns["transmission"],
-                   storage_bytes=columns["storage_bytes"], analysis=columns["analysis"],
-                   detected=columns["detected"],
-                   detection_latency=columns["detection_latency"])
-
-    # ---------------------- spill-type sniffing ------------------------
-    @classmethod
-    def sniff_npz(cls, member_names: Sequence[str]) -> bool:
-        """True when an npz spill file holds policy-evaluation records."""
-        return "policy_name" in member_names and "nrmse" in member_names
-
-    @classmethod
-    def sniff_csv(cls, head_lines: Sequence[str]) -> bool:
-        """True when a csv spill file's leading lines look like policy records."""
-        header = ",".join(cls._CSV_HEADER)
-        return any(line.rstrip("\r\n") == header for line in head_lines)
-
 
 @dataclass
 class PolicySummary:

@@ -7,15 +7,16 @@ policy survey's :class:`~repro.pipeline.evaluation.PolicyRecordBlock` are
 two such block types; this module holds the storage machinery they share,
 so a new record-producing pipeline only has to define its block class.
 
-A block class participates by providing:
-
-* ``save_npz(path)`` / ``load_npz(path)`` and ``save_csv(path)`` /
-  ``load_csv(path)`` round trips (``load_*`` are classmethods);
-* a ``device_ids`` column (used for cheap row counting of spill files);
-* ``sniff_npz(member_names)`` / ``sniff_csv(head_lines)`` classmethods so
-  a spill directory written earlier can be re-opened without the caller
-  saying which block type it holds;
-* registration via :func:`register_block_type`.
+A block class participates by subclassing :class:`ColumnarBlock` with a
+:class:`BlockSchema` (``_SCHEMA``) describing its block-level scalars and
+per-row columns -- the schema drives one shared implementation of the
+``save_npz``/``load_npz`` and ``save_csv``/``load_csv`` round trips, the
+``sniff_npz``/``sniff_csv`` classmethods a spill directory is re-opened
+with, and the dtype/shape validation of ``__post_init__`` -- and by
+registering via :func:`register_block_type`.  The first schema column
+doubles as the row counter of spill files (both existing block types lead
+with ``device_ids``), so adding a new record-producing pipeline is a
+schema declaration plus whatever view/constructor helpers it wants.
 
 :class:`MemoryRecordSink` keeps blocks in RAM; :class:`SpillingRecordSink`
 streams each block to one ``records-NNNNN.npz``/``.csv`` file so memory
@@ -25,19 +26,244 @@ existing directory (resuming its row count) for later aggregation.
 
 from __future__ import annotations
 
+import csv
+import zipfile
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Literal, Sequence
+from typing import ClassVar, Iterator, Literal, Sequence
 
 import numpy as np
 
 __all__ = [
+    "ColumnSpec",
+    "ScalarSpec",
+    "BlockSchema",
+    "ColumnarBlock",
     "RecordSink",
     "MemoryRecordSink",
     "SpillingRecordSink",
     "register_block_type",
     "registered_block_types",
 ]
+
+
+# ----------------------------------------------------------------------
+# Column-spec-driven block serialisation
+# ----------------------------------------------------------------------
+#: Supported column kinds and their numpy dtypes.
+_COLUMN_DTYPES = {
+    "float": np.float64,
+    "int": np.int64,
+    "int8": np.int8,
+    "bool": bool,
+    "str": np.str_,
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One per-row column of a columnar record block.
+
+    ``kind`` selects the dtype and the csv cell conversion (floats are
+    written with ``repr`` so they round-trip bit for bit, ints/bools as
+    integers, strings verbatim); ``csv_name`` overrides the csv header
+    cell when it differs from the attribute name (e.g. the plural
+    ``device_ids`` array serialises under a singular ``device_id``
+    header).
+    """
+
+    name: str
+    kind: Literal["float", "int", "int8", "bool", "str"]
+    csv_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _COLUMN_DTYPES:
+            raise ValueError(f"unknown column kind {self.kind!r}; "
+                             f"choose one of {sorted(_COLUMN_DTYPES)}")
+
+    @property
+    def header(self) -> str:
+        return self.csv_name if self.csv_name is not None else self.name
+
+    @property
+    def dtype(self):
+        return _COLUMN_DTYPES[self.kind]
+
+    def to_cell(self, value) -> str | int:
+        """Serialise one array element for a csv data row."""
+        if self.kind == "float":
+            return repr(float(value))
+        if self.kind == "str":
+            return str(value)
+        return int(value)
+
+    def from_cell(self, cell: str):
+        """Parse one csv cell back into a python value for the column."""
+        if self.kind == "float":
+            return float(cell)
+        if self.kind == "str":
+            return cell
+        if self.kind == "bool":
+            return bool(int(cell))
+        return int(cell)
+
+
+@dataclass(frozen=True)
+class ScalarSpec:
+    """One block-level string scalar (metric name, policy name, ...).
+
+    Scalars are stored three ways, all driven by this spec: as a 0-d npz
+    member, as a leading ``# {label}={value}`` comment line in csv files
+    (so zero-row blocks round-trip without losing them), and repeated as
+    the first csv data columns (the historical row format, which also
+    keeps the files greppable).
+    """
+
+    name: str
+    label: str
+
+    @property
+    def comment_prefix(self) -> str:
+        return f"# {self.label}="
+
+
+@dataclass(frozen=True)
+class BlockSchema:
+    """Declarative layout of one columnar block type.
+
+    The scalars come first in the csv header (by ``name``), followed by
+    the columns (by ``header``); npz members are scalars + columns by
+    ``name``.  The first column is the reference every other column's
+    row count is validated against -- and the one sinks touch to count
+    rows of a spill file cheaply.
+    """
+
+    scalars: tuple[ScalarSpec, ...]
+    columns: tuple[ColumnSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("a block schema needs at least one column")
+        names = [spec.name for spec in self.scalars] + [spec.name for spec in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in block schema: {names}")
+
+    @property
+    def csv_header(self) -> tuple[str, ...]:
+        return (*(spec.name for spec in self.scalars),
+                *(spec.header for spec in self.columns))
+
+    @property
+    def member_names(self) -> tuple[str, ...]:
+        return (*(spec.name for spec in self.scalars),
+                *(spec.name for spec in self.columns))
+
+
+class ColumnarBlock:
+    """Shared machinery of every columnar record block (mixin).
+
+    Subclasses are frozen dataclasses whose fields are the schema's
+    scalars (strings) followed by its columns (1-D arrays); ``_SCHEMA``
+    drives validation, the npz/csv round trips and spill-file sniffing.
+    """
+
+    _SCHEMA: ClassVar[BlockSchema]
+
+    def __post_init__(self) -> None:
+        schema = self._SCHEMA
+        for spec in schema.columns:
+            object.__setattr__(self, spec.name,
+                               np.asarray(getattr(self, spec.name), dtype=spec.dtype))
+        rows = getattr(self, schema.columns[0].name).shape[0]
+        for spec in schema.columns:
+            array = getattr(self, spec.name)
+            if array.ndim != 1 or array.shape[0] != rows:
+                raise ValueError(f"column {spec.name!r} must be 1-D with {rows} rows, "
+                                 f"got shape {array.shape}")
+
+    def __len__(self) -> int:
+        return int(getattr(self, self._SCHEMA.columns[0].name).shape[0])
+
+    # ------------------------- disk round trip -------------------------
+    def save_npz(self, path: Path) -> None:
+        schema = self._SCHEMA
+        members = {spec.name: np.array(getattr(self, spec.name))
+                   for spec in schema.scalars}
+        members.update({spec.name: getattr(self, spec.name) for spec in schema.columns})
+        np.savez_compressed(path, **members)
+
+    @classmethod
+    def load_npz(cls, path: Path):
+        schema = cls._SCHEMA
+        try:
+            with np.load(path) as data:
+                fields = {spec.name: str(data[spec.name]) for spec in schema.scalars}
+                fields.update({spec.name: data[spec.name] for spec in schema.columns})
+                return cls(**fields)
+        except (OSError, KeyError, ValueError, EOFError, zipfile.BadZipFile) as error:
+            raise ValueError(
+                f"corrupt or truncated record file {path}: {error}") from error
+
+    def save_csv(self, path: Path) -> None:
+        schema = self._SCHEMA
+        with path.open("w", newline="") as handle:
+            for spec in schema.scalars:
+                handle.write(f"{spec.comment_prefix}{getattr(self, spec.name)}\n")
+            writer = csv.writer(handle)
+            writer.writerow(schema.csv_header)
+            scalar_cells = [str(getattr(self, spec.name)) for spec in schema.scalars]
+            columns = [(spec, getattr(self, spec.name)) for spec in schema.columns]
+            for index in range(len(self)):
+                writer.writerow(scalar_cells
+                                + [spec.to_cell(array[index]) for spec, array in columns])
+
+    @classmethod
+    def load_csv(cls, path: Path):
+        schema = cls._SCHEMA
+        scalars = {spec.name: "" for spec in schema.scalars}
+        columns: dict[str, list] = {spec.name: [] for spec in schema.columns}
+        with path.open(newline="") as handle:
+            line = handle.readline()
+            if not line.strip():
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 "missing CSV header")
+            # Leading comment lines carry the block-level scalars (optional,
+            # in schema order, so legacy files without them still load).
+            for spec in schema.scalars:
+                if line.startswith(spec.comment_prefix):
+                    scalars[spec.name] = line[len(spec.comment_prefix):].rstrip("\r\n")
+                    line = handle.readline()
+            if line.rstrip("\r\n").split(",") != list(schema.csv_header):
+                raise ValueError(f"corrupt or truncated record file {path}: "
+                                 f"unexpected CSV header {line.rstrip()!r}")
+            reader = csv.reader(handle)
+            width = len(schema.csv_header)
+            for line_number, row in enumerate(reader, start=1):
+                try:
+                    if len(row) < width:
+                        raise ValueError(f"expected {width} cells, got {len(row)}")
+                    for offset, spec in enumerate(schema.scalars):
+                        scalars[spec.name] = row[offset]
+                    base = len(schema.scalars)
+                    for offset, spec in enumerate(schema.columns):
+                        columns[spec.name].append(spec.from_cell(row[base + offset]))
+                except (IndexError, ValueError) as error:
+                    raise ValueError(f"corrupt or truncated record file {path}, "
+                                     f"data row {line_number}: {error}") from error
+        return cls(**scalars, **columns)
+
+    # ---------------------- spill-type sniffing ------------------------
+    @classmethod
+    def sniff_npz(cls, member_names: Sequence[str]) -> bool:
+        """True when an npz spill file holds exactly this schema's members."""
+        return set(member_names) == set(cls._SCHEMA.member_names)
+
+    @classmethod
+    def sniff_csv(cls, head_lines: Sequence[str]) -> bool:
+        """True when a csv spill file's leading lines carry this schema's header."""
+        header = ",".join(cls._SCHEMA.csv_header)
+        return any(line.rstrip("\r\n") == header for line in head_lines)
 
 
 #: Block classes that spill files may contain, in registration order.

@@ -2,6 +2,9 @@
 
 from .dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset, TraceBatch, TracePair
 from .fleet import DEFAULT_ROLE_MIX, build_fleet, devices_by_role
+from .ingest import (EXPORT_FORMATS, GNMI_FORMAT, METRIC_PATHS, SNMP_FORMAT,
+                     PairAccumulator, RawUpdate, TelemetryDump, export_gnmi_dump,
+                     export_snmp_dump, ingest_dump, open_export, sniff_format)
 from .irregular import add_timing_jitter, drop_samples, duplicate_samples, make_irregular
 from .measured import (MeasuredDevice, MeasuredFleetDataset, MeasuredPair,
                        MeasuredParameters, MeasuredSourceSpec, export_traces)
@@ -16,6 +19,10 @@ __all__ = [
     "TraceSource", "BaseTraceSource", "WorkerSpec",
     "MeasuredFleetDataset", "MeasuredPair", "MeasuredDevice", "MeasuredParameters",
     "MeasuredSourceSpec", "export_traces",
+    "GNMI_FORMAT", "SNMP_FORMAT", "EXPORT_FORMATS", "METRIC_PATHS",
+    "TelemetryDump", "RawUpdate", "PairAccumulator",
+    "open_export", "sniff_format", "ingest_dump",
+    "export_gnmi_dump", "export_snmp_dump",
     "build_fleet", "devices_by_role", "DEFAULT_ROLE_MIX",
     "METRIC_CATALOG", "MetricSpec", "MetricFamily", "metric_names", "get_metric",
     "FIGURE4_METRICS", "FIGURE5_ORDER",

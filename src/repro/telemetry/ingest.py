@@ -1,0 +1,702 @@
+"""Streaming ingestion of raw monitoring exports into surveyable fleet directories.
+
+The pipeline so far only reads fleets it exported itself
+(:class:`~repro.telemetry.measured.MeasuredFleetDataset` directories).
+Production archives are not shaped like that: monitoring systems dump
+*streams* -- model-driven (gNMI) telemetry interleaves updates from many
+(metric, device) pairs in one append-only log, and SNMP pollers write wide
+per-poll tables.  This module converts both into the measured-fleet
+directory layout, so ``run_survey``/``run_policy_survey`` (any backend,
+worker count or sink) point at real archives unchanged.
+
+Two wire formats are supported, behind the format-sniffing
+:func:`open_export` front end:
+
+* **gNMI-style JSON lines** (``gnmi-jsonl``) -- one update per line, a
+  JSON object with ``timestamp`` (seconds), ``device``, ``path`` (a
+  YANG-ish metric path, see :data:`METRIC_PATHS`) and ``value``.  Updates
+  from many pairs interleave arbitrarily in one stream.
+* **SNMP-poller wide CSV** (``snmp-csv``) -- header
+  ``timestamp,device,<metric...>`` and one row per poll of one device,
+  one column per OID/metric path; empty cells are missed polls.
+
+The importer *streams* with bounded memory: a :class:`PairAccumulator`
+buffers per-pair samples and, once its in-memory budget is hit, spills the
+largest partial series to per-pair scratch files (the spill idiom of
+:mod:`repro.records`, applied to raw samples).  Timestamps in real exports
+are irregular -- jittered, duplicated, out of order -- so each pair is
+finished through the irregular-trace machinery
+(:class:`~repro.signals.timeseries.IrregularTimeSeries` ordering/dedupe +
+nearest-neighbour regularisation onto the pair's dominant interval, §3.2's
+pre-cleaning); the observed gap/jitter statistics are recorded per pair in
+the manifest's ``ingest`` annotations.
+
+Determinism: the output depends only on the *set* of updates in the dump,
+never on their order -- pairs land in the manifest in canonical
+(metric, device) order, each pair's samples are time-sorted, and
+conflicting duplicate timestamps (a retried poll reporting a different
+value) resolve to the smallest value -- so re-ingesting a shuffled copy
+of a dump produces an identical fleet directory.  Malformed input fails
+loudly with a ``ValueError`` naming the file and line.
+
+:func:`export_gnmi_dump` / :func:`export_snmp_dump` are the round-trip
+emitters (also exposed as :class:`~repro.telemetry.source.BaseTraceSource`
+methods): they fabricate realistic dumps from any trace source, which is
+how the tests, benchmarks and CI exercise the importer end to end --
+ingesting an exported synthetic fleet reproduces its survey records
+bit for bit (in canonical pair order; ``true_nyquist_rate`` is ``NaN``
+for ingested data, as for any genuinely measured fleet).  One column is
+reconstructed rather than copied: a raw stream carries no nominal trace
+duration, so the manifest's ``trace_duration`` is the longest pair span
+(``samples x interval``) -- identical to the source's whenever its
+duration is a whole number of polling intervals (true for every
+catalogue metric over the paper's one-day traces), one interval short of
+the nominal value otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+import heapq
+import json
+import math
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Literal, Sequence
+
+import numpy as np
+
+from ..signals.timeseries import IrregularTimeSeries, TimeSeries
+from ..core.resampling import nearest_neighbor_resample
+from .measured import (MANIFEST_FORMAT, MANIFEST_NAME, TRACE_FORMATS,
+                       MeasuredFleetDataset, _save_trace_csv, _save_trace_npz)
+from .source import TraceSource
+
+__all__ = [
+    "GNMI_FORMAT",
+    "SNMP_FORMAT",
+    "EXPORT_FORMATS",
+    "METRIC_PATHS",
+    "PATH_METRICS",
+    "metric_from_path",
+    "path_for_metric",
+    "RawUpdate",
+    "TelemetryDump",
+    "open_export",
+    "sniff_format",
+    "PairAccumulator",
+    "ingest_dump",
+    "export_gnmi_dump",
+    "export_snmp_dump",
+    "DEFAULT_MEMORY_BUDGET_SAMPLES",
+]
+
+#: Wire-format tags accepted by :func:`open_export` and the CLI.
+GNMI_FORMAT = "gnmi-jsonl"
+SNMP_FORMAT = "snmp-csv"
+EXPORT_FORMATS: tuple[str, ...] = (GNMI_FORMAT, SNMP_FORMAT)
+
+#: Default in-memory accumulator budget, in buffered (timestamp, value)
+#: samples across all pairs (each costs 16 bytes of array payload, so the
+#: default bounds the accumulator around a few MiB).
+DEFAULT_MEMORY_BUDGET_SAMPLES: int = 1 << 18
+
+#: YANG-ish telemetry paths for the metric catalogue -- what
+#: :func:`export_gnmi_dump` emits and the importers map back to catalogue
+#: names.  Paths outside this table are ingested verbatim as their own
+#: metric names (measured fleets accept metrics outside the catalogue).
+METRIC_PATHS: dict[str, str] = {
+    "5-pct CPU util": "/system/cpus/cpu/state/total/p5",
+    "Temperature": "/components/component/state/temperature/instant",
+    "Memory usage": "/system/memory/state/utilized-percent",
+    "Link util": "/interfaces/interface/state/utilization",
+    "Unicast bytes": "/interfaces/interface/state/counters/out-unicast-bytes",
+    "Multicast bytes": "/interfaces/interface/state/counters/out-multicast-bytes",
+    "Unicast drops": "/interfaces/interface/state/counters/out-unicast-drops",
+    "Multicast drops": "/interfaces/interface/state/counters/out-multicast-drops",
+    "In-bound discards": "/interfaces/interface/state/counters/in-discards",
+    "Out-bound discards": "/interfaces/interface/state/counters/out-discards",
+    "FCS errors": "/interfaces/interface/ethernet/state/counters/in-fcs-errors",
+    "Lossy paths": "/network-instances/network-instance/paths/state/lossy-count",
+    "Peak egress BW": "/interfaces/interface/state/counters/peak-egress-bw",
+    "Peak ingress BW": "/interfaces/interface/state/counters/peak-ingress-bw",
+}
+
+#: Reverse mapping: telemetry path -> catalogue metric name.
+PATH_METRICS: dict[str, str] = {path: name for name, path in METRIC_PATHS.items()}
+
+
+def metric_from_path(token: str) -> str:
+    """Resolve a dump's metric path/column token to a metric name.
+
+    Catalogue paths map to their catalogue names; anything else is used
+    verbatim (the measured-fleet layer serves unknown metrics with a
+    generic gauge spec at the recorded interval).
+    """
+    return PATH_METRICS.get(token, token)
+
+
+def path_for_metric(name: str) -> str:
+    """The telemetry path emitted for a metric (verbatim if uncatalogued)."""
+    return METRIC_PATHS.get(name, name)
+
+
+# ----------------------------------------------------------------------
+# Reading raw exports
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RawUpdate:
+    """One parsed telemetry update: a (pair, timestamp, value) sample."""
+
+    timestamp: float
+    device: str
+    metric: str
+    value: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.metric, self.device)
+
+
+def _require_number(raw, what: str, path: Path, line_number: int) -> float:
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ValueError(f"{path}, line {line_number}: {what} must be a number, "
+                         f"got {raw!r}")
+    value = float(raw)
+    if not math.isfinite(value):
+        raise ValueError(f"{path}, line {line_number}: {what} must be finite, "
+                         f"got {raw!r}")
+    return value
+
+
+def _require_name(raw, what: str, path: Path, line_number: int) -> str:
+    if not isinstance(raw, str) or not raw.strip():
+        raise ValueError(f"{path}, line {line_number}: {what} must be a non-empty "
+                         f"string, got {raw!r}")
+    return raw.strip()
+
+
+_GNMI_FIELDS = ("timestamp", "device", "path", "value")
+
+
+def _iter_gnmi_updates(path: Path) -> Iterator[RawUpdate]:
+    """Parse a gNMI-style JSON-lines dump, failing loudly with file + line."""
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                update = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}, line {line_number}: malformed gNMI JSON "
+                                 f"update ({error.msg}): {stripped[:80]!r}") from error
+            if not isinstance(update, dict):
+                raise ValueError(f"{path}, line {line_number}: expected a JSON object "
+                                 f"per update, got {type(update).__name__}")
+            missing = [field for field in _GNMI_FIELDS if field not in update]
+            if missing:
+                raise ValueError(f"{path}, line {line_number}: update is missing "
+                                 f"field(s) {missing}")
+            timestamp = _require_number(update["timestamp"], "'timestamp'", path, line_number)
+            value = _require_number(update["value"], "'value'", path, line_number)
+            device = _require_name(update["device"], "'device'", path, line_number)
+            token = _require_name(update["path"], "'path'", path, line_number)
+            yield RawUpdate(timestamp, device, metric_from_path(token), value)
+
+
+def _iter_snmp_updates(path: Path) -> Iterator[RawUpdate]:
+    """Parse an SNMP-poller wide CSV dump, failing loudly with file + line."""
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        # The header is the first non-blank row (the gNMI reader likewise
+        # skips blank lines, so a sniffable file is always ingestible).
+        header = None
+        for row in reader:
+            if row and any(cell.strip() for cell in row):
+                header = row
+                break
+        if header is None:
+            raise ValueError(f"{path}, line 1: empty SNMP export (missing "
+                             "'timestamp,device,<metric...>' header)")
+        header_line = reader.line_num
+        if (len(header) < 3 or header[0].strip() != "timestamp"
+                or header[1].strip() != "device"):
+            raise ValueError(
+                f"{path}, line {header_line}: SNMP header must be 'timestamp,device' "
+                f"followed by at least one metric column, got {','.join(header)!r}")
+        metrics = [metric_from_path(cell.strip()) for cell in header[2:]]
+        seen: set[str] = set()
+        for metric in metrics:
+            if metric in seen:
+                raise ValueError(f"{path}, line {header_line}: duplicate metric "
+                                 f"column {metric!r}")
+            seen.add(metric)
+        for row in reader:
+            line_number = reader.line_num
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise ValueError(f"{path}, line {line_number}: expected "
+                                 f"{len(header)} columns, got {len(row)}")
+            try:
+                timestamp = float(row[0])
+            except ValueError:
+                raise ValueError(f"{path}, line {line_number}: non-numeric "
+                                 f"timestamp {row[0]!r}") from None
+            if not math.isfinite(timestamp):
+                raise ValueError(f"{path}, line {line_number}: timestamp must be "
+                                 f"finite, got {row[0]!r}")
+            device = row[1].strip()
+            if not device:
+                raise ValueError(f"{path}, line {line_number}: empty device id")
+            for metric, cell in zip(metrics, row[2:]):
+                cell = cell.strip()
+                if not cell:
+                    continue  # missed poll for this metric
+                try:
+                    value = float(cell)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}, line {line_number}: non-numeric value {cell!r} in "
+                        f"column {metric!r}") from None
+                if not math.isfinite(value):
+                    raise ValueError(f"{path}, line {line_number}: value in column "
+                                     f"{metric!r} must be finite, got {cell!r}")
+                yield RawUpdate(timestamp, device, metric, value)
+
+
+_UPDATE_ITERATORS = {GNMI_FORMAT: _iter_gnmi_updates, SNMP_FORMAT: _iter_snmp_updates}
+
+
+def sniff_format(path: Path | str) -> str:
+    """Guess the wire format of a dump from its first non-empty line."""
+    path = Path(path)
+    try:
+        with path.open() as handle:
+            for line in handle:
+                stripped = line.strip()
+                if stripped:
+                    break
+            else:
+                stripped = ""
+    except OSError as error:
+        raise ValueError(f"cannot read telemetry export {path}: {error}") from error
+    if not stripped:
+        raise ValueError(f"{path}: empty file; cannot sniff the export format")
+    if stripped.startswith("{"):
+        return GNMI_FORMAT
+    first_cells = [cell.strip() for cell in stripped.split(",")]
+    if first_cells[:2] == ["timestamp", "device"] and len(first_cells) >= 3:
+        return SNMP_FORMAT
+    raise ValueError(
+        f"{path}: unrecognised export format (line 1: {stripped[:80]!r}); expected "
+        f"gNMI JSON-lines updates or an SNMP 'timestamp,device,<metric...>' CSV "
+        f"header -- pass an explicit format ({', '.join(EXPORT_FORMATS)})")
+
+
+@dataclass(frozen=True)
+class TelemetryDump:
+    """A raw monitoring export opened for streaming: path + resolved format."""
+
+    path: Path
+    format: str
+
+    def updates(self) -> Iterator[RawUpdate]:
+        """Stream the dump's updates in file order (one pass, O(1) memory)."""
+        return _UPDATE_ITERATORS[self.format](self.path)
+
+
+def open_export(path: Path | str, fmt: str | None = None) -> TelemetryDump:
+    """Open a raw monitoring export, sniffing the wire format when not given."""
+    path = Path(path)
+    if fmt is None:
+        fmt = sniff_format(path)
+    elif fmt not in EXPORT_FORMATS:
+        raise ValueError(f"unknown export format {fmt!r}; choose one of "
+                         f"{EXPORT_FORMATS} (or omit it to sniff)")
+    elif not path.is_file():
+        raise ValueError(f"cannot read telemetry export {path}: no such file")
+    return TelemetryDump(path, fmt)
+
+
+# ----------------------------------------------------------------------
+# Bounded-memory accumulation
+# ----------------------------------------------------------------------
+class PairAccumulator:
+    """Per-pair (timestamp, value) buffers with an overall in-memory budget.
+
+    ``add`` appends one sample to its pair's buffer.  Whenever the total
+    buffered sample count reaches ``memory_budget_samples``, the largest
+    buffers are spilled -- appended to one little-endian float64
+    ``(timestamp, value)`` scratch file per pair -- until at most half the
+    budget remains buffered, so peak accumulator memory is bounded by the
+    budget no matter how many pairs interleave in the stream or how long
+    it runs.  ``samples()`` merges a pair's scratch file with its live
+    buffer back into arrays (in arrival order; callers sort).
+    """
+
+    _SCRATCH_SUFFIX = ".f8"
+
+    def __init__(self, scratch_dir: Path | str,
+                 memory_budget_samples: int = DEFAULT_MEMORY_BUDGET_SAMPLES) -> None:
+        if memory_budget_samples < 2:
+            raise ValueError("memory_budget_samples must be >= 2")
+        self.scratch_dir = Path(scratch_dir)
+        self.scratch_dir.mkdir(parents=True, exist_ok=True)
+        self.memory_budget_samples = int(memory_budget_samples)
+        self._times: dict[tuple[str, str], list[float]] = {}
+        self._values: dict[tuple[str, str], list[float]] = {}
+        self._scratch: dict[tuple[str, str], Path] = {}
+        self._index: dict[tuple[str, str], int] = {}
+        self.buffered_samples = 0
+        self.peak_buffered_samples = 0
+        self.spilled_samples = 0
+        self.spill_writes = 0
+        self.total_samples = 0
+
+    # ------------------------------------------------------------------
+    def add(self, key: tuple[str, str], timestamp: float, value: float) -> None:
+        times = self._times.get(key)
+        if times is None:
+            self._index[key] = len(self._index)
+            times = self._times[key] = []
+            self._values[key] = []
+        times.append(timestamp)
+        self._values[key].append(value)
+        self.buffered_samples += 1
+        self.total_samples += 1
+        if self.buffered_samples > self.peak_buffered_samples:
+            self.peak_buffered_samples = self.buffered_samples
+        if self.buffered_samples >= self.memory_budget_samples:
+            self._spill_down_to(self.memory_budget_samples // 2)
+
+    def _spill_down_to(self, target: int) -> None:
+        # Largest buffers first: fewest files touched per spill round, and
+        # each pair's scratch file grows in few big appends.
+        for key in sorted(self._times, key=lambda k: len(self._times[k]), reverse=True):
+            if self.buffered_samples <= target:
+                break
+            self._spill_pair(key)
+
+    def _spill_pair(self, key: tuple[str, str]) -> None:
+        times = self._times[key]
+        count = len(times)
+        if count == 0:
+            return
+        path = self._scratch.get(key)
+        if path is None:
+            path = self.scratch_dir / f"pair-{self._index[key]:06d}{self._SCRATCH_SUFFIX}"
+            self._scratch[key] = path
+        chunk = np.empty((count, 2), dtype="<f8")
+        chunk[:, 0] = times
+        chunk[:, 1] = self._values[key]
+        with path.open("ab") as handle:
+            handle.write(chunk.tobytes())
+        times.clear()
+        self._values[key].clear()
+        self.buffered_samples -= count
+        self.spilled_samples += count
+        self.spill_writes += 1
+
+    # ------------------------------------------------------------------
+    def keys(self) -> list[tuple[str, str]]:
+        """All (metric, device) keys seen so far, in first-seen order."""
+        return list(self._index)
+
+    def sample_count(self, key: tuple[str, str]) -> int:
+        spilled = 0
+        path = self._scratch.get(key)
+        if path is not None:
+            spilled = path.stat().st_size // 16
+        return spilled + len(self._times.get(key, ()))
+
+    def samples(self, key: tuple[str, str]) -> tuple[np.ndarray, np.ndarray]:
+        """One pair's accumulated (timestamps, values), in arrival order."""
+        if key not in self._index:
+            raise KeyError(key)
+        buffered_times = np.asarray(self._times[key], dtype=np.float64)
+        buffered_values = np.asarray(self._values[key], dtype=np.float64)
+        path = self._scratch.get(key)
+        if path is None:
+            return buffered_times, buffered_values
+        raw = np.fromfile(path, dtype="<f8")
+        if raw.size % 2:
+            raise ValueError(f"corrupt ingest scratch file {path}: odd sample count")
+        spilled = raw.reshape(-1, 2)
+        return (np.concatenate([spilled[:, 0], buffered_times]),
+                np.concatenate([spilled[:, 1], buffered_values]))
+
+    def close(self) -> None:
+        """Delete all scratch files (the accumulator is unusable afterwards)."""
+        self._times.clear()
+        self._values.clear()
+        self._scratch.clear()
+        shutil.rmtree(self.scratch_dir, ignore_errors=True)
+
+    def __enter__(self) -> "PairAccumulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Finishing pairs: ordering, dedupe, regularisation, stats
+# ----------------------------------------------------------------------
+def _finish_pair(metric: str, device: str, times: np.ndarray, values: np.ndarray,
+                 min_samples: int) -> tuple[TimeSeries | None, dict]:
+    """Turn one pair's raw samples into a regular trace + ingest annotations.
+
+    Returns ``(None, stats)`` when the pair has too few distinct samples
+    to serve (it is recorded as skipped in the manifest).  Otherwise the
+    samples are time-ordered, duplicate timestamps dropped, and -- if the
+    observed gaps deviate from the dominant (median) interval --
+    re-sampled onto that interval's regular grid with nearest-neighbour
+    values, exactly the §3.2 pre-cleaning.  Already regular streams pass
+    through bit for bit.
+
+    Duplicates are resolved by *content*, not stream position: samples
+    are sorted by (timestamp, value) and the first of each distinct
+    timestamp kept, so a retried poll that reports a conflicting value
+    deterministically loses to the smaller one no matter how the two
+    updates were interleaved -- shuffled copies of a dump ingest
+    identically.
+    """
+    raw = np.asarray(times, dtype=np.float64)
+    raw_values = np.asarray(values, dtype=np.float64)
+    order = np.lexsort((raw_values, raw))
+    sorted_times = raw[order]
+    sorted_values = raw_values[order]
+    keep = (np.concatenate([[True], np.diff(sorted_times) > 0])
+            if sorted_times.size else np.zeros(0, dtype=bool))
+    deduped = IrregularTimeSeries(sorted_times[keep], sorted_values[keep],
+                                  name=f"{metric}@{device}")
+    stats: dict = {"raw_samples": int(raw.size),
+                   "duplicates_dropped": int(raw.size - len(deduped))}
+    if len(deduped) < min_samples:
+        stats["skipped"] = f"only {len(deduped)} distinct samples (< {min_samples})"
+        return None, stats
+    interval = deduped.median_interval()
+    gaps = deduped.intervals()
+    jitter_rms = float(np.sqrt(np.mean((gaps / interval - 1.0) ** 2)))
+    stats.update({
+        "dominant_interval": interval,
+        "jitter_rms_fraction": jitter_rms,
+        "max_gap_intervals": float(np.max(gaps) / interval),
+    })
+    regular = bool(np.all(np.abs(gaps - interval) <= 1e-9 * interval))
+    if regular:
+        trace = TimeSeries(deduped.values, interval, start_time=deduped.start_time,
+                           name=deduped.name)
+    else:
+        trace = nearest_neighbor_resample(deduped, interval)
+    stats["resampled"] = not regular
+    stats["samples"] = int(len(trace))
+    return trace, stats
+
+
+# ----------------------------------------------------------------------
+# The importer
+# ----------------------------------------------------------------------
+def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
+                fmt: str | None = None,
+                memory_budget_samples: int = DEFAULT_MEMORY_BUDGET_SAMPLES,
+                min_samples: int = 2,
+                trace_format: Literal["npz", "csv"] = "npz") -> MeasuredFleetDataset:
+    """Stream one raw monitoring export into a measured-fleet directory.
+
+    Parameters
+    ----------
+    dump:
+        The export file (or an already-:func:`open_export`-ed dump); the
+        wire format is sniffed unless ``fmt`` names one of
+        :data:`EXPORT_FORMATS`.
+    directory:
+        Destination; must not already hold a measured fleet.  On success
+        it contains one trace file per ingested pair plus a
+        ``manifest.json`` that :class:`MeasuredFleetDataset` (and hence
+        ``repro-monitor survey --from-dir``) opens unchanged; ingest
+        provenance (per-pair gap/jitter statistics and the stream-level
+        accumulator counters) is recorded under its ``ingest`` keys.
+    memory_budget_samples:
+        Peak samples buffered in memory across all pairs (16 bytes each);
+        the :class:`PairAccumulator` spills partial series to scratch
+        files past it, so arbitrarily large dumps ingest in bounded
+        memory.
+    min_samples:
+        Pairs with fewer *distinct-timestamp* samples are skipped (and
+        recorded in the manifest) instead of producing degenerate traces;
+        must be at least 2, since a lone sample has no interval.
+    trace_format:
+        Per-pair trace file format (``npz`` default, or ``csv``).
+
+    Raises
+    ------
+    ValueError
+        On malformed input (naming the file and line), a used destination
+        directory, or a dump with no ingestible pairs.
+    """
+    if not isinstance(dump, TelemetryDump):
+        dump = open_export(dump, fmt)
+    elif fmt is not None and fmt != dump.format:
+        raise ValueError(f"dump was opened as {dump.format!r}; cannot re-read as {fmt!r}")
+    if trace_format not in TRACE_FORMATS:
+        raise ValueError(f"unknown trace format {trace_format!r}; "
+                         f"choose one of {TRACE_FORMATS}")
+    if min_samples < 2:
+        raise ValueError("min_samples must be >= 2 (a lone sample has no interval)")
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if directory.exists() and not directory.is_dir():
+        raise ValueError(f"ingest destination {directory} exists and is not a directory")
+    if manifest_path.exists():
+        raise ValueError(f"{directory} already holds a measured fleet "
+                         f"({MANIFEST_NAME} exists); ingest needs a fresh directory")
+    created = not directory.exists()
+    try:
+        (directory / "traces").mkdir(parents=True, exist_ok=True)
+    except OSError as error:
+        raise ValueError(f"cannot create ingest destination {directory}: "
+                         f"{error}") from error
+    try:
+        return _ingest_into(dump, directory, manifest_path, memory_budget_samples,
+                            min_samples, trace_format)
+    except BaseException:
+        # A failed ingest (malformed dump, write error) must not leave a
+        # half-built directory behind when the destination did not exist
+        # before the call; pre-existing directories are the caller's.
+        if created:
+            shutil.rmtree(directory, ignore_errors=True)
+        raise
+
+
+def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
+                 memory_budget_samples: int, min_samples: int,
+                 trace_format: str) -> MeasuredFleetDataset:
+    """The accumulate -> finish -> manifest body of :func:`ingest_dump`."""
+    save = _save_trace_npz if trace_format == "npz" else _save_trace_csv
+    entries: list[dict] = []
+    metrics: list[str] = []
+    skipped: list[dict] = []
+    with PairAccumulator(directory / ".ingest-scratch",
+                         memory_budget_samples) as accumulator:
+        for update in dump.updates():
+            accumulator.add(update.key, update.timestamp, update.value)
+        if not accumulator.keys():
+            raise ValueError(f"{dump.path}: no telemetry updates found "
+                             f"(format {dump.format})")
+        # Canonical (metric, device) order: the output depends only on the
+        # dump's update *set*, so shuffled/merged copies ingest identically,
+        # and sorting groups each metric's pairs contiguously as the
+        # survey's per-metric iteration requires.
+        for key in sorted(accumulator.keys()):
+            metric, device = key
+            times, values = accumulator.samples(key)
+            trace, stats = _finish_pair(metric, device, times, values, min_samples)
+            if trace is None:
+                skipped.append({"metric": metric, "device": device, **stats})
+                continue
+            file_name = f"traces/pair-{len(entries):05d}.{trace_format}"
+            save(directory / file_name, trace)
+            if metric not in metrics:
+                metrics.append(metric)
+            entries.append({"metric": metric, "device": device,
+                            "interval": trace.interval, "length": len(trace),
+                            "file": file_name, "ingest": stats})
+        summary = {
+            "source": str(dump.path), "format": dump.format,
+            "updates": accumulator.total_samples,
+            "memory_budget_samples": accumulator.memory_budget_samples,
+            "peak_buffered_samples": accumulator.peak_buffered_samples,
+            "spilled_samples": accumulator.spilled_samples,
+            "spill_writes": accumulator.spill_writes,
+            "pairs_skipped": skipped,
+        }
+    if not entries:
+        raise ValueError(
+            f"{dump.path}: all {len(skipped)} pairs fell below min_samples="
+            f"{min_samples}; nothing to ingest")
+    # A raw stream carries no nominal duration; the longest pair span is
+    # the faithful reconstruction (see the module docstring).
+    trace_duration = max(entry["interval"] * entry["length"] for entry in entries)
+    manifest = {"format": MANIFEST_FORMAT, "trace_format": trace_format,
+                "trace_duration": trace_duration, "metrics": metrics,
+                "pairs": entries, "ingest": summary}
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return MeasuredFleetDataset(directory)
+
+
+# ----------------------------------------------------------------------
+# Round-trip emitters: fabricate realistic dumps from any trace source
+# ----------------------------------------------------------------------
+def export_gnmi_dump(source: TraceSource, path: Path | str,
+                     metrics: Sequence[str] | None = None) -> Path:
+    """Write ``source`` as an interleaved gNMI-style JSON-lines dump.
+
+    Updates are emitted globally time-ordered (ties broken by pair), the
+    way a telemetry collector's append-only log interleaves many
+    subscriptions into one stream.  Ingesting the dump reproduces every
+    trace bit for bit, so synthetic fleets can fabricate arbitrarily
+    large, realistic importer workloads.
+    """
+    path = Path(path)
+    metric_names = list(metrics) if metrics is not None else source.metric_names()
+
+    def pair_stream(order: int, pair, trace: TimeSeries):
+        # json.dumps on str adds the quotes/escaping once per pair; the
+        # per-line payload is assembled with repr floats (exact round trip).
+        device_json = json.dumps(pair.key[1])
+        path_json = json.dumps(path_for_metric(pair.key[0]))
+        times = trace.times()
+        for index in range(len(trace)):
+            yield (float(times[index]), order,
+                   f'{{"timestamp": {float(times[index])!r}, "device": {device_json}, '
+                   f'"path": {path_json}, "value": {float(trace.values[index])!r}}}\n')
+
+    streams = []
+    order = 0
+    for metric_name in metric_names:
+        for pair, trace in source.traces(metric_name):
+            streams.append(pair_stream(order, pair, trace))
+            order += 1
+    with path.open("w") as handle:
+        for _, _, line in heapq.merge(*streams):
+            handle.write(line)
+    return path
+
+
+def export_snmp_dump(source: TraceSource, path: Path | str,
+                     metrics: Sequence[str] | None = None) -> Path:
+    """Write ``source`` as an SNMP-poller wide CSV dump.
+
+    One row per (poll time, device) with one column per metric path, the
+    way a poller tabulates each scrape; metrics polled at different rates
+    leave their cells empty between polls.  Ingesting the dump reproduces
+    every trace bit for bit.
+    """
+    path = Path(path)
+    metric_names = list(metrics) if metrics is not None else source.metric_names()
+    by_device: dict[str, dict[str, TimeSeries]] = {}
+    for metric_name in metric_names:
+        for pair, trace in source.traces(metric_name):
+            by_device.setdefault(pair.key[1], {})[metric_name] = trace
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "device"]
+                        + [path_for_metric(name) for name in metric_names])
+        for device, traces in by_device.items():
+            cells: dict[float, list[str]] = {}
+            for column, metric_name in enumerate(metric_names):
+                trace = traces.get(metric_name)
+                if trace is None:
+                    continue
+                times = trace.times()
+                for index in range(len(trace)):
+                    row = cells.setdefault(float(times[index]), [""] * len(metric_names))
+                    row[column] = repr(float(trace.values[index]))
+            for timestamp in sorted(cells):
+                writer.writerow([repr(timestamp), device] + cells[timestamp])
+    return path

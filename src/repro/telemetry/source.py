@@ -235,3 +235,26 @@ class BaseTraceSource(ABC):
         from .measured import MeasuredFleetDataset, export_traces
         export_traces(self, directory, fmt=fmt)
         return MeasuredFleetDataset(directory)
+
+    def export_gnmi_dump(self, path: Path | str,
+                         metrics: Sequence[str] | None = None) -> Path:
+        """Write this source as an interleaved gNMI-style JSON-lines dump.
+
+        The raw-stream counterpart of :meth:`export`: one
+        timestamp/device/path/value update per line, all pairs interleaved
+        in global time order.  ``repro.telemetry.ingest`` converts such a
+        dump back into a surveyable measured-fleet directory, reproducing
+        every trace bit for bit.
+        """
+        from .ingest import export_gnmi_dump
+        return export_gnmi_dump(self, path, metrics=metrics)
+
+    def export_snmp_dump(self, path: Path | str,
+                         metrics: Sequence[str] | None = None) -> Path:
+        """Write this source as an SNMP-poller wide CSV dump.
+
+        One row per (poll time, device), one column per metric path; the
+        other raw-export shape ``repro.telemetry.ingest`` imports.
+        """
+        from .ingest import export_snmp_dump
+        return export_snmp_dump(self, path, metrics=metrics)

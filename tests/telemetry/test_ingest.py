@@ -1,0 +1,515 @@
+"""The streaming gNMI/SNMP importer: round trips, corruption, bounded memory.
+
+Three layers of guarantees are pinned here:
+
+* **Round trip** -- a synthetic fleet exported as a raw dump (either wire
+  format) and re-ingested surveys bit-identically to the in-memory fleet
+  (per (metric, device) pair; ingested directories list pairs in
+  canonical sorted order), at any worker count.
+* **Differential corruption** -- structurally harmless mutations of a
+  dump (shuffled line order, duplicated updates, reversed/ non-monotonic
+  streams, unknown metric paths riding along) ingest to the *same* fleet
+  as the clean dump, while malformed records are rejected with a
+  ``ValueError`` naming the file and line.
+* **Bounded memory** -- the :class:`PairAccumulator` never buffers more
+  than its budget, spills make it to disk and back losslessly, and the
+  spilled result is identical to an unbounded ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.survey import run_survey
+from repro.cli import main
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.ingest import (EXPORT_FORMATS, GNMI_FORMAT, METRIC_PATHS,
+                                    SNMP_FORMAT, PairAccumulator, ingest_dump,
+                                    metric_from_path, open_export, sniff_format)
+from repro.telemetry.measured import MeasuredFleetDataset
+
+#: Small, fast fleet shared by the suite: three families (gauge, counter,
+#: sparse error bursts), two hours per trace.
+INGEST_METRICS = ("Temperature", "Unicast bytes", "FCS errors")
+
+
+@pytest.fixture(scope="module")
+def fleet() -> FleetDataset:
+    return FleetDataset(DatasetConfig(pair_count=9, seed=5, trace_duration=7200.0,
+                                      metrics=INGEST_METRICS))
+
+
+@pytest.fixture(scope="module")
+def gnmi_dump(fleet, tmp_path_factory):
+    return fleet.export_gnmi_dump(tmp_path_factory.mktemp("dumps") / "fleet.jsonl")
+
+
+@pytest.fixture(scope="module")
+def snmp_dump(fleet, tmp_path_factory):
+    return fleet.export_snmp_dump(tmp_path_factory.mktemp("dumps") / "fleet.csv")
+
+
+def assert_same_fleet(a: MeasuredFleetDataset, b: MeasuredFleetDataset,
+                      ignore_stats: bool = True) -> None:
+    """Two ingested directories hold identical fleets (traces bit for bit)."""
+    manifest_a = json.loads((a.directory / "manifest.json").read_text())
+    manifest_b = json.loads((b.directory / "manifest.json").read_text())
+    if ignore_stats:
+        # The accumulator counters (peak, spill writes) legitimately depend
+        # on stream order; the fleet content must not.
+        for manifest in (manifest_a, manifest_b):
+            manifest.pop("ingest", None)
+            for entry in manifest["pairs"]:
+                entry.pop("ingest", None)
+    assert manifest_a == manifest_b
+    for pair_a, pair_b in zip(a.pairs(), b.pairs()):
+        trace_a, trace_b = a.load(pair_a), b.load(pair_b)
+        assert trace_a.interval == trace_b.interval
+        assert trace_a.start_time == trace_b.start_time
+        assert np.array_equal(trace_a.values, trace_b.values)
+
+
+def assert_surveys_match(reference, ingested) -> None:
+    """Ingested records equal the reference's bit for bit, keyed by pair.
+
+    Ingested fleets list pairs in canonical (metric, device) order while a
+    synthetic fleet keeps its own seeded order, so records are aligned by
+    key; every estimator-derived field must then match exactly
+    (``true_nyquist_rate`` is NaN for ingested data -- no ground-truth
+    channel in a raw telemetry stream -- and is asserted to be so).
+    """
+    by_key = {(record.metric_name, record.device_id): record
+              for record in reference.records}
+    ingested_records = ingested.records
+    assert len(ingested_records) == len(by_key)
+    for record in ingested_records:
+        expected = by_key[(record.metric_name, record.device_id)]
+        assert record.current_rate == expected.current_rate
+        assert record.nyquist_rate == expected.nyquist_rate
+        assert (record.reduction_ratio == expected.reduction_ratio
+                or (np.isnan(record.reduction_ratio)
+                    and np.isnan(expected.reduction_ratio)))
+        assert record.category is expected.category
+        assert record.reliable == expected.reliable
+        assert record.trace_duration == expected.trace_duration
+        assert np.isnan(record.true_nyquist_rate)
+    for key, left in reference.headline().items():
+        right = ingested.headline()[key]
+        assert left == right or (np.isnan(left) and np.isnan(right)), key
+
+
+# ----------------------------------------------------------------------
+class TestOpenExport:
+    def test_sniffs_gnmi(self, gnmi_dump):
+        assert sniff_format(gnmi_dump) == GNMI_FORMAT
+        assert open_export(gnmi_dump).format == GNMI_FORMAT
+
+    def test_sniffs_snmp(self, snmp_dump):
+        assert sniff_format(snmp_dump) == SNMP_FORMAT
+        assert open_export(snmp_dump).format == SNMP_FORMAT
+
+    def test_explicit_format_wins(self, gnmi_dump):
+        assert open_export(gnmi_dump, GNMI_FORMAT).format == GNMI_FORMAT
+
+    def test_unknown_format_rejected(self, gnmi_dump):
+        with pytest.raises(ValueError, match="unknown export format"):
+            open_export(gnmi_dump, "netflow")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            open_export(tmp_path / "nope.jsonl")
+        with pytest.raises(ValueError, match="cannot read"):
+            open_export(tmp_path / "nope.jsonl", GNMI_FORMAT)
+
+    def test_unrecognised_content_rejected(self, tmp_path):
+        path = tmp_path / "what.txt"
+        path.write_text("hello world\n")
+        with pytest.raises(ValueError, match="unrecognised export format"):
+            open_export(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty file"):
+            open_export(path)
+
+    def test_catalogue_paths_round_trip(self):
+        for name, token in METRIC_PATHS.items():
+            assert metric_from_path(token) == name
+        assert metric_from_path("/vendor/x/mystery") == "/vendor/x/mystery"
+
+
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize("dump_fixture", ["gnmi_dump", "snmp_dump"])
+    def test_ingested_fleet_surveys_bit_identically(self, request, fleet,
+                                                    dump_fixture, tmp_path):
+        dump = request.getfixturevalue(dump_fixture)
+        ingested = ingest_dump(dump, tmp_path / "fleet")
+        assert len(ingested) == len(fleet)
+        assert sorted(ingested.metric_names()) == sorted(INGEST_METRICS)
+        assert_surveys_match(run_survey(fleet), run_survey(ingested))
+
+    def test_worker_counts_agree_byte_for_byte(self, gnmi_dump, tmp_path):
+        ingested = ingest_dump(gnmi_dump, tmp_path / "fleet")
+        single = run_survey(ingested, chunk_size=4)
+        pooled = run_survey(ingested, workers=2, chunk_size=4)
+        blocks = list(single.iter_blocks())
+        pooled_blocks = list(pooled.iter_blocks())
+        assert len(blocks) == len(pooled_blocks) > 0
+        for a, b in zip(blocks, pooled_blocks):
+            assert a.metric_name == b.metric_name
+            assert np.array_equal(a.device_ids, b.device_ids)
+            assert np.array_equal(a.nyquist_rate, b.nyquist_rate)
+            assert np.array_equal(a.reduction_ratio, b.reduction_ratio, equal_nan=True)
+            assert np.array_equal(a.category, b.category)
+
+    def test_manifest_records_provenance(self, gnmi_dump, tmp_path):
+        ingest_dump(gnmi_dump, tmp_path / "fleet")
+        manifest = json.loads((tmp_path / "fleet" / "manifest.json").read_text())
+        summary = manifest["ingest"]
+        assert summary["format"] == GNMI_FORMAT
+        assert summary["updates"] == sum(1 for _ in gnmi_dump.open())
+        assert summary["pairs_skipped"] == []
+        for entry in manifest["pairs"]:
+            stats = entry["ingest"]
+            assert stats["raw_samples"] == stats["samples"]
+            assert stats["duplicates_dropped"] == 0
+            assert stats["jitter_rms_fraction"] == 0.0
+            assert stats["resampled"] is False
+            assert stats["dominant_interval"] == entry["interval"]
+        # Pairs are listed in canonical sorted order, grouped per metric.
+        keys = [(entry["metric"], entry["device"]) for entry in manifest["pairs"]]
+        assert keys == sorted(keys)
+
+    def test_used_directory_rejected(self, gnmi_dump, tmp_path):
+        ingest_dump(gnmi_dump, tmp_path / "fleet")
+        with pytest.raises(ValueError, match="already holds a measured fleet"):
+            ingest_dump(gnmi_dump, tmp_path / "fleet")
+
+    def test_file_destination_rejected(self, gnmi_dump, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ValueError, match="not a directory"):
+            ingest_dump(gnmi_dump, target)
+        assert target.read_text() == "not a directory"
+
+    def test_failed_ingest_removes_created_directory(self, tmp_path):
+        dump = tmp_path / "bad.jsonl"
+        dump.write_text('{"timestamp": 0.0, "device": "d", "path": "/x", '
+                        '"value": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            ingest_dump(dump, tmp_path / "fleet")
+        assert not (tmp_path / "fleet").exists()
+
+    def test_leading_blank_lines_are_tolerated(self, gnmi_dump, snmp_dump, tmp_path):
+        # A sniffable file must be ingestible: both readers skip leading
+        # blank lines instead of treating them as the first record.
+        padded_gnmi = tmp_path / "padded.jsonl"
+        padded_gnmi.write_text("\n" + gnmi_dump.read_text())
+        padded_snmp = tmp_path / "padded.csv"
+        padded_snmp.write_text("\n" + snmp_dump.read_text())
+        assert len(ingest_dump(padded_gnmi, tmp_path / "g")) == 9
+        assert len(ingest_dump(padded_snmp, tmp_path / "s")) == 9
+
+    def test_csv_trace_format_round_trips(self, fleet, gnmi_dump, tmp_path):
+        ingested = ingest_dump(gnmi_dump, tmp_path / "fleet", trace_format="csv")
+        assert ingested.fmt == "csv"
+        assert_surveys_match(run_survey(fleet), run_survey(ingested))
+
+
+# ----------------------------------------------------------------------
+class TestBoundedMemory:
+    def test_budget_bounds_peak_and_result_is_identical(self, gnmi_dump, tmp_path):
+        bounded = ingest_dump(gnmi_dump, tmp_path / "bounded",
+                              memory_budget_samples=128)
+        unbounded = ingest_dump(gnmi_dump, tmp_path / "unbounded")
+        summary = json.loads(
+            (tmp_path / "bounded" / "manifest.json").read_text())["ingest"]
+        assert summary["memory_budget_samples"] == 128
+        assert 0 < summary["peak_buffered_samples"] <= 128
+        assert summary["spilled_samples"] > 0
+        assert_same_fleet(bounded, unbounded)
+
+    def test_scratch_files_are_cleaned_up(self, gnmi_dump, tmp_path):
+        ingest_dump(gnmi_dump, tmp_path / "fleet", memory_budget_samples=64)
+        assert not (tmp_path / "fleet" / ".ingest-scratch").exists()
+
+    def test_accumulator_spills_largest_buffers_first(self, tmp_path):
+        accumulator = PairAccumulator(tmp_path / "scratch", memory_budget_samples=10)
+        for index in range(8):
+            accumulator.add(("m", "big"), float(index), 1.0)
+        accumulator.add(("m", "small"), 0.0, 2.0)
+        accumulator.add(("m", "small"), 1.0, 3.0)  # hits the budget -> spill
+        assert accumulator.buffered_samples <= 5
+        assert accumulator.spilled_samples >= 8
+        times, values = accumulator.samples(("m", "big"))
+        assert np.array_equal(times, np.arange(8.0))
+        times, values = accumulator.samples(("m", "small"))
+        assert np.array_equal(values, [2.0, 3.0])
+        accumulator.close()
+        assert not (tmp_path / "scratch").exists()
+
+    def test_accumulator_rejects_tiny_budget(self, tmp_path):
+        with pytest.raises(ValueError, match="memory_budget_samples"):
+            PairAccumulator(tmp_path / "scratch", memory_budget_samples=1)
+
+
+# ----------------------------------------------------------------------
+class TestDifferentialCorruption:
+    """Each mutation either ingests identically to the clean dump or is
+    rejected with a ``ValueError`` naming the file and line."""
+
+    @pytest.fixture()
+    def clean(self, gnmi_dump, tmp_path):
+        return ingest_dump(gnmi_dump, tmp_path / "clean")
+
+    def test_shuffled_interleaving_changes_nothing(self, gnmi_dump, clean, tmp_path):
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        random.Random(13).shuffle(lines)
+        shuffled = tmp_path / "shuffled.jsonl"
+        shuffled.write_text("".join(lines))
+        # Shuffle with a small budget so spill order differs too.
+        ingested = ingest_dump(shuffled, tmp_path / "fleet",
+                               memory_budget_samples=96)
+        assert_same_fleet(clean, ingested)
+
+    def test_reversed_stream_changes_nothing(self, gnmi_dump, clean, tmp_path):
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        reversed_dump = tmp_path / "reversed.jsonl"
+        reversed_dump.write_text("".join(reversed(lines)))
+        ingested = ingest_dump(reversed_dump, tmp_path / "fleet")
+        assert_same_fleet(clean, ingested)
+
+    def test_duplicated_updates_are_dropped(self, gnmi_dump, clean, tmp_path):
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        duplicated = lines + random.Random(7).sample(lines, len(lines) // 10)
+        dump = tmp_path / "duplicated.jsonl"
+        dump.write_text("".join(duplicated))
+        ingested = ingest_dump(dump, tmp_path / "fleet")
+        assert_same_fleet(clean, ingested)
+        manifest = json.loads((tmp_path / "fleet" / "manifest.json").read_text())
+        assert sum(entry["ingest"]["duplicates_dropped"]
+                   for entry in manifest["pairs"]) == len(lines) // 10
+
+    def test_conflicting_duplicate_timestamps_resolve_by_content(self, gnmi_dump,
+                                                                 tmp_path):
+        # A retried poll can report a *different* value at the same
+        # timestamp; the importer keeps the smallest value of each distinct
+        # timestamp, so the outcome depends only on the update set -- the
+        # conflict-carrying dump ingests identically however its lines are
+        # ordered.
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        update = json.loads(lines[0])
+        original = update["value"]
+        update["value"] = original + 1000.0
+        conflicted = lines + [json.dumps(update) + "\n"]
+        dump = tmp_path / "conflict.jsonl"
+        dump.write_text("".join(conflicted))
+        random.Random(5).shuffle(conflicted)
+        shuffled = tmp_path / "conflict-shuffled.jsonl"
+        shuffled.write_text("".join(conflicted))
+        first = ingest_dump(dump, tmp_path / "first")
+        again = ingest_dump(shuffled, tmp_path / "again")
+        assert_same_fleet(first, again)
+        # The smaller of the two conflicting values won, in both orders.
+        key = (metric_from_path(update["path"]), update["device"])
+        pair = next(p for p in first.pairs() if p.key == key)
+        assert first.load(pair).values[0] == min(original, update["value"])
+
+    def test_unknown_metric_paths_ride_along(self, gnmi_dump, clean, tmp_path):
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        extra = [json.dumps({"timestamp": 60.0 * index, "device": "vendor-box-1",
+                             "path": "/vendor/x/mystery-counter", "value": float(index)})
+                 + "\n" for index in range(16)]
+        dump = tmp_path / "extra.jsonl"
+        dump.write_text("".join(lines + extra))
+        ingested = ingest_dump(dump, tmp_path / "fleet")
+        assert "/vendor/x/mystery-counter" in ingested.metric_names()
+        extra_pairs = ingested.pairs_for_metric("/vendor/x/mystery-counter")
+        assert [pair.device.device_id for pair in extra_pairs] == ["vendor-box-1"]
+        assert extra_pairs[0].interval == 60.0
+        # The known pairs are untouched by the stranger riding along.
+        known = {pair.key for pair in clean.pairs()}
+        for pair in ingested.pairs():
+            if pair.key in known:
+                reference = next(p for p in clean.pairs() if p.key == pair.key)
+                assert np.array_equal(ingested.load(pair).values,
+                                      clean.load(reference).values)
+        # And the unknown metric surveys through the generic gauge spec.
+        result = run_survey(ingested, metrics=["/vendor/x/mystery-counter"])
+        assert len(result) == 1
+
+    def test_jittered_timestamps_are_regularised(self, fleet, gnmi_dump, tmp_path):
+        # Perturb every timestamp by up to 10 % of the interval: the trace
+        # must come back on the dominant-interval grid, flagged as
+        # re-sampled, with the jitter visible in the manifest stats.
+        rng = random.Random(3)
+        mutated = []
+        for line in gnmi_dump.read_text().splitlines():
+            update = json.loads(line)
+            if update["path"] == METRIC_PATHS["Temperature"]:
+                update["timestamp"] += rng.uniform(-30.0, 30.0)
+            mutated.append(json.dumps(update) + "\n")
+        dump = tmp_path / "jittered.jsonl"
+        dump.write_text("".join(mutated))
+        ingested = ingest_dump(dump, tmp_path / "fleet")
+        manifest = json.loads((tmp_path / "fleet" / "manifest.json").read_text())
+        for entry in manifest["pairs"]:
+            stats = entry["ingest"]
+            if entry["metric"] == "Temperature":
+                assert stats["resampled"] is True
+                assert stats["jitter_rms_fraction"] > 0.0
+                assert entry["interval"] == pytest.approx(300.0, rel=0.05)
+            else:
+                assert stats["resampled"] is False
+        # Jitter below half an interval: nearest-neighbour regularisation
+        # recovers nearly every sample value.
+        result = run_survey(ingested)
+        assert len(result) == len(fleet)
+
+    # ------------------------- rejected inputs -------------------------
+    def test_truncated_line_names_file_and_line(self, gnmi_dump, tmp_path):
+        lines = gnmi_dump.read_text().splitlines(keepends=True)
+        dump = tmp_path / "truncated.jsonl"
+        dump.write_text("".join(lines) + lines[0][: len(lines[0]) // 2])
+        with pytest.raises(ValueError,
+                           match=rf"truncated\.jsonl, line {len(lines) + 1}"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_missing_field_names_file_and_line(self, tmp_path):
+        dump = tmp_path / "missing.jsonl"
+        dump.write_text('{"timestamp": 0.0, "device": "d", "value": 1.0}\n')
+        with pytest.raises(ValueError, match=r"missing\.jsonl, line 1.*\['path'\]"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_non_numeric_value_names_file_and_line(self, tmp_path):
+        dump = tmp_path / "bad.jsonl"
+        dump.write_text(
+            '{"timestamp": 0.0, "device": "d", "path": "/x", "value": 1.0}\n'
+            '{"timestamp": 30.0, "device": "d", "path": "/x", "value": "high"}\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl, line 2.*'value'"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_non_finite_timestamp_names_file_and_line(self, tmp_path):
+        dump = tmp_path / "inf.jsonl"
+        dump.write_text('{"timestamp": Infinity, "device": "d", "path": "/x", '
+                        '"value": 1.0}\n')
+        with pytest.raises(ValueError, match=r"inf\.jsonl, line 1.*finite"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_snmp_short_row_names_file_and_line(self, snmp_dump, tmp_path):
+        lines = snmp_dump.read_text().splitlines(keepends=True)
+        cells = lines[1].rstrip("\r\n").split(",")
+        lines[1] = ",".join(cells[:-2]) + "\n"
+        dump = tmp_path / "short.csv"
+        dump.write_text("".join(lines))
+        with pytest.raises(ValueError, match=r"short\.csv, line 2.*columns"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_snmp_bad_cell_names_file_line_and_column(self, snmp_dump, tmp_path):
+        lines = snmp_dump.read_text().splitlines(keepends=True)
+        header = lines[0].rstrip("\r\n").split(",")
+        cells = lines[3].rstrip("\r\n").split(",")
+        column = next(index for index, cell in enumerate(cells[2:], start=2) if cell)
+        cells[column] = "3.1.4.1"
+        lines[3] = ",".join(cells) + "\n"
+        dump = tmp_path / "bad.csv"
+        dump.write_text("".join(lines))
+        metric = metric_from_path(header[column])
+        with pytest.raises(ValueError, match=rf"bad\.csv, line 4.*{metric!r}"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_snmp_bad_header_rejected(self, tmp_path):
+        dump = tmp_path / "head.csv"
+        dump.write_text("time,node,oid\n0,server,1\n")
+        with pytest.raises(ValueError, match=r"head\.csv.*unrecognised|head\.csv, line 1"):
+            ingest_dump(dump, tmp_path / "fleet", fmt=SNMP_FORMAT)
+
+    def test_snmp_duplicate_column_rejected(self, tmp_path):
+        dump = tmp_path / "dupe.csv"
+        dump.write_text("timestamp,device,/x,/x\n")
+        with pytest.raises(ValueError, match=r"dupe\.csv, line 1.*duplicate"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_empty_dump_rejected(self, tmp_path):
+        dump = tmp_path / "void.csv"
+        dump.write_text("timestamp,device,/x\n")
+        with pytest.raises(ValueError, match="no telemetry updates"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+
+# ----------------------------------------------------------------------
+class TestMinSamples:
+    def test_sparse_pairs_are_skipped_and_recorded(self, tmp_path):
+        dump = tmp_path / "sparse.jsonl"
+        lines = [json.dumps({"timestamp": 30.0 * index, "device": "rich",
+                             "path": "/x", "value": float(index)})
+                 for index in range(20)]
+        lines.append(json.dumps({"timestamp": 0.0, "device": "poor",
+                                 "path": "/x", "value": 1.0}))
+        dump.write_text("\n".join(lines) + "\n")
+        ingested = ingest_dump(dump, tmp_path / "fleet")
+        assert [pair.device.device_id for pair in ingested.pairs()] == ["rich"]
+        summary = json.loads((tmp_path / "fleet" / "manifest.json").read_text())["ingest"]
+        assert len(summary["pairs_skipped"]) == 1
+        assert summary["pairs_skipped"][0]["device"] == "poor"
+
+    def test_min_samples_knob_raises_the_bar(self, gnmi_dump, tmp_path):
+        ingested = ingest_dump(gnmi_dump, tmp_path / "fleet", min_samples=30)
+        summary = json.loads((tmp_path / "fleet" / "manifest.json").read_text())["ingest"]
+        # The 2-hour Temperature pairs only have 24 samples at 300 s.
+        assert len(summary["pairs_skipped"]) == 3
+        assert all(entry["metric"] == "Temperature"
+                   for entry in summary["pairs_skipped"])
+        assert "Temperature" not in ingested.metric_names()
+
+    def test_all_pairs_skipped_is_an_error(self, tmp_path):
+        dump = tmp_path / "thin.jsonl"
+        dump.write_text('{"timestamp": 0.0, "device": "d", "path": "/x", "value": 1.0}\n')
+        with pytest.raises(ValueError, match="min_samples"):
+            ingest_dump(dump, tmp_path / "fleet")
+
+    def test_min_samples_below_two_rejected(self, gnmi_dump, tmp_path):
+        with pytest.raises(ValueError, match="min_samples must be >= 2"):
+            ingest_dump(gnmi_dump, tmp_path / "fleet", min_samples=1)
+
+
+# ----------------------------------------------------------------------
+class TestIngestCLI:
+    def test_export_dump_ingest_survey_pipeline(self, tmp_path, capsys):
+        dump = tmp_path / "dump.jsonl"
+        assert main(["export-dump", str(dump), "--pairs", "6", "--seed", "3",
+                     "--duration-hours", "1"]) == 0
+        assert main(["ingest", str(dump), str(tmp_path / "fleet"),
+                     "--memory-budget", "64"]) == 0
+        output = capsys.readouterr().out
+        assert "Ingested 6 (metric, device) pairs" in output
+        assert "spilled to scratch" in output
+        assert main(["survey", "--from-dir", str(tmp_path / "fleet")]) == 0
+        assert "Headline statistics" in capsys.readouterr().out
+
+    def test_snmp_export_dump_round_trips(self, tmp_path, capsys):
+        dump = tmp_path / "dump.csv"
+        assert main(["export-dump", str(dump), "--format", "snmp-csv",
+                     "--pairs", "6", "--seed", "3", "--duration-hours", "1"]) == 0
+        assert main(["ingest", str(dump), str(tmp_path / "fleet")]) == 0
+        assert "snmp-csv export" in capsys.readouterr().out
+
+    def test_cli_reports_malformed_dump(self, tmp_path, capsys):
+        dump = tmp_path / "bad.jsonl"
+        dump.write_text('{"timestamp": 0.0, "device": "d"}\n')
+        assert main(["ingest", str(dump), str(tmp_path / "fleet")]) == 1
+        err = capsys.readouterr().err
+        assert "line 1" in err and "bad.jsonl" in err
+
+    def test_cli_reports_used_directory(self, tmp_path, capsys):
+        dump = tmp_path / "dump.jsonl"
+        main(["export-dump", str(dump), "--pairs", "3", "--duration-hours", "1"])
+        assert main(["ingest", str(dump), str(tmp_path / "fleet")]) == 0
+        assert main(["ingest", str(dump), str(tmp_path / "fleet")]) == 1
+        assert "already holds a measured fleet" in capsys.readouterr().err

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 import math
+import tempfile
+from pathlib import Path
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.survey import run_survey
 from repro.core.errors import compare, l2_distance
 from repro.core.nyquist import NyquistEstimator, estimate_nyquist_rate
 from repro.core.psd import periodogram
@@ -16,6 +19,8 @@ from repro.core.quantization import UniformQuantizer
 from repro.core.resampling import downsample, fourier_resample, regularize
 from repro.signals.generators import multi_tone, sine
 from repro.signals.timeseries import IrregularTimeSeries, TimeSeries
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.ingest import export_gnmi_dump, export_snmp_dump, ingest_dump
 
 # FFT-heavy properties: keep example counts modest so the suite stays fast.
 FAST = settings(max_examples=25, deadline=None,
@@ -172,6 +177,90 @@ def test_downsample_upsample_roundtrip_for_band_limited_signals(factor, cycles):
     n = min(len(up), len(series))
     rms_error = float(np.sqrt(np.mean((up.values[:n] - series.values[:n]) ** 2)))
     assert rms_error < 0.02
+
+
+# ----------------------------------------------------------------------
+# Ingest round trips: arbitrary fleet -> raw dump -> ingest -> survey
+# ----------------------------------------------------------------------
+# End-to-end FFT + process-pool heavy: a handful of examples suffices, the
+# deterministic corpus lives in tests/telemetry/test_ingest.py.
+INGEST = settings(max_examples=6, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+#: Metric mixes spanning every generative family.
+INGEST_METRIC_POOLS = (
+    ("Temperature", "Unicast bytes", "FCS errors"),
+    ("Link util", "Multicast drops"),
+    ("Lossy paths", "Peak egress BW", "Memory usage"),
+)
+
+
+def _assert_nan_aware_equal(left: float, right: float, context: str) -> None:
+    assert left == right or (math.isnan(left) and math.isnan(right)), context
+
+
+@INGEST
+@given(seed=st.integers(min_value=0, max_value=2 ** 16),
+       pair_count=st.integers(min_value=3, max_value=10),
+       metrics=st.sampled_from(INGEST_METRIC_POOLS),
+       exporter=st.sampled_from([export_gnmi_dump, export_snmp_dump]),
+       broadband=st.sampled_from([0.0, 0.25]))
+def test_export_ingest_survey_round_trip(seed, pair_count, metrics, exporter,
+                                         broadband):
+    """Any fleet, either wire format: the ingested directory surveys
+    bit-identically to the in-memory fleet, at 1 and 2 workers."""
+    fleet = FleetDataset(DatasetConfig(pair_count=pair_count, seed=seed,
+                                       trace_duration=3600.0, metrics=metrics,
+                                       broadband_fraction=broadband))
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+        dump = exporter(fleet, tmp_path / "dump")
+        ingested = ingest_dump(dump, tmp_path / "fleet",
+                               memory_budget_samples=257)
+        assert len(ingested) == len(fleet)
+
+        reference = run_survey(fleet)
+        single = run_survey(ingested, chunk_size=4)
+        pooled = run_survey(ingested, workers=2, chunk_size=4)
+
+        # workers=1 and workers=2 on the ingested fleet: byte-identical
+        # blocks, order included.
+        single_blocks = list(single.iter_blocks())
+        pooled_blocks = list(pooled.iter_blocks())
+        assert len(single_blocks) == len(pooled_blocks) > 0
+        for a, b in zip(single_blocks, pooled_blocks):
+            assert a.metric_name == b.metric_name
+            assert np.array_equal(a.device_ids, b.device_ids)
+            assert np.array_equal(a.current_rate, b.current_rate)
+            assert np.array_equal(a.nyquist_rate, b.nyquist_rate)
+            assert np.array_equal(a.reduction_ratio, b.reduction_ratio, equal_nan=True)
+            assert np.array_equal(a.category, b.category)
+            assert np.array_equal(a.reliable, b.reliable)
+
+        # Against the originating fleet: the same records bit for bit,
+        # aligned by (metric, device) key -- an ingested manifest lists
+        # pairs in canonical sorted order, the synthetic fleet in its own
+        # seeded order.
+        by_key = {(r.metric_name, r.device_id): r for r in reference.records}
+        ingested_records = single.records
+        assert len(ingested_records) == len(by_key)
+        for record in ingested_records:
+            expected = by_key.pop((record.metric_name, record.device_id))
+            context = f"{record.metric_name}@{record.device_id}"
+            assert record.current_rate == expected.current_rate, context
+            assert record.nyquist_rate == expected.nyquist_rate, context
+            _assert_nan_aware_equal(record.reduction_ratio,
+                                    expected.reduction_ratio, context)
+            assert record.category is expected.category, context
+            assert record.reliable == expected.reliable, context
+            assert record.trace_duration == expected.trace_duration, context
+        assert not by_key
+
+        # Order-insensitive aggregations agree exactly.
+        for result in (single, pooled):
+            headline = result.headline()
+            for key, value in reference.headline().items():
+                _assert_nan_aware_equal(value, headline[key], key)
 
 
 @FAST
