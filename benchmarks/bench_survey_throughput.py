@@ -181,7 +181,7 @@ def test_fleet_scale_out_of_core_survey(output_dir, tmp_path):
         "spill_bytes": spill_bytes,
         "oversampled_fraction": headline["oversampled_fraction"],
     })
-    print(f"\n=== Out-of-core fleet survey ===")
+    print("\n=== Out-of-core fleet survey ===")
     print(format_table([{
         "pairs": FLEET_PAIRS, "seconds": seconds,
         "pairs_per_second": FLEET_PAIRS / seconds,

@@ -61,7 +61,7 @@ def main() -> None:
         print(f"Within 15% of the fleet mean after {converged / 3600.0:.1f} h of observation.")
 
     size = minimum_canary_size(traces, tolerance=0.05, rng=np.random.default_rng(1))
-    print(f"\nSmallest canary whose instantaneous mean stays within 5% of the fleet mean "
+    print("\nSmallest canary whose instantaneous mean stays within 5% of the fleet mean "
           f"(worst case over 20 random draws): {size} of {len(traces)} devices")
 
 

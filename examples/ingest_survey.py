@@ -116,7 +116,7 @@ def main() -> None:
 
     print(f"\nThe dump and fleet directory persist under {work_dir}; re-run with:")
     print(f"  repro-monitor ingest {dump} NEW_DIR && "
-          f"repro-monitor survey --from-dir NEW_DIR")
+          "repro-monitor survey --from-dir NEW_DIR")
 
 
 if __name__ == "__main__":

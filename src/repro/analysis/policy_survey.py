@@ -227,7 +227,9 @@ class PolicySurveyResult:
 
 
 # ----------------------------------------------------------------------
-def _coerce_suite(policies) -> PolicySuite | StaticPolicySuite:
+def _coerce_suite(
+        policies: PolicySuite | StaticPolicySuite | Sequence[SamplingPolicy],
+) -> PolicySuite | StaticPolicySuite:
     """Accept a suite or an explicit policy sequence."""
     if hasattr(policies, "build"):
         return policies
@@ -278,7 +280,8 @@ def _policy_worker(task: tuple) -> list[PolicyRecordBlock]:
 
 
 def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
-                                suite, accountant: TelemetryCostAccountant,
+                                suite: PolicySuite | StaticPolicySuite,
+                                accountant: TelemetryCostAccountant,
                                 metric_names: Sequence[str],
                                 limit_per_metric: int | None, chunk_size: int,
                                 workers: int) -> None:

@@ -85,7 +85,7 @@ def box_stats(values: Iterable[float]) -> BoxStats:
     )
 
 
-def _format_value(value) -> str:
+def _format_value(value: object) -> str:
     if isinstance(value, float):
         if math.isnan(value):
             return "nan"

@@ -48,11 +48,10 @@ from pathlib import Path
 
 import numpy as np
 
-from .analysis.policy_survey import PolicySurveyResult, run_policy_survey
+from .analysis.policy_survey import run_policy_survey
 from .analysis.reporting import ascii_bar_chart, box_stats, format_table, write_csv
 from .analysis.survey import SpillingRecordSink, run_survey, run_windowed_survey
 from .core.adaptive import AdaptiveSamplingController, ControllerConfig
-from .core.errors import compare
 from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
 from .core.reconstruction import nyquist_round_trip
 from .network.cost import TelemetryCostAccountant
@@ -62,7 +61,7 @@ from .pipeline.policies import PolicySuite
 from .signals.timeseries import IrregularTimeSeries
 from .telemetry.dataset import DatasetConfig, FleetDataset
 from .telemetry.ingest import (DEFAULT_MEMORY_BUDGET_SAMPLES, EXPORT_FORMATS,
-                               GNMI_FORMAT, SNMP_FORMAT, export_gnmi_dump,
+                               GNMI_FORMAT, export_gnmi_dump,
                                export_snmp_dump, ingest_dump, open_export)
 from .telemetry.measured import MeasuredFleetDataset, export_traces
 from .telemetry.metrics import METRIC_CATALOG
@@ -340,7 +339,7 @@ def _command_policies(args: argparse.Namespace) -> int:
                 oversample_factor=oversample)
             source = spec.open()
             accountant = source.accountant()
-            print(f"Deployed monitoring on a "
+            print("Deployed monitoring on a "
                   f"{len(source.deployment.topology)}-node leaf-spine fabric "
                   f"({len(source)} measurement points, collector at {source.collector})\n")
         if args.metrics is not None:
@@ -442,7 +441,7 @@ def _command_ingest(args: argparse.Namespace) -> int:
     if resampled:
         print(f"  {resampled} pairs had irregular timestamps and were re-sampled "
               "onto their dominant interval")
-    print(f"\nSurvey the ingested fleet with:  repro-monitor survey --from-dir "
+    print("\nSurvey the ingested fleet with:  repro-monitor survey --from-dir "
           f"{args.directory}")
     return 0
 

@@ -9,7 +9,6 @@ scales (temperatures in tens of degrees vs. drop counters near zero).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np

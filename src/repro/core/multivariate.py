@@ -20,7 +20,6 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..signals.timeseries import TimeSeries
-from .errors import compare
 from .nyquist import NyquistEstimate, NyquistEstimator
 from .reconstruction import nyquist_round_trip
 

@@ -23,7 +23,6 @@ backend the fleet survey uses by default.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Literal
 

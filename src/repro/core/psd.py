@@ -17,7 +17,7 @@ the same PSD the scalar estimator would produce for that trace.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Any, Literal
 
 import numpy as np
 
@@ -254,7 +254,7 @@ def batch_welch_psd(values: np.ndarray, interval: float,
 
 
 def power_spectrum(series: TimeSeries, method: Literal["periodogram", "welch"] = "periodogram",
-                   **kwargs) -> Spectrum:
+                   **kwargs: Any) -> Spectrum:
     """Dispatch helper: compute a PSD with the requested method."""
     if method == "periodogram":
         return periodogram(series, **kwargs)

@@ -1,0 +1,14 @@
+"""Developer tooling that ships with the library.
+
+:mod:`repro.devtools.lint` is the project-invariant static analyser
+(``repro-lint``): the reproducibility guarantees the pipelines rely on --
+seeded RNG threading, no wall-clock reads in library code, errors that
+name the offending file, picklable worker specs, schema-complete record
+blocks, deterministic iteration in record-emitting code -- enforced
+mechanically over the whole tree instead of only where a runtime test
+happens to look.
+"""
+
+# No eager submodule import: ``python -m repro.devtools.lint`` would warn
+# about double-importing the module it is about to execute.
+__all__ = ["lint"]

@@ -18,7 +18,7 @@ insensitive to the exact constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 import networkx as nx

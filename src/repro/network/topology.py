@@ -12,7 +12,6 @@ telemetry movement.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
 
 import networkx as nx

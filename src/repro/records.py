@@ -31,7 +31,7 @@ import zipfile
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import ClassVar, Iterator, Literal, Sequence
+from typing import Any, ClassVar, Iterator, Literal, Self, Sequence
 
 import numpy as np
 
@@ -87,10 +87,10 @@ class ColumnSpec:
         return self.csv_name if self.csv_name is not None else self.name
 
     @property
-    def dtype(self):
+    def dtype(self) -> type:
         return _COLUMN_DTYPES[self.kind]
 
-    def to_cell(self, value) -> str | int:
+    def to_cell(self, value: Any) -> str | int:
         """Serialise one array element for a csv data row."""
         if self.kind == "float":
             return repr(float(value))
@@ -98,7 +98,7 @@ class ColumnSpec:
             return str(value)
         return int(value)
 
-    def from_cell(self, cell: str):
+    def from_cell(self, cell: str) -> float | int | bool | str:
         """Parse one csv cell back into a python value for the column."""
         if self.kind == "float":
             return float(cell)
@@ -194,7 +194,7 @@ class ColumnarBlock:
         np.savez_compressed(path, **members)
 
     @classmethod
-    def load_npz(cls, path: Path):
+    def load_npz(cls, path: Path) -> Self:
         schema = cls._SCHEMA
         try:
             with np.load(path) as data:
@@ -219,7 +219,7 @@ class ColumnarBlock:
                                 + [spec.to_cell(array[index]) for spec, array in columns])
 
     @classmethod
-    def load_csv(cls, path: Path):
+    def load_csv(cls, path: Path) -> Self:
         schema = cls._SCHEMA
         scalars = {spec.name: "" for spec in schema.scalars}
         columns: dict[str, list] = {spec.name: [] for spec in schema.columns}
@@ -305,7 +305,7 @@ class RecordSink(ABC):
     """
 
     @abstractmethod
-    def append(self, block) -> None:
+    def append(self, block: "ColumnarBlock") -> None:
         """Accept the next chunk of outcome rows."""
 
     @abstractmethod
@@ -325,7 +325,7 @@ class MemoryRecordSink(RecordSink):
         self._blocks: list = []
         self._rows = 0
 
-    def append(self, block) -> None:
+    def append(self, block: "ColumnarBlock") -> None:
         self._blocks.append(block)
         self._rows += len(block)
 
@@ -417,12 +417,12 @@ class SpillingRecordSink(RecordSink):
         with path.open() as handle:
             return max(sum(1 for line in handle if not line.startswith("#")) - 1, 0)
 
-    def _load(self, path: Path):
+    def _load(self, path: Path) -> "ColumnarBlock":
         cls = self._resolve_type()
         loader = getattr(cls, f"load_{self.fmt}")
         return loader(path)
 
-    def append(self, block) -> None:
+    def append(self, block: "ColumnarBlock") -> None:
         if self._block_type is None:
             self._block_type = self._sniff_type(self._files[0]) if self._files \
                 else type(block)

@@ -11,7 +11,7 @@ All generators return :class:`repro.signals.TimeSeries` instances.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 
@@ -144,7 +144,7 @@ def band_limited_noise(max_frequency: float, duration: float, sampling_rate: flo
         raise ValueError("max_frequency must be positive")
     if max_frequency > sampling_rate / 2:
         raise ValueError("max_frequency must not exceed sampling_rate / 2")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     times, interval = _time_axis(duration, sampling_rate)
     n = times.shape[0]
     freqs = np.fft.rfftfreq(n, d=interval)
@@ -165,7 +165,7 @@ def random_walk(duration: float, sampling_rate: float, step_std: float = 1.0,
                 start: float = 0.0, rng: np.random.Generator | None = None,
                 name: str = "random_walk") -> TimeSeries:
     """A Gaussian random walk (a 1/f^2-style signal, mostly low frequency)."""
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     times, interval = _time_axis(duration, sampling_rate)
     steps = rng.normal(scale=step_std, size=times.shape[0])
     values = start + np.cumsum(steps)

@@ -32,7 +32,7 @@ def white_noise(duration: float, sampling_rate: float, std: float = 1.0,
         raise ValueError("duration and sampling_rate must be positive")
     if std < 0:
         raise ValueError("std must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     n = max(int(round(duration * sampling_rate)), 1)
     values = rng.normal(loc=mean, scale=std, size=n)
     return TimeSeries(values, 1.0 / sampling_rate, name=name)
@@ -45,7 +45,7 @@ def add_white_noise(series: TimeSeries, std: float,
         raise ValueError("std must be non-negative")
     if std == 0 or len(series) == 0:
         return series
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     noisy = series.values + rng.normal(scale=std, size=len(series))
     return series.with_values(noisy)
 
@@ -78,7 +78,7 @@ def pink_noise(duration: float, sampling_rate: float, std: float = 1.0,
     """
     if duration <= 0 or sampling_rate <= 0:
         raise ValueError("duration and sampling_rate must be positive")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     n = max(int(round(duration * sampling_rate)), 1)
     white = rng.normal(size=n)
     spectrum = np.fft.rfft(white)

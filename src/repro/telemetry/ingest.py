@@ -63,7 +63,7 @@ import math
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Literal, Sequence
+from typing import Any, Iterator, Literal, Sequence
 
 import numpy as np
 
@@ -159,7 +159,7 @@ class RawUpdate:
         return (self.metric, self.device)
 
 
-def _require_number(raw, what: str, path: Path, line_number: int) -> float:
+def _require_number(raw: object, what: str, path: Path, line_number: int) -> float:
     if isinstance(raw, bool) or not isinstance(raw, (int, float)):
         raise ValueError(f"{path}, line {line_number}: {what} must be a number, "
                          f"got {raw!r}")
@@ -170,7 +170,7 @@ def _require_number(raw, what: str, path: Path, line_number: int) -> float:
     return value
 
 
-def _require_name(raw, what: str, path: Path, line_number: int) -> str:
+def _require_name(raw: object, what: str, path: Path, line_number: int) -> str:
     if not isinstance(raw, str) or not raw.strip():
         raise ValueError(f"{path}, line {line_number}: {what} must be a non-empty "
                          f"string, got {raw!r}")
@@ -292,7 +292,7 @@ def sniff_format(path: Path | str) -> str:
         return SNMP_FORMAT
     raise ValueError(
         f"{path}: unrecognised export format (line 1: {stripped[:80]!r}); expected "
-        f"gNMI JSON-lines updates or an SNMP 'timestamp,device,<metric...>' CSV "
+        "gNMI JSON-lines updates or an SNMP 'timestamp,device,<metric...>' CSV "
         f"header -- pass an explicit format ({', '.join(EXPORT_FORMATS)})")
 
 
@@ -438,7 +438,7 @@ class PairAccumulator:
     def __enter__(self) -> "PairAccumulator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -644,7 +644,8 @@ def export_gnmi_dump(source: TraceSource, path: Path | str,
     path = Path(path)
     metric_names = list(metrics) if metrics is not None else source.metric_names()
 
-    def pair_stream(order: int, pair, trace: TimeSeries):
+    def pair_stream(order: int, pair: Any,
+                    trace: TimeSeries) -> Iterator[tuple[float, int, str]]:
         # json.dumps on str adds the quotes/escaping once per pair; the
         # per-line payload is assembled with repr floats (exact round trip).
         device_json = json.dumps(pair.key[1])
@@ -687,7 +688,9 @@ def export_snmp_dump(source: TraceSource, path: Path | str,
         writer = csv.writer(handle)
         writer.writerow(["timestamp", "device"]
                         + [path_for_metric(name) for name in metric_names])
-        for device, traces in by_device.items():
+        # Canonical device order: dump bytes depend on the trace *set*,
+        # not on the metric-major order the traces were gathered in.
+        for device, traces in sorted(by_device.items()):
             cells: dict[float, list[str]] = {}
             for column, metric_name in enumerate(metric_names):
                 trace = traces.get(metric_name)

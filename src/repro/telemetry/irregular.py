@@ -25,7 +25,7 @@ def add_timing_jitter(series: TimeSeries, jitter_std: float,
     """
     if jitter_std < 0:
         raise ValueError("jitter_std must be non-negative")
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     times = series.times()
     if jitter_std > 0 and len(series):
         limit = 0.45 * series.interval
@@ -45,7 +45,7 @@ def drop_samples(series: IrregularTimeSeries, drop_fraction: float,
         raise ValueError("drop_fraction must be in [0, 1)")
     if drop_fraction == 0 or len(series) <= 2:
         return series
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     keep = rng.random(len(series)) >= drop_fraction
     keep[0] = True
     keep[-1] = True
@@ -59,7 +59,7 @@ def duplicate_samples(series: IrregularTimeSeries, duplicate_fraction: float,
         raise ValueError("duplicate_fraction must be in [0, 1)")
     if duplicate_fraction == 0 or len(series) == 0:
         return series
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     mask = rng.random(len(series)) < duplicate_fraction
     timestamps = np.concatenate([series.timestamps, series.timestamps[mask]])
     values = np.concatenate([series.values, series.values[mask]])
@@ -73,7 +73,7 @@ def make_irregular(series: TimeSeries, jitter_std: float | None = None,
 
     ``jitter_std`` defaults to 10 % of the polling interval.
     """
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng(0)
     jitter = jitter_std if jitter_std is not None else 0.1 * series.interval
     irregular = add_timing_jitter(series, jitter, rng=rng)
     irregular = drop_samples(irregular, drop_fraction, rng=rng)

@@ -38,7 +38,7 @@ import json
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Literal, Sequence
+from typing import Literal
 
 import numpy as np
 
@@ -167,7 +167,8 @@ def _load_trace_csv(path: Path, interval: float) -> tuple[np.ndarray, float, flo
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None:
-            raise ValueError("missing timestamp,value header")
+            raise ValueError(f"trace file {path} is empty: missing "
+                             "timestamp,value header")
         for row in reader:
             timestamps.append(float(row[0]))
             values.append(float(row[1]))

@@ -21,7 +21,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator, Literal, Protocol, Sequence, runtime_checkable
+from typing import (TYPE_CHECKING, Any, Iterator, Literal, Protocol, Sequence,
+                    runtime_checkable)
 
 import numpy as np
 
@@ -91,7 +92,7 @@ class TraceSource(Protocol):
 
     def metric_names(self) -> list[str]: ...
 
-    def load(self, pair) -> TimeSeries: ...
+    def load(self, pair: Any) -> TimeSeries: ...
 
     def traces(self, metric_name: str | None = None, limit: int | None = None,
                offset: int = 0) -> Iterator[tuple[object, TimeSeries]]: ...
@@ -123,7 +124,7 @@ class BaseTraceSource(ABC):
         """Metrics included in this source, in survey order."""
 
     @abstractmethod
-    def load(self, pair) -> TimeSeries:
+    def load(self, pair: Any) -> TimeSeries:
         """Produce the trace for one pair."""
 
     @property

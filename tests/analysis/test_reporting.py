@@ -8,7 +8,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.analysis.reporting import (BoxStats, ascii_bar_chart, ascii_cdf, box_stats, cdf_at,
+from repro.analysis.reporting import (ascii_bar_chart, ascii_cdf, box_stats, cdf_at,
                                       empirical_cdf, format_table, write_csv)
 
 

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.analysis.survey import (MemoryRecordSink, PairCategory, RecordBlock,
+from repro.analysis.survey import (PairCategory, RecordBlock,
                                    SpillingRecordSink, SurveyResult, run_survey,
                                    run_windowed_survey)
 from repro.core.nyquist import DEFAULT_ALIASED_BAND_FRACTION, NyquistEstimator

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.core.adaptive import (AdaptiveSamplingController, ControllerConfig, ControllerMode,
                                  adaptive_sample)
-from repro.signals.generators import multi_tone, sine
+from repro.signals.generators import multi_tone
 from repro.signals.noise import add_white_noise
 from repro.signals.timeseries import TimeSeries
 

@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.nyquist import (ALIASED_SENTINEL, NyquistEstimator, estimate_nyquist_rate,
                                 oversampling_ratio)
-from repro.signals.generators import band_limited_noise, constant, multi_tone, sine
+from repro.signals.generators import band_limited_noise, constant, sine
 from repro.signals.noise import add_white_noise, white_noise
 from repro.signals.timeseries import IrregularTimeSeries, TimeSeries
 

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.psd import periodogram, power_spectrum, welch_psd, window_coefficients
-from repro.signals.generators import constant, multi_tone, sine
+from repro.signals.generators import constant, sine
 from repro.signals.timeseries import TimeSeries
 
 

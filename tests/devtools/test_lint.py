@@ -1,0 +1,405 @@
+"""Self-tests of ``repro-lint``: every rule fires, passes and suppresses.
+
+Three layers:
+
+* **Fixture matrix** -- for each syntactic rule (RL001-RL004, RL006) a
+  minimal snippet that violates it, a minimal snippet that satisfies it,
+  and the violating snippet with a ``# repro-lint: disable=RLxxx``
+  comment on the offending line.  Snippets are linted under *virtual*
+  repo-relative paths so the zone scoping (library vs CLI vs IO module
+  vs record module) is exercised exactly as on disk.
+* **RL005 introspection** -- deliberately broken block classes handed to
+  :func:`~repro.devtools.lint.check_block_schemas` directly.
+* **End to end** -- the analyser over this repository's own ``src/``,
+  ``tests/``, ``benchmarks/`` and ``examples/`` trees reports *zero*
+  violations, and the ``main()`` entry point exits 0/1/2 as documented.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (DEFAULT_ROOTS, RULES, Violation,
+                                 check_block_schemas, find_repo_root,
+                                 lint_paths, lint_sources, main,
+                                 rule_catalogue)
+from repro.analysis.survey import RecordBlock
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+LIBRARY = "src/repro/core/fixture.py"
+IO_MODULE = "src/repro/records.py"
+RECORD_MODULE = "src/repro/analysis/survey.py"
+TEST_ZONE = "tests/core/test_fixture.py"
+
+
+def rule_ids(violations: list[Violation]) -> list[str]:
+    return [violation.rule for violation in violations]
+
+
+# ----------------------------------------------------------------------
+# Fixture matrix: one (rule, path, bad, good) case per behaviour
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Case:
+    label: str
+    rule: str
+    path: str
+    bad: str
+    good: str
+
+
+CASES = [
+    Case("legacy-global-rng", "RL001", LIBRARY,
+         bad="import numpy as np\nx = np.random.normal(size=3)\n",
+         good="import numpy as np\nrng = np.random.default_rng(7)\n"
+              "x = rng.normal(size=3)\n"),
+    Case("argless-default-rng", "RL001", TEST_ZONE,
+         bad="import numpy as np\nrng = np.random.default_rng()\n",
+         good="import numpy as np\nrng = np.random.default_rng(0)\n"),
+    Case("none-seed-is-unseeded", "RL001", LIBRARY,
+         bad="from numpy.random import default_rng\nrng = default_rng(None)\n",
+         good="from numpy.random import default_rng\nrng = default_rng(42)\n"),
+    Case("stdlib-module-rng", "RL001", TEST_ZONE,
+         bad="import random\nx = random.random()\n",
+         good="import random\nr = random.Random(13)\nx = r.random()\n"),
+    Case("argless-random-instance", "RL001", TEST_ZONE,
+         bad="import random\nr = random.Random()\n",
+         good="import random\nr = random.Random(13)\n"),
+    Case("wallclock-time", "RL002", LIBRARY,
+         bad="import time\n\ndef f() -> float:\n    return time.time()\n",
+         good="def f(now: float) -> float:\n    return now\n"),
+    Case("wallclock-datetime-alias", "RL002", LIBRARY,
+         bad="from datetime import datetime\nstamp = datetime.now()\n",
+         good="from datetime import datetime\n"
+              "stamp = datetime.fromtimestamp(0.0)\n"),
+    Case("bare-except", "RL003", TEST_ZONE,
+         bad="try:\n    x = 1\nexcept:\n    x = 2\n",
+         good="try:\n    x = 1\nexcept ValueError:\n    x = 2\n"),
+    Case("swallowed-exception", "RL003", LIBRARY,
+         bad="try:\n    x = 1\nexcept Exception:\n    pass\n",
+         good="try:\n    x = 1\nexcept Exception as error:\n"
+              "    raise RuntimeError('wrapped') from error\n"),
+    Case("content-error-names-no-path", "RL003", IO_MODULE,
+         bad="def f(path):\n"
+             "    raise ValueError('corrupt record file: bad magic')\n",
+         good="def f(path):\n"
+              "    raise ValueError(f'corrupt record file {path}: bad magic')\n"),
+    Case("lambda-in-worker-spec", "RL004", "src/repro/telemetry/fixture.py",
+         bad="class Spec:\n"
+             "    def __init__(self):\n"
+             "        self.loader = lambda: 1\n"
+             "\n"
+             "class Source:\n"
+             "    def worker_spec(self) -> Spec:\n"
+             "        return Spec()\n",
+         good="class Spec:\n"
+              "    def __init__(self, path):\n"
+              "        self.path = path\n"
+              "\n"
+              "class Source:\n"
+              "    def worker_spec(self) -> Spec:\n"
+              "        return Spec('x')\n"),
+    Case("open-handle-in-worker-spec", "RL004", "src/repro/telemetry/fixture.py",
+         bad="class Spec:\n"
+             "    def __init__(self, path):\n"
+             "        self.handle = open(path)\n"
+             "\n"
+             "def worker_spec() -> Spec:\n"
+             "    return Spec('x')\n",
+         good="class Spec:\n"
+              "    def __init__(self, path):\n"
+              "        self.path = path\n"
+              "\n"
+              "def worker_spec() -> Spec:\n"
+              "    return Spec('x')\n"),
+    Case("closure-in-worker-spec", "RL004", "src/repro/telemetry/fixture.py",
+         bad="class Spec:\n"
+             "    def __init__(self):\n"
+             "        def loader():\n"
+             "            return 1\n"
+             "        self.loader = loader\n"
+             "\n"
+             "def worker_spec() -> Spec:\n"
+             "    return Spec()\n",
+         good="def loader():\n"
+              "    return 1\n"
+              "\n"
+              "class Spec:\n"
+              "    def __init__(self):\n"
+              "        self.loader = loader\n"
+              "\n"
+              "def worker_spec() -> Spec:\n"
+              "    return Spec()\n"),
+    Case("frozen-spec-setattr-lambda", "RL004", "src/repro/telemetry/fixture.py",
+         bad="class Spec:\n"
+             "    def __init__(self):\n"
+             "        object.__setattr__(self, 'fn', lambda: 1)\n"
+             "\n"
+             "def worker_spec() -> Spec:\n"
+             "    return Spec()\n",
+         good="class Spec:\n"
+              "    def __init__(self):\n"
+              "        object.__setattr__(self, 'fn', None)\n"
+              "\n"
+              "def worker_spec() -> Spec:\n"
+              "    return Spec()\n"),
+    Case("accumulator-insertion-order", "RL006", RECORD_MODULE,
+         bad="def f(items):\n"
+             "    acc = {}\n"
+             "    for key, value in items:\n"
+             "        acc[key] = value\n"
+             "    return [acc[key] for key in acc]\n",
+         good="def f(items):\n"
+              "    acc = {}\n"
+              "    for key, value in items:\n"
+              "        acc[key] = value\n"
+              "    return [acc[key] for key in sorted(acc)]\n"),
+    Case("accumulator-items-view", "RL006", RECORD_MODULE,
+         bad="def f(items):\n"
+             "    acc = dict()\n"
+             "    for key, value in items:\n"
+             "        acc[key] = value\n"
+             "    out = []\n"
+             "    for key, value in acc.items():\n"
+             "        out.append((key, value))\n"
+             "    return out\n",
+         good="def f(items):\n"
+              "    acc = dict()\n"
+              "    for key, value in items:\n"
+              "        acc[key] = value\n"
+              "    out = []\n"
+              "    for key, value in sorted(acc.items()):\n"
+              "        out.append((key, value))\n"
+              "    return out\n"),
+    Case("set-iteration", "RL006", RECORD_MODULE,
+         bad="def f(values):\n"
+             "    return [value for value in set(values)]\n",
+         good="def f(values):\n"
+              "    return [value for value in sorted(set(values))]\n"),
+]
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.label)
+def test_rule_fires_on_violation(case: Case) -> None:
+    violations = lint_sources({case.path: case.bad})
+    assert case.rule in rule_ids(violations), \
+        f"{case.label}: expected {case.rule} on\n{case.bad}"
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.label)
+def test_rule_passes_on_clean_code(case: Case) -> None:
+    violations = lint_sources({case.path: case.good})
+    assert case.rule not in rule_ids(violations), \
+        f"{case.label}: unexpected {case.rule} on\n{case.good}\n" \
+        + "\n".join(v.render() for v in violations)
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda case: case.label)
+def test_line_suppression_silences_the_rule(case: Case) -> None:
+    fired = lint_sources({case.path: case.bad})
+    lines = case.bad.splitlines()
+    for violation in fired:
+        if violation.rule == case.rule:
+            index = violation.line - 1
+            lines[index] += f"  # repro-lint: disable={case.rule}"
+    suppressed = lint_sources({case.path: "\n".join(lines) + "\n"})
+    assert case.rule not in rule_ids(suppressed)
+
+
+def test_bare_disable_suppresses_all_rules() -> None:
+    source = ("import numpy as np\n"
+              "x = np.random.normal(size=3)  # repro-lint: disable\n")
+    assert lint_sources({LIBRARY: source}) == []
+
+
+def test_suppression_is_per_rule() -> None:
+    # Disabling RL002 must not hide the RL001 violation on the same line.
+    source = ("import numpy as np\n"
+              "x = np.random.normal(size=3)  # repro-lint: disable=RL002\n")
+    assert rule_ids(lint_sources({LIBRARY: source})) == ["RL001"]
+
+
+# ----------------------------------------------------------------------
+# Zone scoping: the same snippet means different things in different trees
+# ----------------------------------------------------------------------
+WALLCLOCK = "import time\nstamp = time.time()\n"
+
+
+@pytest.mark.parametrize("path", ["src/repro/cli.py", "benchmarks/bench_x.py",
+                                  "examples/demo.py", TEST_ZONE,
+                                  "src/repro/devtools/lint.py"])
+def test_wallclock_allowed_outside_library(path: str) -> None:
+    assert lint_sources({path: WALLCLOCK}) == []
+
+
+def test_wallclock_rejected_in_library() -> None:
+    assert rule_ids(lint_sources({LIBRARY: WALLCLOCK})) == ["RL002"]
+
+
+def test_content_error_rule_scopes_to_io_modules() -> None:
+    raise_stmt = "raise ValueError('corrupt record file: bad magic')\n"
+    assert rule_ids(lint_sources({IO_MODULE: raise_stmt})) == ["RL003"]
+    assert lint_sources({LIBRARY: raise_stmt}) == []
+
+
+def test_iteration_rule_scopes_to_record_modules() -> None:
+    snippet = CASES[-1].bad  # set-iteration
+    assert lint_sources({LIBRARY: snippet}) == []
+    assert lint_sources({TEST_ZONE: snippet}) == []
+
+
+def test_iteration_rule_respects_function_scopes() -> None:
+    # The accumulator lives in the outer scope; the inner function iterates
+    # its *own* parameter, which the analyser must not conflate with it.
+    source = ("def outer(items):\n"
+              "    acc = {}\n"
+              "    def inner(rows):\n"
+              "        return [row for row in rows]\n"
+              "    return inner(sorted(acc))\n")
+    assert lint_sources({RECORD_MODULE: source}) == []
+
+
+def test_seeded_constructors_pass_everywhere() -> None:
+    source = ("import numpy as np\n"
+              "rng = np.random.Generator(np.random.PCG64(11))\n"
+              "seq = np.random.SeedSequence(5)\n")
+    assert lint_sources({LIBRARY: source}) == []
+
+
+def test_worker_spec_names_resolve_across_files() -> None:
+    # worker_spec() lives in one module, the (broken) spec class in another.
+    spec = "class RemoteSpec:\n    fn = lambda: 1\n"
+    source = ("from .fixture import RemoteSpec\n"
+              "def worker_spec() -> RemoteSpec:\n"
+              "    return RemoteSpec()\n")
+    violations = lint_sources({
+        "src/repro/telemetry/fixture.py": spec,
+        "src/repro/telemetry/source2.py": source,
+    })
+    assert rule_ids(violations) == ["RL004"]
+
+
+# ----------------------------------------------------------------------
+# RL005: introspective schema completeness
+# ----------------------------------------------------------------------
+def test_rl005_passes_on_real_block_types() -> None:
+    assert check_block_schemas() == []
+
+
+def test_rl005_missing_schema() -> None:
+    class NoSchema:
+        pass
+
+    violations = check_block_schemas(block_classes=[NoSchema])
+    assert rule_ids(violations) == ["RL005"]
+    assert "no _SCHEMA" in violations[0].message
+
+
+def test_rl005_not_a_dataclass() -> None:
+    class NotADataclass:
+        _SCHEMA = RecordBlock._SCHEMA
+
+    violations = check_block_schemas(block_classes=[NotADataclass])
+    assert rule_ids(violations) == ["RL005"]
+    assert "not a dataclass" in violations[0].message
+
+
+def test_rl005_field_schema_drift() -> None:
+    @dataclasses.dataclass
+    class Drifted:
+        _SCHEMA = RecordBlock._SCHEMA
+        metric_name: str  # the real schema has many more members
+
+    violations = check_block_schemas(block_classes=[Drifted])
+    assert rule_ids(violations) == ["RL005"]
+    assert "do not match" in violations[0].message
+
+
+def test_rl005_registered_real_class_is_clean() -> None:
+    assert check_block_schemas(block_classes=[RecordBlock]) == []
+
+
+# ----------------------------------------------------------------------
+# Catalogue, rendering, entry point, end to end
+# ----------------------------------------------------------------------
+def test_rule_catalogue_lists_all_six_rules() -> None:
+    triples = rule_catalogue()
+    assert [rule_id for rule_id, _, _ in triples] == [
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    assert {rule.id for rule in RULES} == set(
+        rule_id for rule_id, _, _ in triples) - {"RL005"}
+    for _, name, rationale in triples:
+        assert name and rationale
+
+
+def test_violation_render_format() -> None:
+    violation = Violation(rule="RL001", path="src/repro/x.py", line=3, col=4,
+                          message="boom")
+    assert violation.render() == "src/repro/x.py:3:4: RL001 boom"
+
+
+def test_find_repo_root_walks_up_to_pyproject() -> None:
+    assert find_repo_root(REPO_ROOT / "src" / "repro") == REPO_ROOT
+    with pytest.raises(ValueError, match="pyproject.toml"):
+        find_repo_root(Path("/nonexistent/deeply/nested"))
+
+
+def test_main_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in out
+
+
+def test_main_reports_violations_with_exit_1(
+        tmp_path: Path, capsys: pytest.CaptureFixture[str]) -> None:
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import numpy as np\nx = np.random.normal(size=3)\n")
+    code = main(["--root", str(tmp_path), "--no-import-checks",
+                 str(tmp_path / "src")])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "src/repro/core/bad.py:2:4: RL001" in captured.out
+    assert "1 violation(s)" in captured.err
+
+
+def test_main_select_narrows_rules(tmp_path: Path,
+                                   capsys: pytest.CaptureFixture[str]) -> None:
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\nimport numpy as np\n"
+                   "x = np.random.normal(size=3)\nstamp = time.time()\n")
+    code = main(["--root", str(tmp_path), "--no-import-checks",
+                 "--select", "RL002", str(tmp_path / "src")])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "RL002" in captured.out and "RL001" not in captured.out
+
+
+def test_main_rejects_non_python_path(tmp_path: Path,
+                                      capsys: pytest.CaptureFixture[str]) -> None:
+    (tmp_path / "pyproject.toml").write_text("[project]\n")
+    (tmp_path / "notes.txt").write_text("hello\n")
+    code = main(["--root", str(tmp_path), str(tmp_path / "notes.txt")])
+    assert code == 2
+    assert "not a python file" in capsys.readouterr().err
+
+
+def test_repository_is_clean_end_to_end(
+        capsys: pytest.CaptureFixture[str]) -> None:
+    paths = [str(REPO_ROOT / part) for part in DEFAULT_ROOTS
+             if (REPO_ROOT / part).is_dir()]
+    assert main(["--root", str(REPO_ROOT), *paths]) == 0, \
+        capsys.readouterr().out
+
+
+def test_lint_paths_on_single_file() -> None:
+    target = REPO_ROOT / "src" / "repro" / "devtools" / "lint.py"
+    assert lint_paths([target], root=REPO_ROOT, import_checks=False) == []

@@ -27,7 +27,7 @@ import pytest
 from repro.analysis.survey import run_survey
 from repro.cli import main
 from repro.telemetry.dataset import DatasetConfig, FleetDataset
-from repro.telemetry.ingest import (EXPORT_FORMATS, GNMI_FORMAT, METRIC_PATHS,
+from repro.telemetry.ingest import (GNMI_FORMAT, METRIC_PATHS,
                                     SNMP_FORMAT, PairAccumulator, ingest_dump,
                                     metric_from_path, open_export, sniff_format)
 from repro.telemetry.measured import MeasuredFleetDataset

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.nyquist import estimate_nyquist_rate
-from repro.telemetry.metrics import METRIC_CATALOG, MetricFamily
+from repro.telemetry.metrics import METRIC_CATALOG
 from repro.telemetry.models import generate_trace
 from repro.telemetry.models.common import (band_limited_component, broadband_component,
                                            diurnal_component, time_grid)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.survey import run_survey
 from repro.core import (AdaptiveSamplingController, ControllerConfig, compare,
@@ -13,7 +12,7 @@ from repro.network import (MonitoringDeployment, TelemetryCostAccountant, Topolo
                            attach_collector, build_leaf_spine)
 from repro.pipeline import (CostQualityEvaluator, EventKind, FixedRatePolicy,
                             NyquistStaticPolicy, inject_event)
-from repro.telemetry import DatasetConfig, FleetDataset, METRIC_CATALOG
+from repro.telemetry import METRIC_CATALOG
 from repro.telemetry.models import generate_trace
 from repro.telemetry.profiles import DeviceProfile, DeviceRole, draw_metric_parameters
 
