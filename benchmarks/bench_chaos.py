@@ -1,0 +1,195 @@
+"""Seeded chaos drill: quarantine survival across the fault matrix.
+
+Every run injects a :class:`~repro.faults.FaultPlan` into the survey and
+ingest pipelines and measures what ``on_error="quarantine"`` salvages:
+
+* **survey fault matrix** -- one quarantined fleet survey per fault kind
+  (corrupt/truncated trace files raise and are quarantined; counter
+  wraps, device reboots and blackouts degrade data but must not cost a
+  record).  Asserts every injected fault is accounted for exactly once
+  and every healthy pair's record is bit-identical to the clean run.
+* **transient IO errors** -- ``io-error`` pairs fail their first open;
+  the bounded retry must recover all of them (zero quarantined).
+* **worker crash** -- a pool worker hard-exits on a chosen batch slice;
+  the rebuilt pool must finish with records byte-identical to a clean
+  multi-worker run (no loss, no duplicates).
+* **malformed dump lines** -- every Nth line of a gNMI export is
+  mangled; quarantined ingest must drop exactly those lines and record
+  their provenance.
+
+Sizes via ``REPRO_BENCH_CHAOS_PAIRS`` (default 196 pairs),
+``REPRO_BENCH_CHAOS_FRACTION`` (default 0.05, the paper-scale ~5% fault
+rate) and ``REPRO_BENCH_CHAOS_SEED``; the CI smoke job shrinks the fleet
+to stay inside its time budget.  Numbers land in
+``benchmarks/output/BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.survey import run_survey
+from repro.faults import (DATA_FAULT_KINDS, FaultInjectingTraceSource, FaultPlan,
+                          corrupt_dump_lines)
+from repro.records import MemoryRecordSink
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+from repro.telemetry.ingest import export_gnmi_dump, ingest_dump
+
+from conftest import BENCH_CHAOS_JSON, update_bench_json
+
+#: Fleet size of the chaos drills (kept below the survey bench's default:
+#: each fault kind re-runs the whole survey).
+CHAOS_PAIRS = int(os.environ.get("REPRO_BENCH_CHAOS_PAIRS", "196"))
+
+#: Fraction of pairs afflicted -- the acceptance scenario is ~5%.
+CHAOS_FRACTION = float(os.environ.get("REPRO_BENCH_CHAOS_FRACTION", "0.05"))
+
+#: Master seed of every fault plan in the matrix.
+CHAOS_SEED = int(os.environ.get("REPRO_BENCH_CHAOS_SEED", "7"))
+
+#: Survey batch size; small enough that crash/retry drills span slices.
+CHAOS_CHUNK = int(os.environ.get("REPRO_BENCH_CHAOS_CHUNK", "8"))
+
+
+def _fleet() -> FleetDataset:
+    return FleetDataset(DatasetConfig(pair_count=CHAOS_PAIRS, seed=CHAOS_SEED))
+
+
+def _clean_records(dataset) -> dict:
+    return {(r.metric_name, r.device_id): r
+            for r in run_survey(dataset, chunk_size=CHAOS_CHUNK).records}
+
+
+def _assert_healthy_records_identical(records, clean, faulty_keys) -> None:
+    for record in records:
+        key = (record.metric_name, record.device_id)
+        if key in faulty_keys:
+            continue
+        twin = clean[key]
+        assert record.category is twin.category
+        for field in ("current_rate", "nyquist_rate", "reduction_ratio",
+                      "true_nyquist_rate"):
+            assert np.array_equal(getattr(record, field), getattr(twin, field),
+                                  equal_nan=True), (key, field)
+
+
+def test_survey_quarantine_fault_matrix(output_dir):
+    dataset = _fleet()
+    clean = _clean_records(dataset)
+    matrix = {}
+    for kind in ("corrupt-trace", "truncated-trace") + DATA_FAULT_KINDS:
+        plan = FaultPlan(seed=CHAOS_SEED, fraction=CHAOS_FRACTION, kinds=(kind,))
+        faulty_keys = {pair.key for pair in dataset.pairs()
+                       if plan.affects(*pair.key)}
+        assert faulty_keys, f"seeded plan injected no {kind} faults; enlarge fleet"
+        chaotic = FaultInjectingTraceSource(dataset, plan)
+        start = time.perf_counter()
+        result = run_survey(chaotic, chunk_size=CHAOS_CHUNK,
+                            on_error="quarantine")
+        seconds = time.perf_counter() - start
+        raising = kind in ("corrupt-trace", "truncated-trace")
+        expected_quarantined = len(faulty_keys) if raising else 0
+        # Every fault accounted for exactly once; data faults cost nothing.
+        assert result.quarantined_count == expected_quarantined, kind
+        assert len(result) == len(clean) - expected_quarantined, kind
+        if raising:
+            assert {(f.metric_name, f.device_id)
+                    for f in result.quarantined} == faulty_keys, kind
+        _assert_healthy_records_identical(result.records, clean, faulty_keys)
+        matrix[kind] = {
+            "faulty_pairs": len(faulty_keys),
+            "quarantined_pairs": result.quarantined_count,
+            "surviving_records": len(result),
+            "survey_seconds": seconds,
+        }
+    update_bench_json("survey_fault_matrix", {
+        "pairs": CHAOS_PAIRS, "fraction": CHAOS_FRACTION, "seed": CHAOS_SEED,
+        "kinds": matrix,
+    }, path=BENCH_CHAOS_JSON)
+    print(f"\n=== survey fault matrix ({CHAOS_PAIRS} pairs, "
+          f"{CHAOS_FRACTION:.0%} faulty) ===")
+    print(format_table([{"kind": kind, **stats}
+                        for kind, stats in matrix.items()]))
+
+
+def test_transient_io_errors_recovered_by_retry(output_dir, tmp_path):
+    dataset = _fleet()
+    clean = _clean_records(dataset)
+    plan = FaultPlan(seed=CHAOS_SEED, fraction=CHAOS_FRACTION,
+                     kinds=("io-error",), io_error_opens=1,
+                     state_dir=str(tmp_path / "state"))
+    faulty = sum(plan.affects(*pair.key) for pair in dataset.pairs())
+    assert faulty, "seeded plan injected no io-error faults; enlarge fleet"
+    chaotic = FaultInjectingTraceSource(dataset, plan)
+    start = time.perf_counter()
+    result = run_survey(chaotic, chunk_size=CHAOS_CHUNK, on_error="quarantine",
+                        retry_sleep=lambda delay: None)
+    seconds = time.perf_counter() - start
+    # One transient failure per pair, all inside the retry budget.
+    assert result.quarantined_count == 0
+    assert len(result) == len(clean)
+    _assert_healthy_records_identical(result.records, clean, set())
+    update_bench_json("transient_io_retry", {
+        "pairs": CHAOS_PAIRS, "faulty_pairs": faulty,
+        "quarantined_pairs": 0, "survey_seconds": seconds,
+    }, path=BENCH_CHAOS_JSON)
+    print(f"\n=== transient io-error retry: {faulty} faulty pairs, "
+          f"all recovered in {seconds:.2f}s ===")
+
+
+def test_worker_crash_recovery(output_dir, tmp_path):
+    dataset = _fleet()
+    metric = dataset.metric_names()[0]
+    plan = FaultPlan(seed=CHAOS_SEED, fraction=0.0,
+                     crash_slices=((metric, 0),),
+                     state_dir=str(tmp_path / "state"))
+    chaotic = FaultInjectingTraceSource(dataset, plan)
+    start = time.perf_counter()
+    crashed = run_survey(chaotic, chunk_size=CHAOS_CHUNK, workers=2,
+                         on_error="quarantine", retry_sleep=lambda delay: None)
+    seconds = time.perf_counter() - start
+    clean = run_survey(dataset, chunk_size=CHAOS_CHUNK, workers=2)
+    assert crashed.quarantined_count == 0
+    assert len(crashed) == len(clean)
+    # No loss, no duplicates: block streams byte-identical.
+    for mine, theirs in zip(crashed.iter_blocks(), clean.iter_blocks()):
+        assert mine.metric_name == theirs.metric_name
+        assert np.array_equal(mine.device_ids, theirs.device_ids)
+        assert np.array_equal(mine.nyquist_rate, theirs.nyquist_rate,
+                              equal_nan=True)
+    update_bench_json("worker_crash", {
+        "pairs": CHAOS_PAIRS, "crash_slices": 1,
+        "quarantined_pairs": 0, "survey_seconds": seconds,
+    }, path=BENCH_CHAOS_JSON)
+    print(f"\n=== worker crash drill: pool rebuilt, run completed in "
+          f"{seconds:.2f}s ===")
+
+
+def test_ingest_quarantines_malformed_lines(output_dir, tmp_path):
+    fleet = FleetDataset(DatasetConfig(
+        pair_count=min(CHAOS_PAIRS, 56), seed=CHAOS_SEED,
+        trace_duration=7200.0))
+    dump = export_gnmi_dump(fleet, tmp_path / "fleet.jsonl")
+    dirty = tmp_path / "dirty.jsonl"
+    plan = FaultPlan(seed=CHAOS_SEED, malformed_line_every=101)
+    mangled = corrupt_dump_lines(dump, dirty, plan)
+    assert mangled, "dump too small to mangle; enlarge fleet"
+    sink = MemoryRecordSink()
+    start = time.perf_counter()
+    ingest_dump(dirty, tmp_path / "ingested", on_error="quarantine",
+                failure_sink=sink)
+    seconds = time.perf_counter() - start
+    failures = [f for block in sink.blocks() for f in block.failures()]
+    assert [int(f.provenance.rsplit(":", 1)[1]) for f in failures] == mangled
+    with dirty.open() as handle:
+        lines = sum(1 for _ in handle)
+    update_bench_json("ingest_malformed_lines", {
+        "dump_lines": lines, "mangled_lines": len(mangled),
+        "quarantined_lines": len(failures), "ingest_seconds": seconds,
+    }, path=BENCH_CHAOS_JSON)
+    print(f"\n=== quarantined ingest: {len(mangled)}/{lines} lines dropped "
+          f"in {seconds:.2f}s ===")

@@ -39,6 +39,9 @@ BENCH_POLICIES_JSON = OUTPUT_DIR / "BENCH_policies.json"
 #: Throughput + memory trajectory of the raw-export ingest pipeline.
 BENCH_INGEST_JSON = OUTPUT_DIR / "BENCH_ingest.json"
 
+#: Fault-matrix trajectory of the quarantine/chaos layer.
+BENCH_CHAOS_JSON = OUTPUT_DIR / "BENCH_chaos.json"
+
 
 def update_bench_json(section: str, payload: dict, path: Path = BENCH_JSON) -> None:
     """Merge one benchmark's numbers into a trajectory JSON file.

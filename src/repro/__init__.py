@@ -18,6 +18,9 @@ provides:
   Nyquist-static, adaptive) and the cost-vs-quality evaluator.
 * :mod:`repro.analysis` -- the fleet survey (Figures 1, 4, 5) and reporting
   helpers.
+* :mod:`repro.faults` -- fault-isolated execution (bounded retry, broken-
+  pool recovery, quarantine failure records) and the seeded deterministic
+  fault-injection (chaos) layer.
 
 Quickstart::
 
@@ -29,19 +32,21 @@ Quickstart::
     print(estimate.nyquist_rate, estimate.reduction_ratio)
 """
 
-from . import analysis, core, network, pipeline, signals, telemetry
+from . import analysis, core, faults, network, pipeline, signals, telemetry
 from .core import (AdaptiveSamplingController, ControllerConfig, DualRateAliasingDetector,
                    NyquistEstimate, NyquistEstimator, estimate_nyquist_rate,
                    nyquist_round_trip, oversampling_ratio)
+from .faults import BatchExecutionError, FaultInjectingTraceSource, FaultPlan, RetryPolicy
 from .signals import IrregularTimeSeries, Spectrum, TimeSeries
 
 __version__ = "0.1.0"
 
 __all__ = [
     "__version__",
-    "signals", "core", "telemetry", "network", "pipeline", "analysis",
+    "signals", "core", "telemetry", "network", "pipeline", "analysis", "faults",
     "TimeSeries", "IrregularTimeSeries", "Spectrum",
     "NyquistEstimator", "NyquistEstimate", "estimate_nyquist_rate", "oversampling_ratio",
     "nyquist_round_trip", "AdaptiveSamplingController", "ControllerConfig",
     "DualRateAliasingDetector",
+    "FaultPlan", "FaultInjectingTraceSource", "RetryPolicy", "BatchExecutionError",
 ]

@@ -46,19 +46,22 @@ counts -- the end-to-end wiring of :mod:`repro.network`.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
+from ..faults.execution import (RETRYABLE_EXCEPTIONS, BatchExecutionError, RetryPolicy,
+                                run_batch_tasks)
 from ..network.cost import TelemetryCostAccountant
 from ..pipeline.evaluation import PointEvaluation, PolicyRecordBlock
 from ..pipeline.policies import PolicySuite, SamplingPolicy, StaticPolicySuite
-from ..records import MemoryRecordSink, RecordSink
-from ..telemetry.source import TraceBatch, TraceSource, WorkerSpec
+from ..records import FailureRecord, FailureRecordBlock, MemoryRecordSink, RecordSink
+from ..telemetry.source import TraceBatch, TraceSource, WorkerSpec, batch_offsets
+from .survey import OnError
 
-__all__ = ["PolicySurveyResult", "run_policy_survey"]
+__all__ = ["PolicySurveyResult", "run_policy_survey", "OnError"]
 
 
 #: Columns accumulated per policy by the streaming aggregation.
@@ -113,8 +116,11 @@ class PolicySurveyResult:
     in-memory one while holding one block in memory at a time.
     """
 
-    def __init__(self, sink: RecordSink | None = None) -> None:
+    def __init__(self, sink: RecordSink | None = None,
+                 failure_sink: RecordSink | None = None) -> None:
         self._sink = sink if sink is not None else MemoryRecordSink()
+        self._failure_sink = failure_sink if failure_sink is not None \
+            else MemoryRecordSink()
         self._metric_order: list[str] = []
         self._policy_order: list[str] = []
         self._totals_cache: tuple[int, dict[str, _PolicyTotals]] | None = None
@@ -140,6 +146,31 @@ class PolicySurveyResult:
     @property
     def sink(self) -> RecordSink:
         return self._sink
+
+    # --------------------- quarantine accounting -----------------------
+    def append_failures(self, failures: Sequence[FailureRecord]) -> None:
+        """Record one batch slice's quarantined failures (pipeline feed)."""
+        if failures:
+            self._failure_sink.append(FailureRecordBlock.from_failures(failures))
+
+    def iter_failure_blocks(self) -> Iterator[FailureRecordBlock]:
+        """Stream the quarantined-failure chunks in survey order."""
+        return self._failure_sink.blocks()
+
+    @property
+    def failure_sink(self) -> RecordSink:
+        return self._failure_sink
+
+    @property
+    def quarantined(self) -> list[FailureRecord]:
+        """Per-failure view of the quarantine store, materialised on demand."""
+        return [failure for block in self._failure_sink.blocks()
+                for failure in block.failures()]
+
+    @property
+    def quarantined_count(self) -> int:
+        """Number of pairs quarantined during the run."""
+        return self._failure_sink.rows
 
     def __len__(self) -> int:
         """Total (policy, measurement point) rows stored."""
@@ -256,6 +287,19 @@ def _evaluate_batch_blocks(metric_name: str, batch: TraceBatch,
 _WORKER_SOURCES: dict[WorkerSpec, TraceSource] = {}
 
 
+def _policy_slice_blocks(source: TraceSource, metric_name: str, offset: int,
+                         limit: int | None,
+                         suite: PolicySuite | StaticPolicySuite,
+                         accountant: TelemetryCostAccountant,
+                         chunk_size: int) -> list[PolicyRecordBlock]:
+    """Evaluate and price one pair slice, compacted into columnar blocks."""
+    blocks: list[PolicyRecordBlock] = []
+    for batch in source.trace_batches(metric_name, limit=limit, offset=offset,
+                                      chunk_size=chunk_size):
+        blocks.extend(_evaluate_batch_blocks(metric_name, batch, suite, accountant))
+    return blocks
+
+
 def _policy_worker(task: tuple) -> list[PolicyRecordBlock]:
     """Process-pool entry point: serve one pair slice, evaluate, price, compact.
 
@@ -266,17 +310,104 @@ def _policy_worker(task: tuple) -> list[PolicyRecordBlock]:
     blocks -- no trace data crosses the process boundary.  A slice
     address outside the source's pair list raises instead of silently
     dropping records.
+
+    Failures surface as :class:`~repro.faults.BatchExecutionError` naming
+    the batch spec (source, metric, offset, limit) -- never a bare
+    traceback from the pool -- with IO-shaped errors marked retryable.
     """
     (spec, metric_name, offset, limit, suite, accountant, chunk_size) = task
-    source = _WORKER_SOURCES.get(spec)
-    if source is None:
-        source = spec.open()
-        _WORKER_SOURCES[spec] = source
-    blocks: list[PolicyRecordBlock] = []
-    for batch in source.trace_batches(metric_name, limit=limit, offset=offset,
-                                      chunk_size=chunk_size):
-        blocks.extend(_evaluate_batch_blocks(metric_name, batch, suite, accountant))
-    return blocks
+    context = (f"policy batch (source={spec}, metric={metric_name!r}, "
+               f"offset={offset}, limit={limit})")
+    try:
+        source = _WORKER_SOURCES.get(spec)
+        if source is None:
+            source = spec.open()
+            _WORKER_SOURCES[spec] = source
+        return _policy_slice_blocks(source, metric_name, offset, limit, suite,
+                                    accountant, chunk_size)
+    except Exception as error:
+        raise BatchExecutionError.wrap(error, context) from error
+
+
+def _quarantine_policy_slice(source: TraceSource, result: PolicySurveyResult,
+                             metric_name: str, offset: int, limit: int | None,
+                             suite: PolicySuite | StaticPolicySuite,
+                             accountant: TelemetryCostAccountant) -> None:
+    """Per-pair salvage of one failed batch slice.
+
+    Traces are loaded pair by pair; loadable pairs are re-assembled into
+    one survivor batch and evaluated/priced together (policy evaluation
+    is row-independent, so survivor records match the no-fault run),
+    while unloadable pairs become failure rows.  Should the survivor
+    *evaluation* itself fail, the whole survivor batch is quarantined at
+    stage ``"evaluate"`` -- the evaluation is batched, so per-pair blame
+    is not available there.
+    """
+    pairs = source.pairs_for_metric(metric_name)[offset:offset + limit]
+    survivors: list = []
+    values: list[np.ndarray] = []
+    failures: list[FailureRecord] = []
+    positions: list[int] = []
+    interval = 0.0
+    for position, pair in enumerate(pairs):
+        try:
+            trace = source.load(pair)
+        except Exception as error:
+            failures.append(FailureRecord.from_pair(pair, metric_name, "trace", error,
+                                                    offset + position))
+            continue
+        survivors.append(pair)
+        values.append(trace.values)
+        positions.append(offset + position)
+        interval = trace.interval
+    if survivors:
+        batch = TraceBatch(tuple(survivors), np.vstack(values), interval)
+        try:
+            blocks = _evaluate_batch_blocks(metric_name, batch, suite, accountant)
+        except Exception as error:
+            failures.extend(
+                FailureRecord.from_pair(pair, metric_name, "evaluate", error, position)
+                for pair, position in zip(survivors, positions))
+            blocks = []
+        for block in blocks:
+            result.append_block(block)
+    result.append_failures(sorted(failures, key=lambda f: f.provenance))
+
+
+def _run_policy_survey_quarantined(source: TraceSource, result: PolicySurveyResult,
+                                   suite: PolicySuite | StaticPolicySuite,
+                                   accountant: TelemetryCostAccountant,
+                                   metric_names: Sequence[str],
+                                   limit_per_metric: int | None, chunk_size: int,
+                                   retry: RetryPolicy,
+                                   sleep: Callable[[float], None]) -> None:
+    """Sequential quarantine execution: batch isolation at chunk boundaries.
+
+    The policy-survey mirror of the Nyquist survey's quarantine loop:
+    identical slice addresses at any worker count, bounded retry for
+    transient errors, per-pair salvage once a slice stays failed.
+    """
+    for metric_name in metric_names:
+        for offset, limit in batch_offsets(source, metric_name, limit_per_metric,
+                                           chunk_size):
+            for attempt in range(1, retry.max_attempts + 1):
+                try:
+                    blocks = _policy_slice_blocks(source, metric_name, offset, limit,
+                                                  suite, accountant, chunk_size)
+                except RETRYABLE_EXCEPTIONS:
+                    if attempt < retry.max_attempts:
+                        sleep(retry.delay(attempt))
+                        continue
+                    _quarantine_policy_slice(source, result, metric_name, offset,
+                                             limit, suite, accountant)
+                    break
+                except Exception:
+                    _quarantine_policy_slice(source, result, metric_name, offset,
+                                             limit, suite, accountant)
+                    break
+                for block in blocks:
+                    result.append_block(block)
+                break
 
 
 def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
@@ -284,7 +415,9 @@ def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
                                 accountant: TelemetryCostAccountant,
                                 metric_names: Sequence[str],
                                 limit_per_metric: int | None, chunk_size: int,
-                                workers: int) -> None:
+                                workers: int, on_error: OnError,
+                                retry: RetryPolicy,
+                                sleep: Callable[[float], None]) -> None:
     """Fan policy evaluation out to a process pool, in survey order.
 
     Tasks slice each metric's pair list at ``chunk_size`` boundaries --
@@ -297,20 +430,32 @@ def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
     row identically but flush blocks at the shape changes when
     sequential, so its spill-file boundaries would differ from a pooled
     run.
+
+    Execution runs through :func:`~repro.faults.run_batch_tasks`
+    (bounded retry, broken-pool resubmit); a batch that stays failed is
+    raised or salvaged pair by pair on the parent's source, mirroring
+    the Nyquist survey.
     """
     spec = source.worker_spec()
     tasks = []
+    addresses = []
     for metric_name in metric_names:
-        count = len(source.pairs_for_metric(metric_name))
-        if limit_per_metric is not None:
-            count = min(count, limit_per_metric)
-        for offset in range(0, count, chunk_size):
-            tasks.append((spec, metric_name, offset, min(chunk_size, count - offset),
-                          suite, accountant, chunk_size))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for blocks in pool.map(_policy_worker, tasks):
-            for block in blocks:
-                result.append_block(block)
+        for offset, limit in batch_offsets(source, metric_name, limit_per_metric,
+                                           chunk_size):
+            tasks.append((spec, metric_name, offset, limit, suite, accountant,
+                          chunk_size))
+            addresses.append((metric_name, offset, limit))
+    for index, outcome in run_batch_tasks(_policy_worker, tasks, workers,
+                                          retry=retry, sleep=sleep):
+        if isinstance(outcome, BatchExecutionError):
+            if on_error == "raise":
+                raise outcome
+            metric_name, offset, limit = addresses[index]
+            _quarantine_policy_slice(source, result, metric_name, offset, limit,
+                                     suite, accountant)
+            continue
+        for block in outcome:
+            result.append_block(block)
 
 
 def run_policy_survey(source: TraceSource,
@@ -320,7 +465,12 @@ def run_policy_survey(source: TraceSource,
                       limit_per_metric: int | None = None,
                       chunk_size: int = 256,
                       workers: int | None = None,
-                      sink: RecordSink | None = None) -> PolicySurveyResult:
+                      sink: RecordSink | None = None,
+                      on_error: OnError = "raise",
+                      failure_sink: RecordSink | None = None,
+                      retry: RetryPolicy | None = None,
+                      retry_sleep: Callable[[float], None] = time.sleep,
+                      ) -> PolicySurveyResult:
     """Evaluate sampling policies over every pair of a trace source.
 
     Parameters
@@ -356,22 +506,55 @@ def run_policy_survey(source: TraceSource,
         Destination for the columnar result blocks (default: in-memory;
         pass a :class:`~repro.records.SpillingRecordSink` for
         out-of-core runs).
+    on_error:
+        ``"raise"`` (default) fails fast on the first bad pair;
+        ``"quarantine"`` isolates failures instead: each failed batch
+        slice is salvaged pair by pair, healthy pairs keep their
+        records (byte-identical to a no-fault run at any worker count)
+        and failed pairs become
+        :class:`~repro.records.FailureRecord` rows in ``failure_sink``.
+    failure_sink:
+        Destination for the quarantined-failure blocks (default:
+        in-memory; pass a :class:`~repro.records.SpillingRecordSink`
+        rooted elsewhere than ``sink``).
+    retry:
+        :class:`~repro.faults.RetryPolicy` bounding attempts per batch
+        for transient (IO-shaped) failures and crashed workers.
+        Defaults to ``RetryPolicy()``.
+    retry_sleep:
+        Injectable backoff sleep (tests/benchmarks pass a no-op).
     """
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
     if sink is not None and sink.rows > 0:
         raise ValueError(
             f"sink already holds {sink.rows} records; run_policy_survey needs an "
             "empty sink (point SpillingRecordSink at a fresh directory, or re-open "
             "the existing one with PolicySurveyResult(sink=...))")
+    if failure_sink is not None and failure_sink.rows > 0:
+        raise ValueError(
+            f"failure_sink already holds {failure_sink.rows} records; "
+            "run_policy_survey needs an empty failure sink (point "
+            "SpillingRecordSink at a fresh directory, or re-open the existing "
+            "one with PolicySurveyResult(failure_sink=...))")
     suite = _coerce_suite(policies)
     accountant = accountant or TelemetryCostAccountant()
-    result = PolicySurveyResult(sink=sink)
+    result = PolicySurveyResult(sink=sink, failure_sink=failure_sink)
     metric_names = list(metrics) if metrics is not None else source.metric_names()
+    retry = retry if retry is not None else RetryPolicy()
 
     if workers is not None and workers > 1:
         _run_policy_survey_parallel(source, result, suite, accountant, metric_names,
-                                    limit_per_metric, chunk_size, workers)
+                                    limit_per_metric, chunk_size, workers, on_error,
+                                    retry, retry_sleep)
+        return result
+
+    if on_error == "quarantine":
+        _run_policy_survey_quarantined(source, result, suite, accountant,
+                                       metric_names, limit_per_metric, chunk_size,
+                                       retry, retry_sleep)
         return result
 
     for metric_name in metric_names:

@@ -60,19 +60,22 @@ from __future__ import annotations
 
 import enum
 import math
-from concurrent.futures import ProcessPoolExecutor
+import time
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Literal, Sequence
+from typing import Callable, Iterable, Iterator, Literal, Sequence
 
 import numpy as np
 
 from ..core.nyquist import NyquistEstimate, NyquistEstimator
 from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_stability,
                              windowed_nyquist_rates)
-from ..records import (BlockSchema, ColumnarBlock, ColumnSpec, MemoryRecordSink,
-                       RecordSink, ScalarSpec, SpillingRecordSink, register_block_type)
+from ..faults.execution import (RETRYABLE_EXCEPTIONS, BatchExecutionError, RetryPolicy,
+                                run_batch_tasks)
+from ..records import (BlockSchema, ColumnarBlock, ColumnSpec, FailureRecord,
+                       FailureRecordBlock, MemoryRecordSink, RecordSink, ScalarSpec,
+                       SpillingRecordSink, register_block_type)
 from ..telemetry.dataset import TracePair
-from ..telemetry.source import TraceSource, WorkerSpec
+from ..telemetry.source import TraceSource, WorkerSpec, batch_offsets
 
 __all__ = [
     "PairCategory",
@@ -84,11 +87,17 @@ __all__ = [
     "SurveyResult",
     "run_survey",
     "SurveyBackend",
+    "OnError",
     "WindowedPairSummary",
     "run_windowed_survey",
 ]
 
 SurveyBackend = Literal["batched", "scalar"]
+
+#: Failure handling of the fleet pipelines: fail fast (the default, the
+#: historical behaviour) or quarantine failing pairs as
+#: :class:`~repro.records.FailureRecord` rows and finish the healthy ones.
+OnError = Literal["raise", "quarantine"]
 
 #: Conservative reduction ratio assigned to unreliable pairs when they are
 #: included in a CDF: an aliased trace's Nyquist rate is at least its
@@ -238,9 +247,12 @@ class SurveyResult:
 
     def __init__(self, records: Iterable[PairRecord] | None = None,
                  oversample_threshold: float = 1.25,
-                 sink: RecordSink | None = None) -> None:
+                 sink: RecordSink | None = None,
+                 failure_sink: RecordSink | None = None) -> None:
         self.oversample_threshold = oversample_threshold
         self._sink = sink if sink is not None else MemoryRecordSink()
+        self._failure_sink = failure_sink if failure_sink is not None \
+            else MemoryRecordSink()
         self._metric_order: list[str] = []
         for block in self._sink.blocks():  # adopt pre-existing (reopened) sink content
             self._note_metric(block.metric_name)
@@ -265,6 +277,31 @@ class SurveyResult:
     @property
     def sink(self) -> RecordSink:
         return self._sink
+
+    # --------------------- quarantine accounting -----------------------
+    def append_failures(self, failures: Sequence[FailureRecord]) -> None:
+        """Record one batch slice's quarantined failures (pipeline feed)."""
+        if failures:
+            self._failure_sink.append(FailureRecordBlock.from_failures(failures))
+
+    def iter_failure_blocks(self) -> Iterator[FailureRecordBlock]:
+        """Stream the quarantined-failure chunks in survey order."""
+        return self._failure_sink.blocks()
+
+    @property
+    def failure_sink(self) -> RecordSink:
+        return self._failure_sink
+
+    @property
+    def quarantined(self) -> list[FailureRecord]:
+        """Per-failure view of the quarantine store, materialised on demand."""
+        return [failure for block in self._failure_sink.blocks()
+                for failure in block.failures()]
+
+    @property
+    def quarantined_count(self) -> int:
+        """Number of pairs quarantined during the run."""
+        return self._failure_sink.rows
 
     def __len__(self) -> int:
         return self._sink.rows
@@ -368,6 +405,7 @@ class SurveyResult:
             "reducible_100x_fraction": float((ratios >= 100).mean()) if ratios.size else float("nan"),
             "reducible_1000x_fraction": float((ratios >= 1000).mean()) if ratios.size else float("nan"),
             "median_reduction_ratio": float(np.median(ratios)) if ratios.size else float("nan"),
+            "quarantined_pairs": float(self._failure_sink.rows),
         }
         if temperature_rates.size:
             headline["temperature_nyquist_min_hz"] = float(np.min(temperature_rates))
@@ -444,25 +482,11 @@ def _block_from_estimates(metric_name: str, pairs: Sequence[TracePair],
 _WORKER_SOURCES: dict[WorkerSpec, TraceSource] = {}
 
 
-def _survey_worker(task: tuple) -> list[RecordBlock]:
-    """Process-pool entry point: serve one pair slice, estimate, compact.
-
-    ``task`` is a picklable batch spec ``(worker_spec, metric_name,
-    offset, limit, estimator, oversample_threshold, fft_workers,
-    chunk_size)``; the worker re-opens the trace source locally from the
-    spec (``spec.open()``: a synthetic fleet regenerates from its config,
-    a measured fleet re-reads its manifest and serves the file-offset
-    slice) and returns compact columnar blocks -- no trace data crosses
-    the process boundary.  A slice address outside the source's pair list
-    raises instead of silently dropping records.
-    """
-    (spec, metric_name, offset, limit, estimator,
-     oversample_threshold, fft_workers, chunk_size) = task
-    source = _WORKER_SOURCES.get(spec)
-    if source is None:
-        source = spec.open()
-        _WORKER_SOURCES[spec] = source
-    trace_duration = source.trace_duration
+def _survey_slice_blocks(source: TraceSource, metric_name: str, offset: int,
+                         limit: int | None, estimator: NyquistEstimator,
+                         oversample_threshold: float, fft_workers: int | None,
+                         chunk_size: int, trace_duration: float) -> list[RecordBlock]:
+    """Run the batched engine over one pair slice and compact the outcomes."""
     blocks: list[RecordBlock] = []
     for batch in source.trace_batches(metric_name, limit=limit, offset=offset,
                                       chunk_size=chunk_size):
@@ -474,10 +498,130 @@ def _survey_worker(task: tuple) -> list[RecordBlock]:
     return blocks
 
 
+def _survey_worker(task: tuple) -> list[RecordBlock]:
+    """Process-pool entry point: serve one pair slice, estimate, compact.
+
+    ``task`` is a picklable batch spec ``(worker_spec, metric_name,
+    offset, limit, estimator, oversample_threshold, fft_workers,
+    chunk_size)``; the worker re-opens the trace source locally from the
+    spec (``spec.open()``: a synthetic fleet regenerates from its config,
+    a measured fleet re-reads its manifest and serves the file-offset
+    slice) and returns compact columnar blocks -- no trace data crosses
+    the process boundary.  A slice address outside the source's pair list
+    raises instead of silently dropping records.
+
+    Failures surface as :class:`~repro.faults.BatchExecutionError` naming
+    the batch spec (source, metric, offset, limit) -- never a bare
+    traceback from the pool -- with IO-shaped errors marked retryable.
+    """
+    (spec, metric_name, offset, limit, estimator,
+     oversample_threshold, fft_workers, chunk_size) = task
+    context = (f"survey batch (source={spec}, metric={metric_name!r}, "
+               f"offset={offset}, limit={limit})")
+    try:
+        source = _WORKER_SOURCES.get(spec)
+        if source is None:
+            source = spec.open()
+            _WORKER_SOURCES[spec] = source
+        return _survey_slice_blocks(source, metric_name, offset, limit, estimator,
+                                    oversample_threshold, fft_workers, chunk_size,
+                                    source.trace_duration)
+    except Exception as error:
+        raise BatchExecutionError.wrap(error, context) from error
+
+
+def _quarantine_survey_slice(source: TraceSource, result: SurveyResult,
+                             metric_name: str, offset: int, limit: int | None,
+                             estimator: NyquistEstimator, oversample_threshold: float,
+                             fft_workers: int | None, trace_duration: float) -> None:
+    """Per-pair salvage of one failed batch slice.
+
+    Healthy pairs of the slice complete through per-pair estimation
+    (estimates are chunk-size invariant, so their records match the
+    no-fault run bit for bit) and land in one block in pair order;
+    failing pairs become :class:`~repro.records.FailureRecord` rows.
+    Both outcomes are pure functions of the slice address, so any worker
+    count produces identical record *and* failure blocks.
+    """
+    pairs = source.pairs_for_metric(metric_name)[offset:offset + limit]
+    survivors: list = []
+    estimates: list[NyquistEstimate] = []
+    failures: list[FailureRecord] = []
+    current_rate = 0.0
+    for position, pair in enumerate(pairs):
+        try:
+            trace = source.load(pair)
+        except Exception as error:
+            failures.append(FailureRecord.from_pair(pair, metric_name, "trace", error,
+                                                    offset + position))
+            continue
+        try:
+            estimate = estimator.estimate_batch(trace.values[np.newaxis, :],
+                                                trace.interval,
+                                                fft_workers=fft_workers)[0]
+        except Exception as error:
+            failures.append(FailureRecord.from_pair(pair, metric_name, "estimate",
+                                                    error, offset + position))
+            continue
+        survivors.append(pair)
+        estimates.append(estimate)
+        current_rate = trace.sampling_rate
+    if survivors:
+        result.append_block(_block_from_estimates(metric_name, survivors, estimates,
+                                                  current_rate, oversample_threshold,
+                                                  trace_duration))
+    result.append_failures(failures)
+
+
+def _run_survey_quarantined(dataset: TraceSource, result: SurveyResult,
+                            estimator: NyquistEstimator, metric_names: Sequence[str],
+                            limit_per_metric: int | None, chunk_size: int,
+                            fft_workers: int | None, retry: RetryPolicy,
+                            sleep: Callable[[float], None]) -> None:
+    """Sequential quarantine execution: batch isolation at chunk boundaries.
+
+    Works slice by slice at the same ``chunk_size`` boundaries the
+    multi-worker batch specs use, so a quarantined run's blocks are
+    byte-identical at any worker count.  A slice that fails with a
+    transient (IO-shaped) error is retried under the policy's budget;
+    once exhausted -- or immediately for content errors -- the slice is
+    salvaged pair by pair.
+    """
+    trace_duration = dataset.trace_duration
+    for metric_name in metric_names:
+        for offset, limit in batch_offsets(dataset, metric_name, limit_per_metric,
+                                           chunk_size):
+            for attempt in range(1, retry.max_attempts + 1):
+                try:
+                    blocks = _survey_slice_blocks(
+                        dataset, metric_name, offset, limit, estimator,
+                        result.oversample_threshold, fft_workers, chunk_size,
+                        trace_duration)
+                except RETRYABLE_EXCEPTIONS:
+                    if attempt < retry.max_attempts:
+                        sleep(retry.delay(attempt))
+                        continue
+                    _quarantine_survey_slice(dataset, result, metric_name, offset,
+                                             limit, estimator,
+                                             result.oversample_threshold, fft_workers,
+                                             trace_duration)
+                    break
+                except Exception:
+                    _quarantine_survey_slice(dataset, result, metric_name, offset,
+                                             limit, estimator,
+                                             result.oversample_threshold, fft_workers,
+                                             trace_duration)
+                    break
+                for block in blocks:
+                    result.append_block(block)
+                break
+
+
 def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
                          estimator: NyquistEstimator, metric_names: Sequence[str],
                          limit_per_metric: int | None, chunk_size: int, workers: int,
-                         fft_workers: int | None) -> None:
+                         fft_workers: int | None, on_error: OnError,
+                         retry: RetryPolicy, sleep: Callable[[float], None]) -> None:
     """Fan trace production + estimation out to a process pool, in survey order.
 
     Tasks slice each metric's pair list at ``chunk_size`` boundaries --
@@ -486,21 +630,37 @@ def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
     Offsets are derived from the source's own pair counts (the manifest,
     for a measured fleet), and the worker-side slice validation rejects
     any address past that count.
+
+    Execution runs through :func:`~repro.faults.run_batch_tasks`:
+    transient batch failures are retried with deterministic backoff and a
+    crashed worker (``BrokenProcessPool``) costs one batch retry, not the
+    run.  A batch that stays failed is raised (``on_error="raise"``) or
+    salvaged pair by pair on the parent's own source
+    (``on_error="quarantine"``) -- the same salvage the sequential
+    quarantine path runs, so blocks stay worker-count independent.
     """
     spec = dataset.worker_spec()
+    trace_duration = dataset.trace_duration
     tasks = []
+    addresses = []
     for metric_name in metric_names:
-        count = len(dataset.pairs_for_metric(metric_name))
-        if limit_per_metric is not None:
-            count = min(count, limit_per_metric)
-        for offset in range(0, count, chunk_size):
-            tasks.append((spec, metric_name, offset,
-                          min(chunk_size, count - offset), estimator,
+        for offset, limit in batch_offsets(dataset, metric_name, limit_per_metric,
+                                           chunk_size):
+            tasks.append((spec, metric_name, offset, limit, estimator,
                           result.oversample_threshold, fft_workers, chunk_size))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for blocks in pool.map(_survey_worker, tasks):
-            for block in blocks:
-                result.append_block(block)
+            addresses.append((metric_name, offset, limit))
+    for index, outcome in run_batch_tasks(_survey_worker, tasks, workers,
+                                          retry=retry, sleep=sleep):
+        if isinstance(outcome, BatchExecutionError):
+            if on_error == "raise":
+                raise outcome
+            metric_name, offset, limit = addresses[index]
+            _quarantine_survey_slice(dataset, result, metric_name, offset, limit,
+                                     estimator, result.oversample_threshold,
+                                     fft_workers, trace_duration)
+            continue
+        for block in outcome:
+            result.append_block(block)
 
 
 def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
@@ -511,7 +671,11 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
                chunk_size: int = 1024,
                workers: int | None = None,
                fft_workers: int | None = None,
-               sink: RecordSink | None = None) -> SurveyResult:
+               sink: RecordSink | None = None,
+               on_error: OnError = "raise",
+               failure_sink: RecordSink | None = None,
+               retry: RetryPolicy | None = None,
+               retry_sleep: Callable[[float], None] = time.sleep) -> SurveyResult:
     """Run the Section 3.2 analysis over a whole dataset.
 
     Parameters
@@ -561,15 +725,42 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
         Destination for the columnar result blocks.  Default: in-memory.
         Pass a :class:`SpillingRecordSink` to stream records to disk so a
         100k+-pair survey's memory stays bounded by ``chunk_size``.
+    on_error:
+        ``"raise"`` (default) fails fast on the first broken pair or
+        batch, as the pipeline always has.  ``"quarantine"`` (batched
+        backend only) isolates failures at the batch boundary: a failing
+        slice is salvaged pair by pair, healthy pairs complete with
+        records byte-identical to a no-fault run, and every failure is
+        recorded as a :class:`~repro.records.FailureRecord` row flowing
+        into ``failure_sink`` (see ``SurveyResult.quarantined`` and the
+        ``quarantined_pairs`` headline entry).
+    failure_sink:
+        Destination for the quarantined-failure blocks (default:
+        in-memory; pass a :class:`SpillingRecordSink` on its own
+        directory for out-of-core runs).
+    retry:
+        Bounded-retry policy for transient (IO-shaped) batch failures
+        and crashed workers; defaults to
+        :class:`~repro.faults.RetryPolicy` (3 attempts, deterministic
+        exponential backoff).  Applies to multi-worker runs in both
+        error modes and to sequential quarantine runs.
+    retry_sleep:
+        Sleep callable for the backoff delays (injectable so tests and
+        benchmarks skip the real waits).
     """
     if oversample_threshold < 1:
         raise ValueError("oversample_threshold must be >= 1")
     if backend not in ("batched", "scalar"):
         raise ValueError(f"unknown backend {backend!r}; choose 'batched' or 'scalar'")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"unknown on_error {on_error!r}; choose 'raise' or 'quarantine'")
     if workers is not None and workers < 1:
         raise ValueError("workers must be >= 1")
     if workers is not None and workers > 1 and backend != "batched":
         raise ValueError("multi-worker execution requires the 'batched' backend")
+    if on_error == "quarantine" and backend != "batched":
+        raise ValueError("quarantine execution requires the 'batched' backend "
+                         "(failures are isolated at its batch boundaries)")
     if sink is not None and sink.rows > 0:
         # Appending a fresh survey to leftover records would silently
         # corrupt every aggregation with duplicates; a previous run's spill
@@ -578,14 +769,28 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
             f"sink already holds {sink.rows} records; run_survey needs an empty sink "
             "(point SpillingRecordSink at a fresh directory, or re-open the existing "
             "one with SurveyResult(sink=...))")
+    if failure_sink is not None and failure_sink.rows > 0:
+        raise ValueError(
+            f"failure_sink already holds {failure_sink.rows} records; run_survey "
+            "needs an empty failure sink (point it at a fresh directory, or re-open "
+            "the existing one with SurveyResult(failure_sink=...))")
     estimator = estimator or NyquistEstimator()
-    result = SurveyResult(oversample_threshold=oversample_threshold, sink=sink)
+    result = SurveyResult(oversample_threshold=oversample_threshold, sink=sink,
+                          failure_sink=failure_sink)
     metric_names = list(metrics) if metrics is not None else dataset.metric_names()
     trace_duration = dataset.trace_duration
+    retry = retry if retry is not None else RetryPolicy()
 
     if workers is not None and workers > 1:
         _run_survey_parallel(dataset, result, estimator, metric_names, limit_per_metric,
-                             chunk_size, workers, fft_workers)
+                             chunk_size, workers, fft_workers, on_error, retry,
+                             retry_sleep)
+        return result
+
+    if on_error == "quarantine":
+        _run_survey_quarantined(dataset, result, estimator, metric_names,
+                                limit_per_metric, chunk_size, fft_workers, retry,
+                                retry_sleep)
         return result
 
     for metric_name in metric_names:

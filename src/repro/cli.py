@@ -51,6 +51,7 @@ import numpy as np
 from .analysis.policy_survey import run_policy_survey
 from .analysis.reporting import ascii_bar_chart, box_stats, format_table, write_csv
 from .analysis.survey import SpillingRecordSink, run_survey, run_windowed_survey
+from .faults import BatchExecutionError
 from .core.adaptive import AdaptiveSamplingController, ControllerConfig
 from .core.nyquist import NyquistEstimator, estimate_nyquist_rate
 from .core.reconstruction import nyquist_round_trip
@@ -120,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="survey a measured fleet: a directory of recorded per-pair "
                              "trace files + manifest.json (see 'export-fleet'); "
                              "--pairs/--seed are ignored, the manifest defines the pairs")
+    survey.add_argument("--on-error", choices=["raise", "quarantine"], default="raise",
+                        help="'raise' (default) aborts on the first bad pair; "
+                             "'quarantine' isolates failures per pair, completes the "
+                             "healthy fleet and reports the quarantined pairs "
+                             "(spilled under SPILL_DIR/failures with --spill-dir)")
 
     policies = subparsers.add_parser(
         "policies",
@@ -164,6 +170,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="evaluate a measured fleet (see 'export-fleet') instead "
                                "of the demo fabric; costs use the default hop count "
                                "since recorded fleets carry no topology")
+    policies.add_argument("--on-error", choices=["raise", "quarantine"],
+                          default="raise",
+                          help="'raise' (default) aborts on the first bad pair; "
+                               "'quarantine' isolates failures per pair, completes "
+                               "the healthy fleet and reports the quarantined pairs "
+                               "(spilled under SPILL_DIR/failures with --spill-dir)")
 
     export = subparsers.add_parser(
         "export-fleet",
@@ -209,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "than this (recorded in the manifest; default 2)")
     ingest.add_argument("--trace-format", choices=["npz", "csv"], default="npz",
                         help="per-pair trace file format of the ingested fleet")
+    ingest.add_argument("--on-error", choices=["raise", "quarantine"], default="raise",
+                        help="'raise' (default) aborts on the first malformed line; "
+                             "'quarantine' skips malformed lines, ingests every "
+                             "healthy update and records the skipped line numbers "
+                             "in the manifest")
 
     export_dump = subparsers.add_parser(
         "export-dump",
@@ -258,6 +275,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 # ----------------------------------------------------------------------
+def _print_quarantined(count: int, failures: list, limit: int = 10) -> None:
+    """Print a survey's quarantine section (nothing when the run was clean)."""
+    if not count:
+        return
+    print(f"\nQuarantined {count} pair(s) (--on-error quarantine):")
+    for failure in failures[:limit]:
+        print(f"  {failure.metric_name} @ {failure.device_id} "
+              f"[{failure.stage}] {failure.error_type}: {failure.message}")
+    if count > limit:
+        print(f"  ... and {count - limit} more")
+
+
 def _command_survey(args: argparse.Namespace) -> int:
     if args.from_dir is not None:
         try:
@@ -271,14 +300,19 @@ def _command_survey(args: argparse.Namespace) -> int:
         dataset = FleetDataset(DatasetConfig(pair_count=args.pairs, seed=args.seed))
     estimator = NyquistEstimator(energy_fraction=args.energy_fraction)
     sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
+    failure_sink = (SpillingRecordSink(args.spill_dir / "failures")
+                    if args.spill_dir is not None and args.on_error == "quarantine"
+                    else None)
     try:
         result = run_survey(dataset, estimator=estimator, backend=args.backend,
                             limit_per_metric=args.limit_per_metric,
                             workers=args.workers, fft_workers=args.fft_workers,
-                            chunk_size=args.chunk_size, sink=sink)
-    except ValueError as error:
-        # E.g. a corrupt/truncated trace file in a measured fleet, or a used
-        # spill directory -- report cleanly instead of dumping a traceback.
+                            chunk_size=args.chunk_size, sink=sink,
+                            on_error=args.on_error, failure_sink=failure_sink)
+    except (ValueError, BatchExecutionError) as error:
+        # E.g. a corrupt/truncated trace file in a measured fleet (possibly
+        # wrapped with its batch spec by a pooled run), or a used spill
+        # directory -- report cleanly instead of dumping a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -302,6 +336,7 @@ def _command_survey(args: argparse.Namespace) -> int:
     headline_rows = [{"statistic": key, "value": value}
                      for key, value in result.headline().items()]
     print(format_table(headline_rows))
+    _print_quarantined(result.quarantined_count, result.quarantined)
 
     if args.csv_dir is not None:
         write_csv(args.csv_dir / "figure1_oversampled_fraction.csv",
@@ -352,14 +387,19 @@ def _command_policies(args: argparse.Namespace) -> int:
                             calibration_fraction=args.calibration_fraction,
                             adaptive_window=args.adaptive_window_hours * 3600.0)
         sink = SpillingRecordSink(args.spill_dir) if args.spill_dir is not None else None
+        failure_sink = (SpillingRecordSink(args.spill_dir / "failures")
+                        if args.spill_dir is not None and args.on_error == "quarantine"
+                        else None)
         result = run_policy_survey(source, suite, accountant=accountant,
                                    metrics=args.metrics,
                                    limit_per_metric=args.limit_per_metric,
                                    chunk_size=args.chunk_size, workers=args.workers,
-                                   sink=sink)
-    except ValueError as error:
+                                   sink=sink, on_error=args.on_error,
+                                   failure_sink=failure_sink)
+    except (ValueError, BatchExecutionError) as error:
         # Bad spec/suite parameters, unknown metrics, a corrupt measured
-        # fleet or a used spill directory -- report cleanly, no traceback.
+        # fleet (possibly wrapped with its batch spec by a pooled run) or a
+        # used spill directory -- report cleanly, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 1
 
@@ -378,6 +418,7 @@ def _command_policies(args: argparse.Namespace) -> int:
     print("Total monitoring cost relative to the fixed-rate baseline:")
     for policy, fraction in relative.items():
         print(f"  {policy:22s} {fraction:.2f}x")
+    _print_quarantined(result.quarantined_count, result.quarantined)
     if args.csv_dir is not None:
         for row, fraction in zip(rows, relative.values()):
             row["cost_vs_fixed"] = fraction
@@ -417,7 +458,8 @@ def _command_ingest(args: argparse.Namespace) -> int:
         dataset = ingest_dump(dump, args.directory,
                               memory_budget_samples=args.memory_budget,
                               min_samples=args.min_samples,
-                              trace_format=args.trace_format)
+                              trace_format=args.trace_format,
+                              on_error=args.on_error)
     except ValueError as error:
         # Malformed updates (reported with file + line), a used destination
         # directory, or an empty dump -- report cleanly, no traceback.
@@ -437,6 +479,12 @@ def _command_ingest(args: argparse.Namespace) -> int:
               f"--min-samples {args.min_samples}:")
         for entry in summary["pairs_skipped"]:
             print(f"    {entry['metric']} @ {entry['device']}: {entry['skipped']}")
+    if summary.get("quarantined_lines"):
+        lines = summary["quarantined_lines"]
+        shown = ", ".join(str(line) for line in lines[:10])
+        more = f", ... and {len(lines) - 10} more" if len(lines) > 10 else ""
+        print(f"  quarantined {len(lines)} malformed line(s) "
+              f"(--on-error quarantine): {shown}{more}")
     resampled = sum(1 for entry in manifest["pairs"] if entry["ingest"]["resampled"])
     if resampled:
         print(f"  {resampled} pairs had irregular timestamps and were re-sampled "

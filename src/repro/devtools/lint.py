@@ -39,6 +39,11 @@ RL006   deterministic-iteration Record-emitting modules must not iterate
                                 set/dict accumulators without ``sorted(...)``:
                                 output order would depend on hash seeds or
                                 insertion history instead of on the data.
+RL007   quarantine-discipline   Every except handler in the quarantining
+                                pipeline modules must re-raise or call the
+                                failure-record/retry machinery; a handler that
+                                silently continues would drop pairs from the
+                                survey without a failure record.
 ======  ======================  ==============================================
 
 Suppression: append ``# repro-lint: disable=RL001`` (comma-separate for
@@ -95,6 +100,15 @@ RECORD_MODULES = frozenset(IO_MODULES | {
     "src/repro/pipeline/evaluation.py",
 })
 
+#: Pipeline modules whose except handlers isolate batch/parse failures;
+#: RL007's record-or-raise discipline applies to every handler in them.
+QUARANTINE_MODULES = frozenset({
+    "src/repro/analysis/survey.py",
+    "src/repro/analysis/policy_survey.py",
+    "src/repro/telemetry/ingest.py",
+    "src/repro/faults/execution.py",
+})
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -134,6 +148,10 @@ class SourceFile:
     @property
     def is_record_module(self) -> bool:
         return self.path in RECORD_MODULES
+
+    @property
+    def is_quarantine_module(self) -> bool:
+        return self.path in QUARANTINE_MODULES
 
 
 @dataclass(frozen=True)
@@ -720,6 +738,49 @@ class DeterministicIteration(Rule):
                 "in sorted(...)")
 
 
+# ----------------------------------------------------------------------
+# RL007 quarantine-discipline
+# ----------------------------------------------------------------------
+#: Dotted-name fragments that mark a call as part of the failure-recording
+#: / retry machinery (``record_failure``, ``append_failures``,
+#: ``_quarantine_*``, ``retry.delay``, ``_needs_resubmit``, ...).
+_QUARANTINE_CALL_WORDS = ("failure", "retry", "quarantine", "resubmit")
+
+
+class QuarantineDiscipline(Rule):
+    id = "RL007"
+    name = "quarantine-discipline"
+    rationale = ("an isolated failure must be recorded or re-raised, never "
+                 "silently dropped; quarantining except handlers must call "
+                 "the failure-record/retry machinery")
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.is_quarantine_module
+
+    def check(self, file: SourceFile, context: ProjectContext) -> Iterator[Violation]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ExceptHandler) and not self._accounted(node):
+                yield self.violation(
+                    file, node,
+                    "except handler in a quarantining pipeline module neither "
+                    "re-raises nor records the failure (no raise statement, no "
+                    "failure/retry/quarantine/resubmit call); a silently "
+                    "continued handler drops pairs without a failure record")
+
+    @staticmethod
+    def _accounted(handler: ast.ExceptHandler) -> bool:
+        """True when the handler re-raises or reaches the failure machinery."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call):
+                parts = _dotted_parts(node.func)
+                if parts and any(word in part.lower() for part in parts
+                                 for word in _QUARANTINE_CALL_WORDS):
+                    return True
+        return False
+
+
 #: The registered rules, in id order.  RL005 is import-time introspection
 #: (see :func:`check_block_schemas`) and runs when ``src/repro`` is linted.
 RULES: tuple[Rule, ...] = (
@@ -728,6 +789,7 @@ RULES: tuple[Rule, ...] = (
     ErrorDiscipline(),
     PicklableWorkerSpecs(),
     DeterministicIteration(),
+    QuarantineDiscipline(),
 )
 
 

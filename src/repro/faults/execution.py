@@ -1,0 +1,171 @@
+"""Fault-isolated batch execution: bounded retry + broken-pool recovery.
+
+Both fleet surveys fan work out as picklable batch specs; this module is
+the shared driver that keeps one bad batch (or one dead worker) from
+costing the run:
+
+* :class:`BatchExecutionError` -- the picklable wrapper worker entry
+  points raise instead of letting a bare traceback surface from the
+  pool.  It names the batch spec (source, metric, offset, limit),
+  carries the original exception type for failure records, and a
+  ``retryable`` verdict (IO errors are transient; content errors are
+  not).
+* :class:`RetryPolicy` -- bounded attempts with a *deterministic*
+  exponential backoff (``delay(attempt)`` is a pure function, no jitter),
+  so a chaos run with a seeded fault plan replays identically.
+* :func:`run_batch_tasks` -- submits every task to a process pool and
+  yields ``(index, result-or-error)`` in task order.  Retryable failures
+  are resubmitted up to the policy's budget; a ``BrokenProcessPool``
+  (worker crashed mid-batch) rebuilds the pool, charges one retry to the
+  batch that was being waited on and resubmits everything not yet
+  finished -- completed results are never re-executed, so records are
+  not duplicated.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+__all__ = ["RETRYABLE_EXCEPTIONS", "BatchExecutionError", "RetryPolicy",
+           "run_batch_tasks"]
+
+#: Exception types treated as transient (worth retrying): IO-shaped
+#: failures.  Content failures (``ValueError``: corrupt trace, bad slice
+#: address) are deterministic and go straight to quarantine/raise.
+RETRYABLE_EXCEPTIONS: tuple[type[BaseException], ...] = (OSError,)
+
+
+class BatchExecutionError(RuntimeError):
+    """A batch of survey work failed, with its spec named in the message.
+
+    Crosses the process boundary losslessly (``__reduce__``), so the
+    parent keeps the original exception type name and the retryable
+    verdict even though the original exception object stays worker-side.
+    """
+
+    def __init__(self, message: str, error_type: str, retryable: bool) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.retryable = retryable
+
+    def __reduce__(self) -> tuple:
+        return (BatchExecutionError, (str(self), self.error_type, self.retryable))
+
+    @classmethod
+    def wrap(cls, error: Exception, context: str) -> "BatchExecutionError":
+        """Wrap a worker-side exception with its batch-spec context."""
+        return cls(f"{context}: {type(error).__name__}: {error}",
+                   error_type=type(error).__name__,
+                   retryable=isinstance(error, RETRYABLE_EXCEPTIONS))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with deterministic exponential backoff.
+
+    ``max_attempts`` counts *total* tries (1 = no retry); the delay before
+    attempt ``n + 1`` is ``backoff_base * backoff_factor ** (n - 1)``
+    seconds -- a pure function of the attempt number, so runs replay
+    identically (no jitter, no clock reads).
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to back off after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+def _needs_resubmit(future: Future) -> bool:
+    """True when a future's work was lost with the pool (or never ran)."""
+    if not future.done():
+        return True
+    if future.cancelled():
+        return True
+    error = future.exception()
+    return isinstance(error, BrokenProcessPool)
+
+
+def run_batch_tasks(worker_fn: Callable[[Any], Any], tasks: Sequence[Any],
+                    workers: int, retry: RetryPolicy | None = None,
+                    sleep: Callable[[float], None] = time.sleep,
+                    ) -> Iterator[tuple[int, Any]]:
+    """Run every task on a process pool; yield ``(index, outcome)`` in order.
+
+    ``outcome`` is the worker's return value, or the final
+    :class:`BatchExecutionError` once the task is out of retry budget (a
+    non-retryable error spends no budget and surfaces immediately).  Two
+    failure routes are retried:
+
+    * a worker raising a retryable :class:`BatchExecutionError` -- the
+      task is resubmitted after ``retry.delay(attempt)``;
+    * the pool breaking (a worker process died) -- the pool is rebuilt,
+      the batch being waited on is charged one attempt, and every
+      unfinished task is resubmitted on the new pool.  Results already
+      completed are kept, never re-executed.
+
+    Any other exception type propagates unchanged (it is a bug, not a
+    batch failure).  ``sleep`` is injectable so tests and benchmarks can
+    skip the real backoff waits.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    retry = retry if retry is not None else RetryPolicy()
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures: dict[int, Future] = {index: pool.submit(worker_fn, task)
+                                      for index, task in enumerate(tasks)}
+        attempts = {index: 1 for index in range(len(tasks))}
+        index = 0
+        while index < len(tasks):
+            try:
+                outcome = futures[index].result()
+            except BrokenProcessPool:
+                # A worker died mid-batch.  Rebuild the pool and resubmit
+                # every task whose work was lost; the batch being waited
+                # on is the prime suspect and is charged the retry.
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                exhausted = attempts[index] >= retry.max_attempts
+                if not exhausted:
+                    sleep(retry.delay(attempts[index]))
+                    attempts[index] += 1
+                for position in range(index + 1 if exhausted else index, len(tasks)):
+                    if _needs_resubmit(futures[position]):
+                        futures[position] = pool.submit(worker_fn, tasks[position])
+                if exhausted:
+                    yield index, BatchExecutionError(
+                        f"batch {index} crashed its worker process "
+                        f"{attempts[index]} times (BrokenProcessPool)",
+                        error_type="BrokenProcessPool", retryable=True)
+                    index += 1
+                continue
+            except BatchExecutionError as error:
+                if error.retryable and attempts[index] < retry.max_attempts:
+                    sleep(retry.delay(attempts[index]))
+                    attempts[index] += 1
+                    futures[index] = pool.submit(worker_fn, tasks[index])
+                    continue
+                yield index, error
+                index += 1
+                continue
+            yield index, outcome
+            index += 1
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

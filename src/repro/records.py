@@ -40,6 +40,8 @@ __all__ = [
     "ScalarSpec",
     "BlockSchema",
     "ColumnarBlock",
+    "FailureRecord",
+    "FailureRecordBlock",
     "RecordSink",
     "MemoryRecordSink",
     "SpillingRecordSink",
@@ -293,6 +295,99 @@ def _ensure_registry() -> None:
     """
     from .analysis import survey as _survey  # noqa: F401
     from .pipeline import evaluation as _evaluation  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Quarantine failure records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FailureRecord:
+    """One quarantined unit of pipeline work (a pair, or a dump line).
+
+    ``stage`` names the pipeline step that failed (``"trace"``,
+    ``"estimate"``, ``"evaluate"``, ``"parse"``); ``provenance`` pins the
+    failing input (trace file path, ``dump.jsonl:LINE``, batch spec) so a
+    quarantined run can be triaged without re-running it.
+    """
+
+    metric_name: str
+    device_id: str
+    stage: str
+    error_type: str
+    message: str
+    provenance: str
+
+    @classmethod
+    def from_pair(cls, pair: Any, metric_name: str, stage: str, error: Exception,
+                  position: int) -> Self:
+        """Build the failure row for one (metric, device) pair.
+
+        ``position`` is the pair's index in its metric's pair list (the
+        slice address the batch specs use); pairs that carry a trace file
+        (measured fleets) get it appended to the provenance.
+        """
+        provenance = f"{metric_name}[{position}]"
+        file = getattr(pair, "file", None)
+        if file:
+            provenance = f"{provenance} {file}"
+        return cls(metric_name=metric_name, device_id=pair.device.device_id,
+                   stage=stage, error_type=type(error).__name__,
+                   message=str(error), provenance=provenance)
+
+
+@register_block_type
+@dataclass(frozen=True)
+class FailureRecordBlock(ColumnarBlock):
+    """Columnar chunk of quarantined failures, one row per failed unit.
+
+    Flows through the same :class:`RecordSink` machinery as the outcome
+    blocks (quarantined runs spill failures next to their records), so it
+    follows the sink conventions: ``device_ids`` leads the schema and is
+    the row counter of spill files.
+    """
+
+    device_ids: np.ndarray
+    metric_names: np.ndarray
+    stages: np.ndarray
+    error_types: np.ndarray
+    messages: np.ndarray
+    provenances: np.ndarray
+
+    _SCHEMA: ClassVar[BlockSchema] = BlockSchema(
+        scalars=(),
+        columns=(
+            ColumnSpec("device_ids", "str", csv_name="device_id"),
+            ColumnSpec("metric_names", "str", csv_name="metric_name"),
+            ColumnSpec("stages", "str", csv_name="stage"),
+            ColumnSpec("error_types", "str", csv_name="error_type"),
+            ColumnSpec("messages", "str", csv_name="message"),
+            ColumnSpec("provenances", "str", csv_name="provenance"),
+        ),
+    )
+
+    @classmethod
+    def from_failures(cls, failures: Sequence[FailureRecord]) -> Self:
+        """Pack an ordered batch of failures into one columnar block."""
+        return cls(
+            device_ids=np.array([f.device_id for f in failures], dtype=np.str_),
+            metric_names=np.array([f.metric_name for f in failures], dtype=np.str_),
+            stages=np.array([f.stage for f in failures], dtype=np.str_),
+            error_types=np.array([f.error_type for f in failures], dtype=np.str_),
+            messages=np.array([f.message for f in failures], dtype=np.str_),
+            provenances=np.array([f.provenance for f in failures], dtype=np.str_),
+        )
+
+    def failures(self) -> Iterator[FailureRecord]:
+        """Stream the rows back as :class:`FailureRecord` views."""
+        for index in range(len(self)):
+            yield FailureRecord(
+                metric_name=str(self.metric_names[index]),
+                device_id=str(self.device_ids[index]),
+                stage=str(self.stages[index]),
+                error_type=str(self.error_types[index]),
+                message=str(self.messages[index]),
+                provenance=str(self.provenances[index]),
+            )
 
 
 class RecordSink(ABC):

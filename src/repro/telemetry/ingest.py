@@ -60,15 +60,17 @@ import csv
 import heapq
 import json
 import math
+import os
 import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Literal, Sequence
+from typing import Any, Callable, Iterator, Literal, Sequence
 
 import numpy as np
 
 from ..signals.timeseries import IrregularTimeSeries, TimeSeries
 from ..core.resampling import nearest_neighbor_resample
+from ..records import FailureRecord, FailureRecordBlock, RecordSink
 from .measured import (MANIFEST_FORMAT, MANIFEST_NAME, TRACE_FORMATS,
                        MeasuredFleetDataset, _save_trace_csv, _save_trace_npz)
 from .source import TraceSource
@@ -179,35 +181,105 @@ def _require_name(raw: object, what: str, path: Path, line_number: int) -> str:
 
 _GNMI_FIELDS = ("timestamp", "device", "path", "value")
 
+#: Callback invoked with ``(line_number, error)`` for each malformed line a
+#: quarantining reader skips instead of raising.
+FailureCallback = Callable[[int, ValueError], None]
 
-def _iter_gnmi_updates(path: Path) -> Iterator[RawUpdate]:
-    """Parse a gNMI-style JSON-lines dump, failing loudly with file + line."""
+
+def _parse_gnmi_line(stripped: str, path: Path, line_number: int) -> RawUpdate:
+    """Parse one gNMI JSON-lines update, raising ``ValueError`` with file + line."""
+    try:
+        update = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}, line {line_number}: malformed gNMI JSON "
+                         f"update ({error.msg}): {stripped[:80]!r}") from error
+    if not isinstance(update, dict):
+        raise ValueError(f"{path}, line {line_number}: expected a JSON object "
+                         f"per update, got {type(update).__name__}")
+    missing = [field for field in _GNMI_FIELDS if field not in update]
+    if missing:
+        raise ValueError(f"{path}, line {line_number}: update is missing "
+                         f"field(s) {missing}")
+    timestamp = _require_number(update["timestamp"], "'timestamp'", path, line_number)
+    value = _require_number(update["value"], "'value'", path, line_number)
+    device = _require_name(update["device"], "'device'", path, line_number)
+    token = _require_name(update["path"], "'path'", path, line_number)
+    return RawUpdate(timestamp, device, metric_from_path(token), value)
+
+
+def _iter_gnmi_updates(path: Path,
+                       record_failure: FailureCallback | None = None,
+                       ) -> Iterator[RawUpdate]:
+    """Parse a gNMI-style JSON-lines dump, failing loudly with file + line.
+
+    With ``record_failure`` (quarantine mode), a malformed line is
+    reported to the callback and skipped instead of aborting the stream;
+    every healthy line still parses identically.
+    """
     with path.open() as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped:
                 continue
             try:
-                update = json.loads(stripped)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}, line {line_number}: malformed gNMI JSON "
-                                 f"update ({error.msg}): {stripped[:80]!r}") from error
-            if not isinstance(update, dict):
-                raise ValueError(f"{path}, line {line_number}: expected a JSON object "
-                                 f"per update, got {type(update).__name__}")
-            missing = [field for field in _GNMI_FIELDS if field not in update]
-            if missing:
-                raise ValueError(f"{path}, line {line_number}: update is missing "
-                                 f"field(s) {missing}")
-            timestamp = _require_number(update["timestamp"], "'timestamp'", path, line_number)
-            value = _require_number(update["value"], "'value'", path, line_number)
-            device = _require_name(update["device"], "'device'", path, line_number)
-            token = _require_name(update["path"], "'path'", path, line_number)
-            yield RawUpdate(timestamp, device, metric_from_path(token), value)
+                update = _parse_gnmi_line(stripped, path, line_number)
+            except ValueError as error:
+                if record_failure is None:
+                    raise
+                record_failure(line_number, error)
+                continue
+            yield update
 
 
-def _iter_snmp_updates(path: Path) -> Iterator[RawUpdate]:
-    """Parse an SNMP-poller wide CSV dump, failing loudly with file + line."""
+def _parse_snmp_row(row: list[str], header: list[str], metrics: list[str],
+                    path: Path, line_number: int) -> list[RawUpdate]:
+    """Parse one SNMP CSV data row into updates, raising with file + line.
+
+    The whole row is parsed before anything is returned, so a quarantining
+    caller drops the row atomically -- a bad cell never leaks the row's
+    earlier cells into the stream.
+    """
+    if len(row) != len(header):
+        raise ValueError(f"{path}, line {line_number}: expected "
+                         f"{len(header)} columns, got {len(row)}")
+    try:
+        timestamp = float(row[0])
+    except ValueError:
+        raise ValueError(f"{path}, line {line_number}: non-numeric "
+                         f"timestamp {row[0]!r}") from None
+    if not math.isfinite(timestamp):
+        raise ValueError(f"{path}, line {line_number}: timestamp must be "
+                         f"finite, got {row[0]!r}")
+    device = row[1].strip()
+    if not device:
+        raise ValueError(f"{path}, line {line_number}: empty device id")
+    updates = []
+    for metric, cell in zip(metrics, row[2:]):
+        cell = cell.strip()
+        if not cell:
+            continue  # missed poll for this metric
+        try:
+            value = float(cell)
+        except ValueError:
+            raise ValueError(
+                f"{path}, line {line_number}: non-numeric value {cell!r} in "
+                f"column {metric!r}") from None
+        if not math.isfinite(value):
+            raise ValueError(f"{path}, line {line_number}: value in column "
+                             f"{metric!r} must be finite, got {cell!r}")
+        updates.append(RawUpdate(timestamp, device, metric, value))
+    return updates
+
+
+def _iter_snmp_updates(path: Path,
+                       record_failure: FailureCallback | None = None,
+                       ) -> Iterator[RawUpdate]:
+    """Parse an SNMP-poller wide CSV dump, failing loudly with file + line.
+
+    With ``record_failure`` (quarantine mode), a malformed *data* row is
+    reported and skipped as a whole; header problems always raise -- with
+    no usable header the rest of the file cannot be interpreted at all.
+    """
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         # The header is the first non-blank row (the gNMI reader likewise
@@ -237,34 +309,14 @@ def _iter_snmp_updates(path: Path) -> Iterator[RawUpdate]:
             line_number = reader.line_num
             if not row:
                 continue
-            if len(row) != len(header):
-                raise ValueError(f"{path}, line {line_number}: expected "
-                                 f"{len(header)} columns, got {len(row)}")
             try:
-                timestamp = float(row[0])
-            except ValueError:
-                raise ValueError(f"{path}, line {line_number}: non-numeric "
-                                 f"timestamp {row[0]!r}") from None
-            if not math.isfinite(timestamp):
-                raise ValueError(f"{path}, line {line_number}: timestamp must be "
-                                 f"finite, got {row[0]!r}")
-            device = row[1].strip()
-            if not device:
-                raise ValueError(f"{path}, line {line_number}: empty device id")
-            for metric, cell in zip(metrics, row[2:]):
-                cell = cell.strip()
-                if not cell:
-                    continue  # missed poll for this metric
-                try:
-                    value = float(cell)
-                except ValueError:
-                    raise ValueError(
-                        f"{path}, line {line_number}: non-numeric value {cell!r} in "
-                        f"column {metric!r}") from None
-                if not math.isfinite(value):
-                    raise ValueError(f"{path}, line {line_number}: value in column "
-                                     f"{metric!r} must be finite, got {cell!r}")
-                yield RawUpdate(timestamp, device, metric, value)
+                updates = _parse_snmp_row(row, header, metrics, path, line_number)
+            except ValueError as error:
+                if record_failure is None:
+                    raise
+                record_failure(line_number, error)
+                continue
+            yield from updates
 
 
 _UPDATE_ITERATORS = {GNMI_FORMAT: _iter_gnmi_updates, SNMP_FORMAT: _iter_snmp_updates}
@@ -303,9 +355,16 @@ class TelemetryDump:
     path: Path
     format: str
 
-    def updates(self) -> Iterator[RawUpdate]:
-        """Stream the dump's updates in file order (one pass, O(1) memory)."""
-        return _UPDATE_ITERATORS[self.format](self.path)
+    def updates(self, record_failure: FailureCallback | None = None,
+                ) -> Iterator[RawUpdate]:
+        """Stream the dump's updates in file order (one pass, O(1) memory).
+
+        ``record_failure`` switches the reader into quarantine mode:
+        malformed lines/rows are reported to the callback and skipped
+        instead of raising (structural errors -- an unreadable SNMP
+        header -- still raise).
+        """
+        return _UPDATE_ITERATORS[self.format](self.path, record_failure)
 
 
 def open_export(path: Path | str, fmt: str | None = None) -> TelemetryDump:
@@ -504,7 +563,9 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
                 fmt: str | None = None,
                 memory_budget_samples: int = DEFAULT_MEMORY_BUDGET_SAMPLES,
                 min_samples: int = 2,
-                trace_format: Literal["npz", "csv"] = "npz") -> MeasuredFleetDataset:
+                trace_format: Literal["npz", "csv"] = "npz",
+                on_error: Literal["raise", "quarantine"] = "raise",
+                failure_sink: RecordSink | None = None) -> MeasuredFleetDataset:
     """Stream one raw monitoring export into a measured-fleet directory.
 
     Parameters
@@ -520,6 +581,13 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         ``repro-monitor survey --from-dir``) opens unchanged; ingest
         provenance (per-pair gap/jitter statistics and the stream-level
         accumulator counters) is recorded under its ``ingest`` keys.
+
+        The build is *atomic*: everything is staged in a sibling
+        ``<directory>.partial`` working directory and only published --
+        manifest last -- once the whole ingest has succeeded, so a
+        crashed or failed run never leaves a half-built fleet at the
+        destination (a stale ``.partial`` from an interrupted run is
+        reclaimed by the next attempt).
     memory_budget_samples:
         Peak samples buffered in memory across all pairs (16 bytes each);
         the :class:`PairAccumulator` spills partial series to scratch
@@ -531,6 +599,18 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         must be at least 2, since a lone sample has no interval.
     trace_format:
         Per-pair trace file format (``npz`` default, or ``csv``).
+    on_error:
+        ``"raise"`` (default) aborts on the first malformed line;
+        ``"quarantine"`` skips malformed lines/rows, records each as a
+        :class:`~repro.records.FailureRecord` (stage ``"parse"``,
+        provenance ``file:line``) and ingests every healthy update.
+        Structural errors (unreadable SNMP header, empty dump) always
+        raise.  Quarantined line numbers are also listed in the
+        manifest's ``ingest`` summary.
+    failure_sink:
+        Destination for the quarantined-failure blocks (in-memory or
+        spilling); pass one to retain per-line failure records beyond
+        the manifest's line-number accounting.
 
     Raises
     ------
@@ -547,6 +627,12 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
                          f"choose one of {TRACE_FORMATS}")
     if min_samples < 2:
         raise ValueError("min_samples must be >= 2 (a lone sample has no interval)")
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
+    if failure_sink is not None and failure_sink.rows > 0:
+        raise ValueError(
+            f"failure_sink already holds {failure_sink.rows} records; ingest_dump "
+            "needs an empty failure sink")
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
     if directory.exists() and not directory.is_dir():
@@ -554,35 +640,72 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
     if manifest_path.exists():
         raise ValueError(f"{directory} already holds a measured fleet "
                          f"({MANIFEST_NAME} exists); ingest needs a fresh directory")
-    created = not directory.exists()
+    staging = directory.parent / f"{directory.name}.partial"
+    if staging.exists():  # stale leftover of an interrupted run
+        shutil.rmtree(staging)
     try:
-        (directory / "traces").mkdir(parents=True, exist_ok=True)
+        (staging / "traces").mkdir(parents=True)
     except OSError as error:
-        raise ValueError(f"cannot create ingest destination {directory}: "
+        raise ValueError(f"cannot create ingest staging directory {staging}: "
                          f"{error}") from error
     try:
-        return _ingest_into(dump, directory, manifest_path, memory_budget_samples,
-                            min_samples, trace_format)
+        failures = _ingest_into(dump, staging, staging / MANIFEST_NAME,
+                                memory_budget_samples, min_samples, trace_format,
+                                on_error)
     except BaseException:
-        # A failed ingest (malformed dump, write error) must not leave a
-        # half-built directory behind when the destination did not exist
-        # before the call; pre-existing directories are the caller's.
-        if created:
-            shutil.rmtree(directory, ignore_errors=True)
+        # A failed ingest (malformed dump, write error) only ever costs
+        # the staging directory; the destination is untouched.
+        shutil.rmtree(staging, ignore_errors=True)
         raise
+    _publish_staging(staging, directory)
+    if failure_sink is not None and failures:
+        failure_sink.append(FailureRecordBlock.from_failures(failures))
+    return MeasuredFleetDataset(directory)
+
+
+def _publish_staging(staging: Path, directory: Path) -> None:
+    """Atomically publish a fully-built staging directory at the destination.
+
+    A fresh destination is a single ``rename``.  A pre-existing
+    (manifest-less) destination directory receives the trace files first
+    and the manifest last, so the commit point -- the manifest appearing
+    -- still happens only after every trace is in place.
+    """
+    if not directory.exists():
+        staging.rename(directory)
+        return
+    (directory / "traces").mkdir(exist_ok=True)
+    for file in sorted((staging / "traces").iterdir()):
+        os.replace(file, directory / "traces" / file.name)
+    os.replace(staging / MANIFEST_NAME, directory / MANIFEST_NAME)
+    shutil.rmtree(staging, ignore_errors=True)
 
 
 def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
                  memory_budget_samples: int, min_samples: int,
-                 trace_format: str) -> MeasuredFleetDataset:
-    """The accumulate -> finish -> manifest body of :func:`ingest_dump`."""
+                 trace_format: str, on_error: str) -> list[FailureRecord]:
+    """The accumulate -> finish -> manifest body of :func:`ingest_dump`.
+
+    Builds the fleet into ``directory`` (the staging area) and returns
+    the quarantined parse failures (empty in ``raise`` mode, which
+    aborts on the first one instead).
+    """
     save = _save_trace_npz if trace_format == "npz" else _save_trace_csv
     entries: list[dict] = []
     metrics: list[str] = []
     skipped: list[dict] = []
+    failures: list[FailureRecord] = []
+
+    def record_failure(line_number: int, error: ValueError) -> None:
+        failures.append(FailureRecord(
+            metric_name="", device_id="", stage="parse",
+            error_type=type(error).__name__, message=str(error),
+            provenance=f"{dump.path}:{line_number}"))
+
+    callback = record_failure if on_error == "quarantine" else None
     with PairAccumulator(directory / ".ingest-scratch",
                          memory_budget_samples) as accumulator:
-        for update in dump.updates():
+        for update in dump.updates(record_failure=callback):
             accumulator.add(update.key, update.timestamp, update.value)
         if not accumulator.keys():
             raise ValueError(f"{dump.path}: no telemetry updates found "
@@ -613,6 +736,8 @@ def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
             "spilled_samples": accumulator.spilled_samples,
             "spill_writes": accumulator.spill_writes,
             "pairs_skipped": skipped,
+            "quarantined_lines": [
+                int(failure.provenance.rsplit(":", 1)[1]) for failure in failures],
         }
     if not entries:
         raise ValueError(
@@ -625,7 +750,7 @@ def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
                 "trace_duration": trace_duration, "metrics": metrics,
                 "pairs": entries, "ingest": summary}
     manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
-    return MeasuredFleetDataset(directory)
+    return failures
 
 
 # ----------------------------------------------------------------------

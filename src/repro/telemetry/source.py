@@ -31,7 +31,28 @@ from ..signals.timeseries import TimeSeries
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (measured imports source)
     from .measured import MeasuredFleetDataset
 
-__all__ = ["TraceBatch", "TraceSource", "WorkerSpec", "BaseTraceSource"]
+__all__ = ["TraceBatch", "TraceSource", "WorkerSpec", "BaseTraceSource",
+           "batch_offsets"]
+
+
+def batch_offsets(source: "TraceSource", metric_name: str,
+                  limit: int | None = None,
+                  chunk_size: int = 1024) -> list[tuple[int, int]]:
+    """``(offset, limit)`` slice addresses of one metric at ``chunk_size`` boundaries.
+
+    These are exactly the boundaries the sequential ``trace_batches``
+    iteration flushes at (within one metric every trace shares a shape),
+    so any execution that works slice by slice -- the multi-worker batch
+    specs, the quarantine path's batch-isolation loop -- produces the
+    same block boundaries as a sequential run, at any worker count.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    count = len(source.pairs_for_metric(metric_name))
+    if limit is not None:
+        count = min(count, limit)
+    return [(offset, min(chunk_size, count - offset))
+            for offset in range(0, count, chunk_size)]
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.policy_survey import PolicySurveyResult, run_policy_survey
+from repro.faults import BatchExecutionError, FaultInjectingTraceSource, FaultPlan
 from repro.network.cost import TelemetryCostAccountant
 from repro.network.monitoring import DeploymentSpec, DeploymentTraceSource, MonitoringDeployment
 from repro.network.topology import TopologySpec, build_leaf_spine
@@ -273,3 +274,150 @@ class TestPolicyWorkerEquivalence:
         reopened = PolicySurveyResult(
             sink=SpillingRecordSink(tmp_path / "spool", fmt="csv"))
         assert_policy_blocks_byte_identical(memory.iter_blocks(), reopened.iter_blocks())
+
+
+# ----------------------------------------------------------------------
+# Quarantine mode (on_error="quarantine") under a seeded fault plan
+# ----------------------------------------------------------------------
+def assert_failure_blocks_byte_identical(left, right) -> None:
+    """Column-for-column exact equality of two failure block streams."""
+    left_blocks, right_blocks = list(left), list(right)
+    assert len(left_blocks) == len(right_blocks)
+    for a, b in zip(left_blocks, right_blocks):
+        for column in ("device_ids", "metric_names", "stages", "error_types",
+                       "messages", "provenances"):
+            assert np.array_equal(getattr(a, column), getattr(b, column)), column
+
+
+class TestPolicyQuarantineEquivalence:
+    """``on_error="quarantine"`` must drop exactly the faulty pairs from
+    every policy's rows, keep healthy evaluations bit-identical to a
+    clean run, and reproduce records *and* failure records byte for byte
+    at any worker count and through any sink."""
+
+    PLAN = FaultPlan(seed=3, fraction=0.18,
+                     kinds=("corrupt-trace", "truncated-trace"))
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return FleetDataset(DatasetConfig(pair_count=28, seed=5,
+                                          trace_duration=21600.0))
+
+    @pytest.fixture(scope="class")
+    def suite(self) -> PolicySuite:
+        return PolicySuite(production_oversample=1.0, adaptive_window=2 * 3600.0)
+
+    @pytest.fixture(scope="class")
+    def chaotic(self, dataset):
+        return FaultInjectingTraceSource(dataset, self.PLAN)
+
+    @pytest.fixture(scope="class")
+    def faulty_keys(self, dataset):
+        return {pair.key for pair in dataset.pairs()
+                if self.PLAN.affects(*pair.key)}
+
+    @pytest.fixture(scope="class")
+    def clean_survey(self, dataset, suite):
+        return run_policy_survey(dataset, suite, chunk_size=6)
+
+    @pytest.fixture(scope="class")
+    def quarantined_survey(self, chaotic, suite):
+        return run_policy_survey(chaotic, suite, chunk_size=6,
+                                 on_error="quarantine")
+
+    def test_seeded_plan_actually_injects(self, dataset, faulty_keys):
+        assert 0 < len(faulty_keys) < len(dataset.pairs())
+
+    def test_raise_mode_fails_fast(self, chaotic, suite):
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            run_policy_survey(chaotic, suite, chunk_size=6)
+
+    def test_raise_mode_fails_fast_with_workers(self, chaotic, suite):
+        with pytest.raises(BatchExecutionError, match="corrupt or truncated"):
+            run_policy_survey(chaotic, suite, chunk_size=6, workers=2)
+
+    def test_every_fault_quarantined_exactly_once(self, quarantined_survey,
+                                                  faulty_keys):
+        failures = quarantined_survey.quarantined
+        assert len(failures) == len(faulty_keys)
+        assert {(f.metric_name, f.device_id) for f in failures} == faulty_keys
+        assert all(f.stage == "trace" for f in failures)
+
+    def test_row_accounting(self, clean_survey, quarantined_survey, faulty_keys):
+        assert quarantined_survey.policies() == clean_survey.policies()
+        clean_points = {row["policy"]: row["points"]
+                        for row in clean_survey.rows()}
+        for row in quarantined_survey.rows():
+            assert row["points"] == clean_points[row["policy"]] - len(faulty_keys)
+
+    def test_healthy_evaluations_byte_identical_to_clean_run(
+            self, clean_survey, quarantined_survey, faulty_keys):
+        def views(result):
+            return {(v.policy_name, v.metric_name, v.point_name): v
+                    for block in result.iter_blocks()
+                    for v in block.to_evaluations()}
+        clean, salvaged = views(clean_survey), views(quarantined_survey)
+        assert set(clean) - set(salvaged) == {
+            (policy, metric, device)
+            for policy in clean_survey.policies()
+            for metric, device in faulty_keys}
+        for key, view in salvaged.items():
+            twin = clean[key]
+            assert view.samples_collected == twin.samples_collected
+            for field in ("nrmse", "max_abs_error"):
+                assert np.array_equal(getattr(view, field), getattr(twin, field),
+                                      equal_nan=True), (key, field)
+            assert view.cost == twin.cost
+
+    def test_worker_counts_byte_identical(self, chaotic, suite,
+                                          quarantined_survey):
+        pooled = run_policy_survey(chaotic, suite, chunk_size=6, workers=2,
+                                   on_error="quarantine")
+        assert_policy_blocks_byte_identical(quarantined_survey.iter_blocks(),
+                                            pooled.iter_blocks())
+        assert_failure_blocks_byte_identical(
+            quarantined_survey.iter_failure_blocks(),
+            pooled.iter_failure_blocks())
+
+    def test_spilling_sinks_byte_identical(self, chaotic, suite,
+                                           quarantined_survey, tmp_path):
+        spilled = run_policy_survey(
+            chaotic, suite, chunk_size=6, workers=2, on_error="quarantine",
+            sink=SpillingRecordSink(tmp_path / "records"),
+            failure_sink=SpillingRecordSink(tmp_path / "failures"))
+        assert_policy_blocks_byte_identical(quarantined_survey.iter_blocks(),
+                                            spilled.iter_blocks())
+        assert_failure_blocks_byte_identical(
+            quarantined_survey.iter_failure_blocks(),
+            spilled.iter_failure_blocks())
+        reopened = PolicySurveyResult(
+            failure_sink=SpillingRecordSink(tmp_path / "failures"))
+        assert reopened.quarantined_count == quarantined_survey.quarantined_count
+
+    def test_transient_io_error_recovers_via_retry(self, dataset, suite,
+                                                   clean_survey, tmp_path):
+        plan = FaultPlan(seed=4, fraction=0.2, kinds=("io-error",),
+                         io_error_opens=1, state_dir=str(tmp_path / "state"))
+        chaotic = FaultInjectingTraceSource(dataset, plan)
+        assert any(plan.affects(*pair.key) for pair in dataset.pairs())
+        survived = run_policy_survey(chaotic, suite, chunk_size=6,
+                                     on_error="quarantine",
+                                     retry_sleep=lambda delay: None)
+        assert survived.quarantined_count == 0
+        assert_policy_blocks_byte_identical(clean_survey.iter_blocks(),
+                                            survived.iter_blocks())
+
+    def test_worker_crash_recovers_without_duplicates(self, dataset, suite,
+                                                      tmp_path):
+        metric = dataset.metric_names()[0]
+        plan = FaultPlan(seed=6, fraction=0.0, crash_slices=((metric, 0),),
+                         state_dir=str(tmp_path / "state"))
+        chaotic = FaultInjectingTraceSource(dataset, plan)
+        crashed = run_policy_survey(chaotic, suite, chunk_size=2, workers=2,
+                                    on_error="quarantine",
+                                    retry_sleep=lambda delay: None)
+        assert crashed.quarantined_count == 0
+        clean = run_policy_survey(dataset, suite, chunk_size=2, workers=2)
+        assert clean.rows() == crashed.rows()
+        assert_policy_blocks_byte_identical(clean.iter_blocks(),
+                                            crashed.iter_blocks())

@@ -10,6 +10,7 @@ from repro.analysis.survey import (PairCategory, RecordBlock,
                                    SpillingRecordSink, SurveyResult, run_survey,
                                    run_windowed_survey)
 from repro.core.nyquist import DEFAULT_ALIASED_BAND_FRACTION, NyquistEstimator
+from repro.faults import BatchExecutionError, FaultInjectingTraceSource, FaultPlan
 from repro.telemetry.dataset import DatasetConfig, FleetDataset
 from repro.telemetry.measured import MeasuredFleetDataset
 
@@ -591,3 +592,129 @@ class TestWindowedSurvey:
                                         limit_per_metric=2)
         assert len(summaries) == 2
         assert all(s.metric_name == "Temperature" for s in summaries)
+
+
+# ----------------------------------------------------------------------
+# Quarantine mode (on_error="quarantine") under a seeded fault plan
+# ----------------------------------------------------------------------
+def assert_failure_blocks_byte_identical(left, right) -> None:
+    """Column-for-column exact equality of two failure block streams."""
+    left_blocks, right_blocks = list(left), list(right)
+    assert len(left_blocks) == len(right_blocks)
+    for a, b in zip(left_blocks, right_blocks):
+        for column in ("device_ids", "metric_names", "stages", "error_types",
+                       "messages", "provenances"):
+            assert np.array_equal(getattr(a, column), getattr(b, column)), column
+
+
+class TestQuarantineEquivalence:
+    """``on_error="quarantine"`` must complete with every healthy pair's
+    record bit-identical to a clean run, every injected fault accounted
+    for exactly once, at any worker count and through any sink."""
+
+    PLAN = FaultPlan(seed=3, fraction=0.15,
+                     kinds=("corrupt-trace", "truncated-trace"))
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return FleetDataset(DatasetConfig(pair_count=56, seed=5))
+
+    @pytest.fixture(scope="class")
+    def chaotic(self, dataset):
+        return FaultInjectingTraceSource(dataset, self.PLAN)
+
+    @pytest.fixture(scope="class")
+    def faulty_keys(self, dataset):
+        return {pair.key for pair in dataset.pairs()
+                if self.PLAN.affects(*pair.key)}
+
+    @pytest.fixture(scope="class")
+    def quarantined_survey(self, chaotic):
+        return run_survey(chaotic, chunk_size=4, on_error="quarantine")
+
+    def test_seeded_plan_actually_injects(self, dataset, faulty_keys):
+        assert 0 < len(faulty_keys) < len(dataset.pairs())
+
+    def test_raise_mode_fails_fast(self, chaotic):
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            run_survey(chaotic, chunk_size=4)
+
+    def test_raise_mode_fails_fast_with_workers(self, chaotic):
+        with pytest.raises(BatchExecutionError, match="corrupt or truncated"):
+            run_survey(chaotic, chunk_size=4, workers=2)
+
+    def test_every_fault_quarantined_exactly_once(self, quarantined_survey,
+                                                  faulty_keys):
+        failures = quarantined_survey.quarantined
+        assert len(failures) == len(faulty_keys)
+        assert {(f.metric_name, f.device_id) for f in failures} == faulty_keys
+        assert all(f.stage == "trace" and f.error_type == "ValueError"
+                   for f in failures)
+        assert quarantined_survey.quarantined_count == len(faulty_keys)
+
+    def test_healthy_pairs_byte_identical_to_clean_run(self, dataset, faulty_keys,
+                                                       quarantined_survey):
+        clean = {(r.metric_name, r.device_id): r
+                 for r in run_survey(dataset, chunk_size=4).records}
+        salvaged = quarantined_survey.records
+        assert len(salvaged) == len(clean) - len(faulty_keys)
+        for record in salvaged:
+            twin = clean[(record.metric_name, record.device_id)]
+            assert (record.category, record.reliable) == \
+                (twin.category, twin.reliable)
+            for field in ("current_rate", "nyquist_rate", "reduction_ratio",
+                          "true_nyquist_rate", "trace_duration"):
+                assert np.array_equal(getattr(record, field),
+                                      getattr(twin, field), equal_nan=True), field
+
+    def test_headline_reports_quarantine(self, quarantined_survey, faulty_keys):
+        assert quarantined_survey.headline()["quarantined_pairs"] == \
+            float(len(faulty_keys))
+
+    def test_worker_counts_byte_identical(self, chaotic, quarantined_survey):
+        pooled = run_survey(chaotic, chunk_size=4, workers=2,
+                            on_error="quarantine")
+        assert_blocks_byte_identical(quarantined_survey.iter_blocks(),
+                                     pooled.iter_blocks())
+        assert_failure_blocks_byte_identical(
+            quarantined_survey.iter_failure_blocks(),
+            pooled.iter_failure_blocks())
+
+    def test_spilling_sinks_byte_identical(self, chaotic, quarantined_survey,
+                                           tmp_path):
+        spilled = run_survey(
+            chaotic, chunk_size=4, workers=2, on_error="quarantine",
+            sink=SpillingRecordSink(tmp_path / "records"),
+            failure_sink=SpillingRecordSink(tmp_path / "failures"))
+        assert_blocks_byte_identical(quarantined_survey.iter_blocks(),
+                                     spilled.iter_blocks())
+        assert_failure_blocks_byte_identical(
+            quarantined_survey.iter_failure_blocks(),
+            spilled.iter_failure_blocks())
+        reopened = SurveyResult(
+            failure_sink=SpillingRecordSink(tmp_path / "failures"))
+        assert reopened.quarantined_count == quarantined_survey.quarantined_count
+
+    def test_transient_io_error_recovers_via_retry(self, dataset, tmp_path):
+        plan = FaultPlan(seed=4, fraction=0.2, kinds=("io-error",),
+                         io_error_opens=1, state_dir=str(tmp_path / "state"))
+        chaotic = FaultInjectingTraceSource(dataset, plan)
+        assert any(plan.affects(*pair.key) for pair in dataset.pairs())
+        survived = run_survey(chaotic, chunk_size=4, on_error="quarantine",
+                              retry_sleep=lambda delay: None)
+        assert survived.quarantined_count == 0
+        clean = run_survey(dataset, chunk_size=4)
+        assert_blocks_byte_identical(clean.iter_blocks(), survived.iter_blocks())
+
+    def test_worker_crash_recovers_without_duplicates(self, dataset, tmp_path):
+        metric = dataset.metric_names()[0]
+        plan = FaultPlan(seed=6, fraction=0.0, crash_slices=((metric, 0),),
+                         state_dir=str(tmp_path / "state"))
+        chaotic = FaultInjectingTraceSource(dataset, plan)
+        crashed = run_survey(chaotic, chunk_size=2, workers=2,
+                             on_error="quarantine",
+                             retry_sleep=lambda delay: None)
+        assert crashed.quarantined_count == 0
+        clean = run_survey(dataset, chunk_size=2, workers=2)
+        assert len(clean) == len(crashed)
+        assert_blocks_byte_identical(clean.iter_blocks(), crashed.iter_blocks())

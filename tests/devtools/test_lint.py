@@ -2,7 +2,8 @@
 
 Three layers:
 
-* **Fixture matrix** -- for each syntactic rule (RL001-RL004, RL006) a
+* **Fixture matrix** -- for each syntactic rule (RL001-RL004, RL006,
+  RL007) a
   minimal snippet that violates it, a minimal snippet that satisfies it,
   and the violating snippet with a ``# repro-lint: disable=RLxxx``
   comment on the offending line.  Snippets are linted under *virtual*
@@ -33,6 +34,7 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 LIBRARY = "src/repro/core/fixture.py"
 IO_MODULE = "src/repro/records.py"
 RECORD_MODULE = "src/repro/analysis/survey.py"
+QUARANTINE_MODULE = "src/repro/analysis/policy_survey.py"
 TEST_ZONE = "tests/core/test_fixture.py"
 
 
@@ -180,7 +182,40 @@ CASES = [
              "    return [value for value in set(values)]\n",
          good="def f(values):\n"
               "    return [value for value in sorted(set(values))]\n"),
+    Case("quarantine-silent-continue", "RL007", QUARANTINE_MODULE,
+         bad="def f(pairs):\n"
+             "    out = []\n"
+             "    for pair in pairs:\n"
+             "        try:\n"
+             "            out.append(load(pair))\n"
+             "        except ValueError:\n"
+             "            continue\n"
+             "    return out\n",
+         good="def f(pairs, failures):\n"
+              "    out = []\n"
+              "    for pair in pairs:\n"
+              "        try:\n"
+              "            out.append(load(pair))\n"
+              "        except ValueError as error:\n"
+              "            failures.append(record_failure(pair, error))\n"
+              "    return out\n"),
+    Case("quarantine-dropped-retry", "RL007", QUARANTINE_MODULE,
+         bad="def f(task):\n"
+             "    try:\n"
+             "        return task()\n"
+             "    except OSError:\n"
+             "        return None\n",
+         good="def f(task, retry, sleep):\n"
+              "    try:\n"
+              "        return task()\n"
+              "    except OSError:\n"
+              "        sleep(retry.delay(1))\n"
+              "        return task()\n"),
 ]
+
+
+def case_by_label(label: str) -> Case:
+    return next(case for case in CASES if case.label == label)
 
 
 @pytest.mark.parametrize("case", CASES, ids=lambda case: case.label)
@@ -247,9 +282,25 @@ def test_content_error_rule_scopes_to_io_modules() -> None:
 
 
 def test_iteration_rule_scopes_to_record_modules() -> None:
-    snippet = CASES[-1].bad  # set-iteration
+    snippet = case_by_label("set-iteration").bad
     assert lint_sources({LIBRARY: snippet}) == []
     assert lint_sources({TEST_ZONE: snippet}) == []
+
+
+def test_quarantine_rule_scopes_to_quarantine_modules() -> None:
+    snippet = case_by_label("quarantine-silent-continue").bad
+    assert lint_sources({LIBRARY: snippet}) == []
+    assert lint_sources({IO_MODULE: snippet}) == []
+    assert lint_sources({TEST_ZONE: snippet}) == []
+
+
+def test_quarantine_rule_accepts_bare_raise() -> None:
+    source = ("def f(task):\n"
+              "    try:\n"
+              "        return task()\n"
+              "    except OSError:\n"
+              "        raise\n")
+    assert lint_sources({QUARANTINE_MODULE: source}) == []
 
 
 def test_iteration_rule_respects_function_scopes() -> None:
@@ -326,10 +377,10 @@ def test_rl005_registered_real_class_is_clean() -> None:
 # ----------------------------------------------------------------------
 # Catalogue, rendering, entry point, end to end
 # ----------------------------------------------------------------------
-def test_rule_catalogue_lists_all_six_rules() -> None:
+def test_rule_catalogue_lists_all_seven_rules() -> None:
     triples = rule_catalogue()
     assert [rule_id for rule_id, _, _ in triples] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
     assert {rule.id for rule in RULES} == set(
         rule_id for rule_id, _, _ in triples) - {"RL005"}
     for _, name, rationale in triples:
@@ -351,7 +402,8 @@ def test_find_repo_root_walks_up_to_pyproject() -> None:
 def test_main_list_rules(capsys: pytest.CaptureFixture[str]) -> None:
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                    "RL006", "RL007"):
         assert rule_id in out
 
 

@@ -19,7 +19,8 @@ import pytest
 
 from repro.analysis.survey import RecordBlock
 from repro.pipeline.evaluation import PolicyRecordBlock
-from repro.records import (BlockSchema, ColumnSpec, ScalarSpec, SpillingRecordSink,
+from repro.records import (BlockSchema, ColumnSpec, FailureRecord,
+                           FailureRecordBlock, ScalarSpec, SpillingRecordSink,
                            registered_block_types)
 
 # ----------------------------------------------------------------------
@@ -61,7 +62,19 @@ def make_policy_block(rows: int = 3) -> PolicyRecordBlock:
     )
 
 
-BLOCK_FACTORIES = {RecordBlock: make_record_block, PolicyRecordBlock: make_policy_block}
+def make_failure_block(rows: int = 3) -> FailureRecordBlock:
+    return FailureRecordBlock.from_failures([
+        FailureRecord(metric_name="Link util", device_id=f"tor-{i:04d}",
+                      stage=("trace", "estimate", "parse")[i % 3],
+                      error_type="ValueError",
+                      message=f"corrupt or truncated trace file #{i}",
+                      provenance=f"Link util[{i}] traces/{i}.npz")
+        for i in range(rows)])
+
+
+BLOCK_FACTORIES = {RecordBlock: make_record_block,
+                   PolicyRecordBlock: make_policy_block,
+                   FailureRecordBlock: make_failure_block}
 
 
 def assert_blocks_equal(a, b) -> None:
@@ -177,6 +190,11 @@ class TestCorruption:
             type(block).load_csv(path)
 
     def test_garbage_csv_cell_names_file_and_row(self, block, tmp_path):
+        schema = type(block)._SCHEMA
+        float_columns = [index for index, spec in enumerate(schema.columns)
+                         if spec.kind == "float"]
+        if not float_columns:
+            pytest.skip("all-string schema: every cell is a valid value")
         path = tmp_path / "block.csv"
         block.save_csv(path)
         text = path.read_text()
@@ -185,7 +203,7 @@ class TestCorruption:
         first_data = next(index for index, line in enumerate(lines)
                           if not line.startswith("#")) + 1
         cells = lines[first_data].rstrip("\r\n").split(",")
-        cells[-1] = "not-a-number"
+        cells[float_columns[-1]] = "not-a-number"
         lines[first_data] = ",".join(cells) + "\n"
         path.write_text("".join(lines))
         with pytest.raises(ValueError, match="data row 1"):
