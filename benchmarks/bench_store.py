@@ -1,0 +1,144 @@
+"""Record store: warm reruns must beat cold runs by a wide margin.
+
+The store exists so fleet-scale reruns (new code, same data) cost disk
+reads instead of trace generation + FFTs.  This benchmark pins that
+contract on a 25k+-pair survey (size via ``REPRO_BENCH_STORE_PAIRS``;
+CI smoke uses a small fleet):
+
+* **cold vs warm** -- ``run_survey(store=...)`` twice against the same
+  store directory.  The warm run must be 100 % cache hits, byte-identical
+  to the cold run, and at least ``REPRO_BENCH_STORE_MIN_SPEEDUP``x
+  faster (default 5).
+* **mmap vs npz** -- re-opening the store's published ``.rcb`` blocks as
+  memory maps vs re-parsing the same blocks from compressed npz, the
+  legacy spill format.  The zero-copy path must win; both numbers land
+  in ``BENCH_store.json`` so the format trade-off stays measured.
+
+Results are recorded in ``benchmarks/output/BENCH_store.json`` and
+uploaded by the CI ``store-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.survey import run_survey
+from repro.records import RecordStore, load_rcb_any
+from repro.telemetry.dataset import DatasetConfig, FleetDataset
+
+from conftest import BENCH_STORE_JSON, update_bench_json
+
+#: Fleet size for the cold/warm comparison.
+STORE_PAIRS = int(os.environ.get("REPRO_BENCH_STORE_PAIRS", "25200"))
+
+#: Required speed-up of a fully-warm rerun over the cold run.
+REQUIRED_SPEEDUP = float(os.environ.get("REPRO_BENCH_STORE_MIN_SPEEDUP", "5"))
+
+#: Chunk/cache granularity (matches the out-of-core survey benches).
+CHUNK_SIZE = 512
+
+
+def _block_payloads(blocks) -> list:
+    return [(type(block).__name__, block.metric_name,
+             tuple(np.asarray(getattr(block, spec.name)).tobytes()
+                   for spec in type(block)._SCHEMA.columns))
+            for block in blocks]
+
+
+def test_warm_rerun_speedup(tmp_path):
+    dataset = FleetDataset(DatasetConfig(pair_count=STORE_PAIRS, seed=7))
+    store_dir = tmp_path / "store"
+
+    start = time.perf_counter()
+    cold = run_survey(dataset, store=RecordStore(store_dir), chunk_size=CHUNK_SIZE)
+    cold_seconds = time.perf_counter() - start
+    assert (cold.cache_hits, cold.cache_misses) == (0, STORE_PAIRS)
+
+    # A fresh dataset object: nothing warm but the store itself.
+    start = time.perf_counter()
+    warm = run_survey(FleetDataset(DatasetConfig(pair_count=STORE_PAIRS, seed=7)),
+                      store=RecordStore(store_dir), chunk_size=CHUNK_SIZE)
+    warm_seconds = time.perf_counter() - start
+    assert (warm.cache_hits, warm.cache_misses) == (STORE_PAIRS, 0)
+    assert _block_payloads(warm.iter_blocks()) == _block_payloads(cold.iter_blocks())
+
+    speedup = cold_seconds / warm_seconds
+    update_bench_json("cold_vs_warm", {
+        "pairs": STORE_PAIRS,
+        "chunk_size": CHUNK_SIZE,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_pairs_per_second": STORE_PAIRS / cold_seconds,
+        "warm_pairs_per_second": STORE_PAIRS / warm_seconds,
+        "speedup": speedup,
+    }, path=BENCH_STORE_JSON)
+    print(f"\n=== Record store cold vs warm ({STORE_PAIRS} pairs) ===")
+    print(format_table([
+        {"run": "cold", "seconds": cold_seconds,
+         "pairs_per_second": STORE_PAIRS / cold_seconds},
+        {"run": "warm", "seconds": warm_seconds,
+         "pairs_per_second": STORE_PAIRS / warm_seconds},
+        {"run": "speedup", "seconds": speedup, "pairs_per_second": float("nan")},
+    ]))
+    assert speedup >= REQUIRED_SPEEDUP, \
+        f"warm rerun only {speedup:.1f}x faster (need >= {REQUIRED_SPEEDUP}x)"
+
+
+def test_mmap_reopen_beats_npz_reparse(tmp_path):
+    """Loading published .rcb blocks (mmap) vs the same blocks from npz."""
+    pairs = min(STORE_PAIRS, 2800)
+    dataset = FleetDataset(DatasetConfig(pair_count=pairs, seed=7))
+    store = RecordStore(tmp_path / "store")
+    result = run_survey(dataset, store=store, chunk_size=CHUNK_SIZE)
+
+    rcb_paths = [path for entry in store.entries()
+                 for path in sorted(entry.glob("block-*.rcb"))]
+    assert rcb_paths
+    npz_dir = tmp_path / "npz"
+    npz_dir.mkdir()
+    npz_paths = []
+    for index, block in enumerate(result.iter_blocks()):
+        path = npz_dir / f"block-{index:05d}.npz"
+        block.save_npz(path)
+        npz_paths.append((type(block), path))
+
+    def load_rcb():
+        # Touch one column so lazy mmaps actually fault pages in.
+        return sum(len(load_rcb_any(path).device_ids) for path in rcb_paths)
+
+    def load_npz():
+        return sum(len(cls.load_npz(path).device_ids) for cls, path in npz_paths)
+
+    best_rcb = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        rows_rcb = load_rcb()
+        best_rcb = min(best_rcb, time.perf_counter() - start)
+    best_npz = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        rows_npz = load_npz()
+        best_npz = min(best_npz, time.perf_counter() - start)
+    assert rows_rcb == rows_npz == pairs
+
+    ratio = best_npz / best_rcb
+    update_bench_json("mmap_vs_npz", {
+        "pairs": pairs,
+        "blocks": len(rcb_paths),
+        "rcb_seconds": best_rcb,
+        "npz_seconds": best_npz,
+        "npz_over_rcb": ratio,
+    }, path=BENCH_STORE_JSON)
+    print(f"\n=== Store block re-open: rcb mmap vs npz re-parse "
+          f"({len(rcb_paths)} blocks, {pairs} rows) ===")
+    print(format_table([
+        {"format": "rcb (mmap)", "seconds": best_rcb},
+        {"format": "npz (re-parse)", "seconds": best_npz},
+        {"format": "npz/rcb", "seconds": ratio},
+    ]))
+    assert best_rcb < best_npz, \
+        f"mmap re-open ({best_rcb:.4f}s) should beat npz re-parse ({best_npz:.4f}s)"

@@ -42,6 +42,9 @@ BENCH_INGEST_JSON = OUTPUT_DIR / "BENCH_ingest.json"
 #: Fault-matrix trajectory of the quarantine/chaos layer.
 BENCH_CHAOS_JSON = OUTPUT_DIR / "BENCH_chaos.json"
 
+#: Cold/warm trajectory of the persistent record store.
+BENCH_STORE_JSON = OUTPUT_DIR / "BENCH_store.json"
+
 
 def update_bench_json(section: str, payload: dict, path: Path = BENCH_JSON) -> None:
     """Merge one benchmark's numbers into a trajectory JSON file.

@@ -46,8 +46,10 @@ counts -- the end-to-end wiring of :mod:`repro.network`.
 
 from __future__ import annotations
 
+import shutil
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
@@ -57,9 +59,10 @@ from ..faults.execution import (RETRYABLE_EXCEPTIONS, BatchExecutionError, Retry
 from ..network.cost import TelemetryCostAccountant
 from ..pipeline.evaluation import PointEvaluation, PolicyRecordBlock
 from ..pipeline.policies import PolicySuite, SamplingPolicy, StaticPolicySuite
-from ..records import FailureRecord, FailureRecordBlock, MemoryRecordSink, RecordSink
+from ..records import (FailureRecord, FailureRecordBlock, MemoryRecordSink,
+                       RecordSink, RecordStore, SpillingRecordSink, fingerprint_slice)
 from ..telemetry.source import TraceBatch, TraceSource, WorkerSpec, batch_offsets
-from .survey import OnError
+from .survey import OnError, _materialise_blocks, _spill_task_blocks
 
 __all__ = ["PolicySurveyResult", "run_policy_survey", "OnError"]
 
@@ -118,6 +121,10 @@ class PolicySurveyResult:
 
     def __init__(self, sink: RecordSink | None = None,
                  failure_sink: RecordSink | None = None) -> None:
+        #: Pairs served from / recomputed past a RecordStore (both stay 0
+        #: on store-less runs); see ``run_policy_survey(store=...)``.
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._sink = sink if sink is not None else MemoryRecordSink()
         self._failure_sink = failure_sink if failure_sink is not None \
             else MemoryRecordSink()
@@ -300,22 +307,26 @@ def _policy_slice_blocks(source: TraceSource, metric_name: str, offset: int,
     return blocks
 
 
-def _policy_worker(task: tuple) -> list[PolicyRecordBlock]:
+def _policy_worker(task: tuple) -> list:
     """Process-pool entry point: serve one pair slice, evaluate, price, compact.
 
     ``task`` is a picklable batch spec ``(worker_spec, metric_name,
-    offset, limit, suite, accountant, chunk_size)``; the worker re-opens
-    the trace source locally from the spec, runs the batched policy
-    evaluation and the vectorised pricing, and returns compact columnar
-    blocks -- no trace data crosses the process boundary.  A slice
-    address outside the source's pair list raises instead of silently
-    dropping records.
+    offset, limit, suite, accountant, chunk_size, spill)``; the worker
+    re-opens the trace source locally from the spec, runs the batched
+    policy evaluation and the vectorised pricing, and returns compact
+    columnar blocks -- no trace data crosses the process boundary.  With
+    ``spill`` set (a ``(scratch_dir, task_tag)`` pair, used when the
+    parent re-serialises blocks anyway), the blocks are written as
+    scratch ``.rcb`` files and only
+    :class:`~repro.records.BlockFileRef` pointers return through the
+    pipe.  A slice address outside the source's pair list raises instead
+    of silently dropping records.
 
     Failures surface as :class:`~repro.faults.BatchExecutionError` naming
     the batch spec (source, metric, offset, limit) -- never a bare
     traceback from the pool -- with IO-shaped errors marked retryable.
     """
-    (spec, metric_name, offset, limit, suite, accountant, chunk_size) = task
+    (spec, metric_name, offset, limit, suite, accountant, chunk_size, spill) = task
     context = (f"policy batch (source={spec}, metric={metric_name!r}, "
                f"offset={offset}, limit={limit})")
     try:
@@ -323,8 +334,11 @@ def _policy_worker(task: tuple) -> list[PolicyRecordBlock]:
         if source is None:
             source = spec.open()
             _WORKER_SOURCES[spec] = source
-        return _policy_slice_blocks(source, metric_name, offset, limit, suite,
-                                    accountant, chunk_size)
+        blocks = _policy_slice_blocks(source, metric_name, offset, limit, suite,
+                                      accountant, chunk_size)
+        if spill is None:
+            return blocks
+        return _spill_task_blocks(blocks, spill, "policy")
     except Exception as error:
         raise BatchExecutionError.wrap(error, context) from error
 
@@ -374,6 +388,43 @@ def _quarantine_policy_slice(source: TraceSource, result: PolicySurveyResult,
     result.append_failures(sorted(failures, key=lambda f: f.provenance))
 
 
+def _policy_slice_or_quarantine(source: TraceSource, result: PolicySurveyResult,
+                                metric_name: str, offset: int, limit: int,
+                                suite: PolicySuite | StaticPolicySuite,
+                                accountant: TelemetryCostAccountant,
+                                chunk_size: int, on_error: OnError,
+                                retry: RetryPolicy,
+                                sleep: Callable[[float], None]
+                                ) -> list[PolicyRecordBlock] | None:
+    """Serve one slice sequentially under the run's error policy.
+
+    With ``on_error="raise"`` the first failure propagates; with
+    ``"quarantine"`` a transiently failing slice is retried under the
+    policy's budget and, once exhausted -- or immediately for content
+    errors -- salvaged pair by pair (returning ``None``: the salvage
+    appends its blocks and failures to ``result`` itself).
+    """
+    if on_error == "raise":
+        return _policy_slice_blocks(source, metric_name, offset, limit, suite,
+                                    accountant, chunk_size)
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            return _policy_slice_blocks(source, metric_name, offset, limit,
+                                        suite, accountant, chunk_size)
+        except RETRYABLE_EXCEPTIONS:
+            if attempt < retry.max_attempts:
+                sleep(retry.delay(attempt))
+                continue
+            _quarantine_policy_slice(source, result, metric_name, offset, limit,
+                                     suite, accountant)
+            return None
+        except Exception:
+            _quarantine_policy_slice(source, result, metric_name, offset, limit,
+                                     suite, accountant)
+            return None
+    return None
+
+
 def _run_policy_survey_quarantined(source: TraceSource, result: PolicySurveyResult,
                                    suite: PolicySuite | StaticPolicySuite,
                                    accountant: TelemetryCostAccountant,
@@ -390,24 +441,13 @@ def _run_policy_survey_quarantined(source: TraceSource, result: PolicySurveyResu
     for metric_name in metric_names:
         for offset, limit in batch_offsets(source, metric_name, limit_per_metric,
                                            chunk_size):
-            for attempt in range(1, retry.max_attempts + 1):
-                try:
-                    blocks = _policy_slice_blocks(source, metric_name, offset, limit,
-                                                  suite, accountant, chunk_size)
-                except RETRYABLE_EXCEPTIONS:
-                    if attempt < retry.max_attempts:
-                        sleep(retry.delay(attempt))
-                        continue
-                    _quarantine_policy_slice(source, result, metric_name, offset,
-                                             limit, suite, accountant)
-                    break
-                except Exception:
-                    _quarantine_policy_slice(source, result, metric_name, offset,
-                                             limit, suite, accountant)
-                    break
-                for block in blocks:
-                    result.append_block(block)
-                break
+            blocks = _policy_slice_or_quarantine(
+                source, result, metric_name, offset, limit, suite, accountant,
+                chunk_size, "quarantine", retry, sleep)
+            if blocks is None:
+                continue
+            for block in blocks:
+                result.append_block(block)
 
 
 def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
@@ -417,7 +457,8 @@ def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
                                 limit_per_metric: int | None, chunk_size: int,
                                 workers: int, on_error: OnError,
                                 retry: RetryPolicy,
-                                sleep: Callable[[float], None]) -> None:
+                                sleep: Callable[[float], None],
+                                scratch_dir: Path | None = None) -> None:
     """Fan policy evaluation out to a process pool, in survey order.
 
     Tasks slice each metric's pair list at ``chunk_size`` boundaries --
@@ -442,8 +483,9 @@ def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
     for metric_name in metric_names:
         for offset, limit in batch_offsets(source, metric_name, limit_per_metric,
                                            chunk_size):
+            spill = None if scratch_dir is None else (str(scratch_dir), len(tasks))
             tasks.append((spec, metric_name, offset, limit, suite, accountant,
-                          chunk_size))
+                          chunk_size, spill))
             addresses.append((metric_name, offset, limit))
     for index, outcome in run_batch_tasks(_policy_worker, tasks, workers,
                                           retry=retry, sleep=sleep):
@@ -454,7 +496,92 @@ def _run_policy_survey_parallel(source: TraceSource, result: PolicySurveyResult,
             _quarantine_policy_slice(source, result, metric_name, offset, limit,
                                      suite, accountant)
             continue
-        for block in outcome:
+        for block in _materialise_blocks(outcome):
+            result.append_block(block)
+
+
+def _policy_params_token(suite: PolicySuite | StaticPolicySuite,
+                         accountant: TelemetryCostAccountant) -> str:
+    """Analysis-parameter half of a policy slice's fingerprint."""
+    token = getattr(suite, "cache_token", None)
+    if token is None:
+        raise ValueError(
+            f"policy suite {type(suite).__name__} does not define cache_token(); "
+            "store-backed policy surveys need a deterministic parameter fingerprint")
+    return f"{token()}|{accountant.cache_token()}"
+
+
+def _run_policy_survey_with_store(source: TraceSource, result: PolicySurveyResult,
+                                  store: RecordStore,
+                                  suite: PolicySuite | StaticPolicySuite,
+                                  accountant: TelemetryCostAccountant,
+                                  metric_names: Sequence[str],
+                                  limit_per_metric: int | None, chunk_size: int,
+                                  workers: int, on_error: OnError,
+                                  retry: RetryPolicy,
+                                  sleep: Callable[[float], None],
+                                  scratch_dir: Path | None) -> None:
+    """Store-backed execution: serve cached slices, recompute only misses.
+
+    The policy-survey mirror of the Nyquist survey's store runner: each
+    ``chunk_size`` slice is fingerprinted over its pair contents, the
+    suite's and accountant's ``cache_token()``; hits are appended as
+    memory-mapped blocks without loading a trace, misses run exactly as a
+    store-less run would (pooled or sequential) then written back.
+    Quarantined slices are never cached.
+    """
+    params_token = _policy_params_token(suite, accountant)
+    slices: list[tuple[str, int, int]] = []
+    fingerprints: list = []
+    cached: list = []
+    for metric_name in metric_names:
+        for offset, limit in batch_offsets(source, metric_name, limit_per_metric,
+                                           chunk_size):
+            fingerprint = fingerprint_slice("policy", source, metric_name, offset,
+                                            limit, chunk_size, params_token)
+            slices.append((metric_name, offset, limit))
+            fingerprints.append(fingerprint)
+            cached.append(store.get(fingerprint))
+
+    outcomes = None
+    if workers > 1:
+        spec = source.worker_spec()
+        tasks = []
+        for index, (metric_name, offset, limit) in enumerate(slices):
+            if cached[index] is not None:
+                continue
+            spill = None if scratch_dir is None else (str(scratch_dir), index)
+            tasks.append((spec, metric_name, offset, limit, suite, accountant,
+                          chunk_size, spill))
+        outcomes = run_batch_tasks(_policy_worker, tasks, workers,
+                                   retry=retry, sleep=sleep)
+
+    for index, (metric_name, offset, limit) in enumerate(slices):
+        hit = cached[index]
+        if hit is not None:
+            result.cache_hits += limit
+            for block in hit:
+                result.append_block(block)
+            continue
+        result.cache_misses += limit
+        if outcomes is not None:
+            _, outcome = next(outcomes)
+            if isinstance(outcome, BatchExecutionError):
+                if on_error == "raise":
+                    raise outcome
+                _quarantine_policy_slice(source, result, metric_name, offset, limit,
+                                         suite, accountant)
+                continue
+            blocks = _materialise_blocks(outcome)
+        else:
+            maybe_blocks = _policy_slice_or_quarantine(
+                source, result, metric_name, offset, limit, suite, accountant,
+                chunk_size, on_error, retry, sleep)
+            if maybe_blocks is None:
+                continue
+            blocks = maybe_blocks
+        store.put(fingerprints[index], blocks)
+        for block in blocks:
             result.append_block(block)
 
 
@@ -468,6 +595,7 @@ def run_policy_survey(source: TraceSource,
                       sink: RecordSink | None = None,
                       on_error: OnError = "raise",
                       failure_sink: RecordSink | None = None,
+                      store: RecordStore | None = None,
                       retry: RetryPolicy | None = None,
                       retry_sleep: Callable[[float], None] = time.sleep,
                       ) -> PolicySurveyResult:
@@ -517,6 +645,14 @@ def run_policy_survey(source: TraceSource,
         Destination for the quarantined-failure blocks (default:
         in-memory; pass a :class:`~repro.records.SpillingRecordSink`
         rooted elsewhere than ``sink``).
+    store:
+        A :class:`~repro.records.RecordStore` for incremental reruns.
+        Slices already fingerprinted in the store (pair contents + the
+        suite's and accountant's ``cache_token()``) are served as
+        memory-mapped blocks without loading a trace; misses run exactly
+        as a store-less run would, then are written back atomically.
+        ``PolicySurveyResult.cache_hits`` / ``cache_misses`` count the
+        pairs on each path; quarantined slices are never cached.
     retry:
         :class:`~repro.faults.RetryPolicy` bounding attempts per batch
         for transient (IO-shaped) failures and crashed workers.
@@ -545,11 +681,36 @@ def run_policy_survey(source: TraceSource,
     metric_names = list(metrics) if metrics is not None else source.metric_names()
     retry = retry if retry is not None else RetryPolicy()
 
-    if workers is not None and workers > 1:
-        _run_policy_survey_parallel(source, result, suite, accountant, metric_names,
-                                    limit_per_metric, chunk_size, workers, on_error,
-                                    retry, retry_sleep)
-        return result
+    # Workers return .rcb spill-file refs instead of pickled arrays when
+    # the parent re-serialises the blocks anyway (store writes, spilling
+    # sinks); see run_survey for the layout rationale.
+    worker_count = workers if workers is not None else 1
+    scratch_dir: Path | None = None
+    if worker_count > 1:
+        if store is not None:
+            scratch_dir = store.directory / ".scratch"
+        elif isinstance(sink, SpillingRecordSink):
+            scratch_dir = sink.directory / ".scratch"
+    try:
+        if scratch_dir is not None:
+            scratch_dir.mkdir(parents=True, exist_ok=True)
+
+        if store is not None:
+            _run_policy_survey_with_store(source, result, store, suite, accountant,
+                                          metric_names, limit_per_metric, chunk_size,
+                                          worker_count, on_error, retry, retry_sleep,
+                                          scratch_dir)
+            return result
+
+        if worker_count > 1:
+            _run_policy_survey_parallel(source, result, suite, accountant,
+                                        metric_names, limit_per_metric, chunk_size,
+                                        worker_count, on_error, retry, retry_sleep,
+                                        scratch_dir)
+            return result
+    finally:
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
 
     if on_error == "quarantine":
         _run_policy_survey_quarantined(source, result, suite, accountant,

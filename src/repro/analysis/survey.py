@@ -60,8 +60,10 @@ from __future__ import annotations
 
 import enum
 import math
+import shutil
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Iterator, Literal, Sequence
 
 import numpy as np
@@ -71,9 +73,10 @@ from ..core.windowed import (FIGURE7_STEP_SECONDS, FIGURE7_WINDOW_SECONDS, rate_
                              windowed_nyquist_rates)
 from ..faults.execution import (RETRYABLE_EXCEPTIONS, BatchExecutionError, RetryPolicy,
                                 run_batch_tasks)
-from ..records import (BlockSchema, ColumnarBlock, ColumnSpec, FailureRecord,
-                       FailureRecordBlock, MemoryRecordSink, RecordSink, ScalarSpec,
-                       SpillingRecordSink, register_block_type)
+from ..records import (BlockFileRef, BlockSchema, ColumnarBlock, ColumnSpec,
+                       FailureRecord, FailureRecordBlock, MemoryRecordSink,
+                       RecordSink, RecordStore, ScalarSpec, SpillingRecordSink,
+                       fingerprint_slice, register_block_type)
 from ..telemetry.dataset import TracePair
 from ..telemetry.source import TraceSource, WorkerSpec, batch_offsets
 
@@ -250,6 +253,10 @@ class SurveyResult:
                  sink: RecordSink | None = None,
                  failure_sink: RecordSink | None = None) -> None:
         self.oversample_threshold = oversample_threshold
+        #: Pairs served from / recomputed past a RecordStore (both stay 0
+        #: on store-less runs); see ``run_survey(store=...)``.
+        self.cache_hits = 0
+        self.cache_misses = 0
         self._sink = sink if sink is not None else MemoryRecordSink()
         self._failure_sink = failure_sink if failure_sink is not None \
             else MemoryRecordSink()
@@ -498,24 +505,64 @@ def _survey_slice_blocks(source: TraceSource, metric_name: str, offset: int,
     return blocks
 
 
-def _survey_worker(task: tuple) -> list[RecordBlock]:
+def _spill_task_blocks(blocks: Sequence[ColumnarBlock], spill: tuple[str, int],
+                       prefix: str) -> list[BlockFileRef]:
+    """Write a worker's result blocks as scratch rcb files, return the refs.
+
+    The refs are a few dozen bytes each, so the pool's result pipe ships
+    pointers instead of pickled column arrays -- the fix for multi-worker
+    runs being *slower* than sequential ones when a spilling sink or
+    record store (which re-serialises the blocks anyway) is in use.
+    """
+    scratch, tag = spill
+    refs: list[BlockFileRef] = []
+    for index, block in enumerate(blocks):
+        path = Path(scratch) / f"{prefix}-{tag:05d}-{index:03d}.rcb"
+        block.save_rcb(path)
+        refs.append(BlockFileRef(str(path)))
+    return refs
+
+
+def _materialise_blocks(outcome: Sequence) -> list:
+    """Resolve a worker outcome into blocks, loading spill-file refs.
+
+    Referenced scratch files are unlinked right after the mmap is opened
+    (the mapping keeps the data alive), so the scratch directory never
+    holds more than the in-flight results.
+    """
+    blocks = []
+    for item in outcome:
+        if isinstance(item, BlockFileRef):
+            block = item.load()
+            Path(item.path).unlink(missing_ok=True)
+            blocks.append(block)
+        else:
+            blocks.append(item)
+    return blocks
+
+
+def _survey_worker(task: tuple) -> list:
     """Process-pool entry point: serve one pair slice, estimate, compact.
 
     ``task`` is a picklable batch spec ``(worker_spec, metric_name,
     offset, limit, estimator, oversample_threshold, fft_workers,
-    chunk_size)``; the worker re-opens the trace source locally from the
-    spec (``spec.open()``: a synthetic fleet regenerates from its config,
-    a measured fleet re-reads its manifest and serves the file-offset
-    slice) and returns compact columnar blocks -- no trace data crosses
-    the process boundary.  A slice address outside the source's pair list
-    raises instead of silently dropping records.
+    chunk_size, spill)``; the worker re-opens the trace source locally
+    from the spec (``spec.open()``: a synthetic fleet regenerates from
+    its config, a measured fleet re-reads its manifest and serves the
+    file-offset slice) and returns compact columnar blocks -- no trace
+    data crosses the process boundary.  With ``spill`` set (a
+    ``(scratch_dir, task_tag)`` pair, used when the parent re-serialises
+    blocks anyway), the blocks are written as scratch ``.rcb`` files and
+    only :class:`~repro.records.BlockFileRef` pointers return through the
+    pipe.  A slice address outside the source's pair list raises instead
+    of silently dropping records.
 
     Failures surface as :class:`~repro.faults.BatchExecutionError` naming
     the batch spec (source, metric, offset, limit) -- never a bare
     traceback from the pool -- with IO-shaped errors marked retryable.
     """
     (spec, metric_name, offset, limit, estimator,
-     oversample_threshold, fft_workers, chunk_size) = task
+     oversample_threshold, fft_workers, chunk_size, spill) = task
     context = (f"survey batch (source={spec}, metric={metric_name!r}, "
                f"offset={offset}, limit={limit})")
     try:
@@ -523,9 +570,12 @@ def _survey_worker(task: tuple) -> list[RecordBlock]:
         if source is None:
             source = spec.open()
             _WORKER_SOURCES[spec] = source
-        return _survey_slice_blocks(source, metric_name, offset, limit, estimator,
-                                    oversample_threshold, fft_workers, chunk_size,
-                                    source.trace_duration)
+        blocks = _survey_slice_blocks(source, metric_name, offset, limit, estimator,
+                                      oversample_threshold, fft_workers, chunk_size,
+                                      source.trace_duration)
+        if spill is None:
+            return blocks
+        return _spill_task_blocks(blocks, spill, "survey")
     except Exception as error:
         raise BatchExecutionError.wrap(error, context) from error
 
@@ -573,6 +623,46 @@ def _quarantine_survey_slice(source: TraceSource, result: SurveyResult,
     result.append_failures(failures)
 
 
+def _survey_slice_or_quarantine(dataset: TraceSource, result: SurveyResult,
+                                metric_name: str, offset: int, limit: int,
+                                estimator: NyquistEstimator, fft_workers: int | None,
+                                chunk_size: int, trace_duration: float,
+                                on_error: OnError, retry: RetryPolicy,
+                                sleep: Callable[[float], None]) -> list[RecordBlock] | None:
+    """Serve one slice sequentially under the run's error policy.
+
+    With ``on_error="raise"`` the first failure propagates; with
+    ``"quarantine"`` a transiently failing slice is retried under the
+    policy's budget and, once exhausted -- or immediately for content
+    errors -- salvaged pair by pair (returning ``None``: the salvage
+    appends its blocks and failures to ``result`` itself).
+    """
+    if on_error == "raise":
+        return _survey_slice_blocks(dataset, metric_name, offset, limit, estimator,
+                                    result.oversample_threshold, fft_workers,
+                                    chunk_size, trace_duration)
+    for attempt in range(1, retry.max_attempts + 1):
+        try:
+            return _survey_slice_blocks(
+                dataset, metric_name, offset, limit, estimator,
+                result.oversample_threshold, fft_workers, chunk_size,
+                trace_duration)
+        except RETRYABLE_EXCEPTIONS:
+            if attempt < retry.max_attempts:
+                sleep(retry.delay(attempt))
+                continue
+            _quarantine_survey_slice(dataset, result, metric_name, offset, limit,
+                                     estimator, result.oversample_threshold,
+                                     fft_workers, trace_duration)
+            return None
+        except Exception:
+            _quarantine_survey_slice(dataset, result, metric_name, offset, limit,
+                                     estimator, result.oversample_threshold,
+                                     fft_workers, trace_duration)
+            return None
+    return None
+
+
 def _run_survey_quarantined(dataset: TraceSource, result: SurveyResult,
                             estimator: NyquistEstimator, metric_names: Sequence[str],
                             limit_per_metric: int | None, chunk_size: int,
@@ -591,37 +681,21 @@ def _run_survey_quarantined(dataset: TraceSource, result: SurveyResult,
     for metric_name in metric_names:
         for offset, limit in batch_offsets(dataset, metric_name, limit_per_metric,
                                            chunk_size):
-            for attempt in range(1, retry.max_attempts + 1):
-                try:
-                    blocks = _survey_slice_blocks(
-                        dataset, metric_name, offset, limit, estimator,
-                        result.oversample_threshold, fft_workers, chunk_size,
-                        trace_duration)
-                except RETRYABLE_EXCEPTIONS:
-                    if attempt < retry.max_attempts:
-                        sleep(retry.delay(attempt))
-                        continue
-                    _quarantine_survey_slice(dataset, result, metric_name, offset,
-                                             limit, estimator,
-                                             result.oversample_threshold, fft_workers,
-                                             trace_duration)
-                    break
-                except Exception:
-                    _quarantine_survey_slice(dataset, result, metric_name, offset,
-                                             limit, estimator,
-                                             result.oversample_threshold, fft_workers,
-                                             trace_duration)
-                    break
-                for block in blocks:
-                    result.append_block(block)
-                break
+            blocks = _survey_slice_or_quarantine(
+                dataset, result, metric_name, offset, limit, estimator, fft_workers,
+                chunk_size, trace_duration, "quarantine", retry, sleep)
+            if blocks is None:
+                continue
+            for block in blocks:
+                result.append_block(block)
 
 
 def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
                          estimator: NyquistEstimator, metric_names: Sequence[str],
                          limit_per_metric: int | None, chunk_size: int, workers: int,
                          fft_workers: int | None, on_error: OnError,
-                         retry: RetryPolicy, sleep: Callable[[float], None]) -> None:
+                         retry: RetryPolicy, sleep: Callable[[float], None],
+                         scratch_dir: Path | None = None) -> None:
     """Fan trace production + estimation out to a process pool, in survey order.
 
     Tasks slice each metric's pair list at ``chunk_size`` boundaries --
@@ -646,8 +720,10 @@ def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
     for metric_name in metric_names:
         for offset, limit in batch_offsets(dataset, metric_name, limit_per_metric,
                                            chunk_size):
+            spill = None if scratch_dir is None else (str(scratch_dir), len(tasks))
             tasks.append((spec, metric_name, offset, limit, estimator,
-                          result.oversample_threshold, fft_workers, chunk_size))
+                          result.oversample_threshold, fft_workers, chunk_size,
+                          spill))
             addresses.append((metric_name, offset, limit))
     for index, outcome in run_batch_tasks(_survey_worker, tasks, workers,
                                           retry=retry, sleep=sleep):
@@ -659,7 +735,91 @@ def _run_survey_parallel(dataset: TraceSource, result: SurveyResult,
                                      estimator, result.oversample_threshold,
                                      fft_workers, trace_duration)
             continue
-        for block in outcome:
+        for block in _materialise_blocks(outcome):
+            result.append_block(block)
+
+
+def _survey_params_token(estimator: NyquistEstimator, result: SurveyResult) -> str:
+    """Analysis-parameter half of a survey slice's fingerprint."""
+    return (f"{estimator.cache_token()}|"
+            f"oversample_threshold={result.oversample_threshold!r}")
+
+
+def _run_survey_with_store(dataset: TraceSource, result: SurveyResult,
+                           store: "RecordStore", estimator: NyquistEstimator,
+                           metric_names: Sequence[str], limit_per_metric: int | None,
+                           chunk_size: int, workers: int, fft_workers: int | None,
+                           on_error: OnError, retry: RetryPolicy,
+                           sleep: Callable[[float], None],
+                           scratch_dir: Path | None) -> None:
+    """Store-backed execution: serve cached slices, recompute only misses.
+
+    Every slice is fingerprinted over its pair contents and analysis
+    parameters (:func:`~repro.records.fingerprint_slice`).  Hits are
+    appended straight from the store as memory-mapped blocks -- no trace
+    generation, no estimator call -- and misses run exactly as a
+    store-less run would (fanned out to the process pool when
+    ``workers > 1``, sequentially otherwise), then written back.  Blocks
+    are appended in survey order regardless of hit/miss interleaving, so
+    results stay byte-identical to a cold run at any worker count.
+    Quarantined slices are never cached: their salvage blocks depend on
+    which pairs failed, not just the slice address.
+    """
+    trace_duration = dataset.trace_duration
+    params_token = _survey_params_token(estimator, result)
+    slices: list[tuple[str, int, int]] = []
+    fingerprints: list = []
+    cached: list = []
+    for metric_name in metric_names:
+        for offset, limit in batch_offsets(dataset, metric_name, limit_per_metric,
+                                           chunk_size):
+            fingerprint = fingerprint_slice("survey", dataset, metric_name, offset,
+                                            limit, chunk_size, params_token)
+            slices.append((metric_name, offset, limit))
+            fingerprints.append(fingerprint)
+            cached.append(store.get(fingerprint))
+
+    outcomes = None
+    if workers > 1:
+        spec = dataset.worker_spec()
+        tasks = []
+        for index, (metric_name, offset, limit) in enumerate(slices):
+            if cached[index] is not None:
+                continue
+            spill = None if scratch_dir is None else (str(scratch_dir), index)
+            tasks.append((spec, metric_name, offset, limit, estimator,
+                          result.oversample_threshold, fft_workers, chunk_size,
+                          spill))
+        outcomes = run_batch_tasks(_survey_worker, tasks, workers,
+                                   retry=retry, sleep=sleep)
+
+    for index, (metric_name, offset, limit) in enumerate(slices):
+        hit = cached[index]
+        if hit is not None:
+            result.cache_hits += limit
+            for block in hit:
+                result.append_block(block)
+            continue
+        result.cache_misses += limit
+        if outcomes is not None:
+            _, outcome = next(outcomes)
+            if isinstance(outcome, BatchExecutionError):
+                if on_error == "raise":
+                    raise outcome
+                _quarantine_survey_slice(dataset, result, metric_name, offset, limit,
+                                         estimator, result.oversample_threshold,
+                                         fft_workers, trace_duration)
+                continue
+            blocks = _materialise_blocks(outcome)
+        else:
+            maybe_blocks = _survey_slice_or_quarantine(
+                dataset, result, metric_name, offset, limit, estimator, fft_workers,
+                chunk_size, trace_duration, on_error, retry, sleep)
+            if maybe_blocks is None:
+                continue
+            blocks = maybe_blocks
+        store.put(fingerprints[index], blocks)
+        for block in blocks:
             result.append_block(block)
 
 
@@ -674,6 +834,7 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
                sink: RecordSink | None = None,
                on_error: OnError = "raise",
                failure_sink: RecordSink | None = None,
+               store: "RecordStore | None" = None,
                retry: RetryPolicy | None = None,
                retry_sleep: Callable[[float], None] = time.sleep) -> SurveyResult:
     """Run the Section 3.2 analysis over a whole dataset.
@@ -738,6 +899,17 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
         Destination for the quarantined-failure blocks (default:
         in-memory; pass a :class:`SpillingRecordSink` on its own
         directory for out-of-core runs).
+    store:
+        A :class:`~repro.records.RecordStore` for incremental reruns
+        (batched backend only).  Each ``chunk_size`` slice is
+        fingerprinted over its pair contents and analysis parameters;
+        fingerprints already in the store are served as memory-mapped
+        blocks without generating a trace or calling the estimator, and
+        misses are computed exactly as a store-less run would (including
+        the multi-worker fan-out) then written back atomically.  Results
+        are byte-identical either way; ``SurveyResult.cache_hits`` /
+        ``cache_misses`` count the pairs on each path.  Quarantined
+        slices are never cached.
     retry:
         Bounded-retry policy for transient (IO-shaped) batch failures
         and crashed workers; defaults to
@@ -761,6 +933,9 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
     if on_error == "quarantine" and backend != "batched":
         raise ValueError("quarantine execution requires the 'batched' backend "
                          "(failures are isolated at its batch boundaries)")
+    if store is not None and backend != "batched":
+        raise ValueError("store-backed execution requires the 'batched' backend "
+                         "(slices are fingerprinted at its batch boundaries)")
     if sink is not None and sink.rows > 0:
         # Appending a fresh survey to leftover records would silently
         # corrupt every aggregation with duplicates; a previous run's spill
@@ -781,11 +956,37 @@ def run_survey(dataset: TraceSource, estimator: NyquistEstimator | None = None,
     trace_duration = dataset.trace_duration
     retry = retry if retry is not None else RetryPolicy()
 
-    if workers is not None and workers > 1:
-        _run_survey_parallel(dataset, result, estimator, metric_names, limit_per_metric,
-                             chunk_size, workers, fft_workers, on_error, retry,
-                             retry_sleep)
-        return result
+    # Workers return .rcb spill-file refs instead of pickled arrays when
+    # the parent re-serialises the blocks anyway (store writes, spilling
+    # sinks) -- the scratch directory lives next to the destination so the
+    # rename-free loads stay on one filesystem.
+    worker_count = workers if workers is not None else 1
+    scratch_dir: Path | None = None
+    if worker_count > 1:
+        if store is not None:
+            scratch_dir = store.directory / ".scratch"
+        elif isinstance(sink, SpillingRecordSink):
+            scratch_dir = sink.directory / ".scratch"
+    try:
+        if scratch_dir is not None:
+            scratch_dir.mkdir(parents=True, exist_ok=True)
+
+        if store is not None:
+            _run_survey_with_store(dataset, result, store, estimator, metric_names,
+                                   limit_per_metric, chunk_size, worker_count,
+                                   fft_workers, on_error, retry, retry_sleep,
+                                   scratch_dir)
+            return result
+
+        if worker_count > 1:
+            _run_survey_parallel(dataset, result, estimator, metric_names,
+                                 limit_per_metric, chunk_size, worker_count,
+                                 fft_workers, on_error, retry, retry_sleep,
+                                 scratch_dir)
+            return result
+    finally:
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
 
     if on_error == "quarantine":
         _run_survey_quarantined(dataset, result, estimator, metric_names,

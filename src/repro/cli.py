@@ -7,7 +7,11 @@ Installed as ``repro-monitor`` (see pyproject) and runnable as
   style summaries (optionally exporting CSVs).  ``--workers`` fans trace
   production + estimation out to a process pool and ``--spill-dir``
   streams the per-pair records to npz chunks on disk, so 100k+-pair
-  fleets run with memory bounded by ``--chunk-size``.  ``--from-dir``
+  fleets run with memory bounded by ``--chunk-size``.  ``--store DIR``
+  keeps a content-addressed record store across runs: a rerun with
+  identical traces and parameters serves every slice from the store
+  (zero estimator calls) and only changed slices are recomputed.
+  ``--from-dir``
   surveys a *measured* fleet (a directory of recorded per-pair trace
   files + manifest, as written by ``export-fleet``) instead of
   generating synthetic telemetry -- same backends, workers and sinks.
@@ -59,6 +63,7 @@ from .network.cost import TelemetryCostAccountant
 from .network.monitoring import DeploymentSpec
 from .network.topology import TopologySpec
 from .pipeline.policies import PolicySuite
+from .records import RecordStore
 from .signals.timeseries import IrregularTimeSeries
 from .telemetry.dataset import DatasetConfig, FleetDataset
 from .telemetry.ingest import (DEFAULT_MEMORY_BUDGET_SAMPLES, EXPORT_FORMATS,
@@ -117,6 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--spill-dir", type=Path, default=None,
                         help="stream per-pair records to npz chunks in this directory "
                              "instead of holding them in memory (out-of-core surveys)")
+    survey.add_argument("--store", type=Path, default=None, metavar="DIR",
+                        help="content-addressed record store for incremental "
+                             "reruns: slices already computed from identical "
+                             "traces and parameters are served from DIR as "
+                             "memory-mapped blocks, misses are written back")
+    survey.add_argument("--no-store", action="store_true",
+                        help="ignore --store and recompute everything")
     survey.add_argument("--from-dir", type=Path, default=None, metavar="FLEET_DIR",
                         help="survey a measured fleet: a directory of recorded per-pair "
                              "trace files + manifest.json (see 'export-fleet'); "
@@ -164,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     policies.add_argument("--spill-dir", type=Path, default=None,
                           help="stream per-point records to npz chunks in this "
                                "directory instead of holding them in memory")
+    policies.add_argument("--store", type=Path, default=None, metavar="DIR",
+                          help="content-addressed record store for incremental "
+                               "reruns (same semantics as survey --store)")
+    policies.add_argument("--no-store", action="store_true",
+                          help="ignore --store and recompute everything")
     policies.add_argument("--csv-dir", type=Path, default=None,
                           help="directory to write the cost/quality table CSV into")
     policies.add_argument("--from-dir", type=Path, default=None, metavar="FLEET_DIR",
@@ -304,11 +321,14 @@ def _command_survey(args: argparse.Namespace) -> int:
                     if args.spill_dir is not None and args.on_error == "quarantine"
                     else None)
     try:
+        store = (RecordStore(args.store)
+                 if args.store is not None and not args.no_store else None)
         result = run_survey(dataset, estimator=estimator, backend=args.backend,
                             limit_per_metric=args.limit_per_metric,
                             workers=args.workers, fft_workers=args.fft_workers,
                             chunk_size=args.chunk_size, sink=sink,
-                            on_error=args.on_error, failure_sink=failure_sink)
+                            on_error=args.on_error, failure_sink=failure_sink,
+                            store=store)
     except (ValueError, BatchExecutionError) as error:
         # E.g. a corrupt/truncated trace file in a measured fleet (possibly
         # wrapped with its batch spec by a pooled run), or a used spill
@@ -337,6 +357,7 @@ def _command_survey(args: argparse.Namespace) -> int:
                      for key, value in result.headline().items()]
     print(format_table(headline_rows))
     _print_quarantined(result.quarantined_count, result.quarantined)
+    _print_store_summary(store, args.store, result)
 
     if args.csv_dir is not None:
         write_csv(args.csv_dir / "figure1_oversampled_fraction.csv",
@@ -350,8 +371,18 @@ def _command_survey(args: argparse.Namespace) -> int:
         print(f"\nCSV series written under {args.csv_dir}")
     if args.spill_dir is not None:
         print(f"\nRecord chunks spilled to {args.spill_dir} "
-              f"({len(result.sink.files)} npz files)")
+              f"({len(result.sink.files)} {result.sink.fmt} files)")
     return 0
+
+
+def _print_store_summary(store, directory, result) -> None:
+    """Print one run's record-store hit/miss line (nothing without a store)."""
+    if store is None:
+        return
+    total = result.cache_hits + result.cache_misses
+    percent = 100.0 * result.cache_hits / total if total else 0.0
+    print(f"\nRecord store {directory}: {result.cache_hits} pair(s) served from "
+          f"cache, {result.cache_misses} recomputed ({percent:.0f}% hits)")
 
 
 def _command_policies(args: argparse.Namespace) -> int:
@@ -390,12 +421,14 @@ def _command_policies(args: argparse.Namespace) -> int:
         failure_sink = (SpillingRecordSink(args.spill_dir / "failures")
                         if args.spill_dir is not None and args.on_error == "quarantine"
                         else None)
+        store = (RecordStore(args.store)
+                 if args.store is not None and not args.no_store else None)
         result = run_policy_survey(source, suite, accountant=accountant,
                                    metrics=args.metrics,
                                    limit_per_metric=args.limit_per_metric,
                                    chunk_size=args.chunk_size, workers=args.workers,
                                    sink=sink, on_error=args.on_error,
-                                   failure_sink=failure_sink)
+                                   failure_sink=failure_sink, store=store)
     except (ValueError, BatchExecutionError) as error:
         # Bad spec/suite parameters, unknown metrics, a corrupt measured
         # fleet (possibly wrapped with its batch spec by a pooled run) or a
@@ -419,6 +452,7 @@ def _command_policies(args: argparse.Namespace) -> int:
     for policy, fraction in relative.items():
         print(f"  {policy:22s} {fraction:.2f}x")
     _print_quarantined(result.quarantined_count, result.quarantined)
+    _print_store_summary(store, args.store, result)
     if args.csv_dir is not None:
         for row, fraction in zip(rows, relative.values()):
             row["cost_vs_fixed"] = fraction
@@ -426,7 +460,7 @@ def _command_policies(args: argparse.Namespace) -> int:
         print(f"\nCSV written under {args.csv_dir}")
     if args.spill_dir is not None:
         print(f"\nRecord chunks spilled to {args.spill_dir} "
-              f"({len(result.sink.files)} npz files)")
+              f"({len(result.sink.files)} {result.sink.fmt} files)")
     return 0
 
 

@@ -202,6 +202,21 @@ class NyquistEstimator:
         self.detrend = detrend
         self.window = window
 
+    def cache_token(self) -> str:
+        """Canonical parameter string for content-addressed record caching.
+
+        Two estimators with equal tokens produce byte-identical survey
+        records for the same traces; any parameter change changes the
+        token (and therefore every :class:`~repro.records.PairFingerprint`
+        built from it).
+        """
+        fields = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in ("energy_fraction", "include_dc", "psd_method",
+                         "min_samples", "flat_tolerance",
+                         "aliased_band_fraction", "detrend", "window"))
+        return f"{type(self).__name__}({fields})"
+
     # ------------------------------------------------------------------
     def compute_spectrum(self, series: TimeSeries) -> Spectrum:
         """PSD of ``series`` using the configured method."""

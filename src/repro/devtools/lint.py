@@ -44,6 +44,14 @@ RL007   quarantine-discipline   Every except handler in the quarantining
                                 failure-record/retry machinery; a handler that
                                 silently continues would drop pairs from the
                                 survey without a failure record.
+RL008   content-addressed-keys  Store/cache modules must derive cache keys
+                                from hashed content only: no ``id()``, no
+                                wall-clock or uuid calls, and no filesystem-
+                                order iteration (``glob``/``iterdir``/
+                                ``os.listdir``/``os.scandir``) outside
+                                ``sorted(...)`` -- any of these would make a
+                                cache hit depend on process or disk state
+                                instead of on the inputs.
 ======  ======================  ==============================================
 
 Suppression: append ``# repro-lint: disable=RL001`` (comma-separate for
@@ -87,9 +95,18 @@ DEFAULT_ROOTS = ("src", "tests", "benchmarks", "examples")
 #: Library modules that read/write files on behalf of callers; RL003's
 #: name-the-path discipline applies to their content errors.
 IO_MODULES = frozenset({
-    "src/repro/records.py",
+    "src/repro/records/blocks.py",
+    "src/repro/records/rcb.py",
+    "src/repro/records/sinks.py",
+    "src/repro/records/store.py",
     "src/repro/telemetry/measured.py",
     "src/repro/telemetry/ingest.py",
+})
+
+#: Modules whose code computes cache/store keys; RL008's hashed-content-
+#: only discipline applies to them.
+STORE_MODULES = frozenset({
+    "src/repro/records/store.py",
 })
 
 #: Modules that emit survey/policy/ingest records; RL006's deterministic
@@ -152,6 +169,10 @@ class SourceFile:
     @property
     def is_quarantine_module(self) -> bool:
         return self.path in QUARANTINE_MODULES
+
+    @property
+    def is_store_module(self) -> bool:
+        return self.path in STORE_MODULES
 
 
 @dataclass(frozen=True)
@@ -781,6 +802,68 @@ class QuarantineDiscipline(Rule):
         return False
 
 
+# ----------------------------------------------------------------------
+# RL008 content-addressed-keys
+# ----------------------------------------------------------------------
+#: Method names that enumerate a directory in filesystem order.
+_FS_ITERATION_ATTRS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Fully-qualified callables that enumerate a directory in filesystem order.
+_FS_ITERATION_CALLS = frozenset({"os.listdir", "os.scandir", "glob.glob",
+                                 "glob.iglob"})
+
+
+class ContentAddressedKeys(Rule):
+    id = "RL008"
+    name = "content-addressed-keys"
+    rationale = ("store/cache keys must derive from hashed content only; "
+                 "id(), wall-clock/uuid calls and unsorted filesystem "
+                 "iteration would key the cache on process or disk state")
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.is_store_module
+
+    def check(self, file: SourceFile, context: ProjectContext) -> Iterator[Violation]:
+        imports = _ImportTable(file.tree)
+        wrapped = self._sorted_wrapped_calls(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "id":
+                yield self.violation(
+                    file, node,
+                    "id() is a process-lifetime address, not an identity; "
+                    "derive cache keys from hashed content instead")
+                continue
+            full = imports.resolve(node.func)
+            if full in _WALLCLOCK_CALLS or (full or "").startswith("uuid."):
+                yield self.violation(
+                    file, node,
+                    f"{full}() injects process state into a store/cache "
+                    "module; cache identity must come from hashed content")
+                continue
+            attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            if (attr in _FS_ITERATION_ATTRS or full in _FS_ITERATION_CALLS) \
+                    and node not in wrapped:
+                yield self.violation(
+                    file, node,
+                    f"{attr or full}() enumerates the filesystem in on-disk "
+                    "order; wrap the listing in sorted(...) so store contents "
+                    "do not depend on directory state")
+
+    @staticmethod
+    def _sorted_wrapped_calls(tree: ast.Module) -> set[ast.Call]:
+        """Calls that appear inside the arguments of a ``sorted(...)`` call."""
+        wrapped: set[ast.Call] = set()
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id == "sorted"):
+                for argument in node.args:
+                    wrapped.update(child for child in ast.walk(argument)
+                                   if isinstance(child, ast.Call))
+        return wrapped
+
+
 #: The registered rules, in id order.  RL005 is import-time introspection
 #: (see :func:`check_block_schemas`) and runs when ``src/repro`` is linted.
 RULES: tuple[Rule, ...] = (
@@ -790,6 +873,7 @@ RULES: tuple[Rule, ...] = (
     PicklableWorkerSpecs(),
     DeterministicIteration(),
     QuarantineDiscipline(),
+    ContentAddressedKeys(),
 )
 
 

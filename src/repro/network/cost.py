@@ -135,6 +135,18 @@ class TelemetryCostAccountant:
         """Fabric hops from ``device`` to the collector."""
         return self._hop_cache.get(device, self.default_hops)
 
+    def cache_token(self) -> str:
+        """Canonical parameter string for content-addressed record caching.
+
+        Captures everything that changes a priced record: the cost model,
+        the default hop count and the per-device hop table (sorted, so the
+        token does not depend on BFS traversal order).
+        """
+        hops = ", ".join(f"{device}:{count}"
+                         for device, count in sorted(self._hop_cache.items()))
+        return (f"{type(self).__name__}(cost_model={self.cost_model!r}, "
+                f"default_hops={self.default_hops}, hops=[{hops}])")
+
     def price_samples(self, device: str, sample_count: int) -> CostBreakdown:
         """Cost of collecting, shipping, storing and analysing ``sample_count`` samples."""
         if sample_count < 0:

@@ -298,6 +298,18 @@ class DeploymentTraceSource(BaseTraceSource):
                 "multi-worker surveys")
         return self.spec
 
+    def pair_content_token(self, pair: TracePair) -> str:
+        """Identity of one reference trace: the deployment spec plus the
+        point's generative parameters.
+
+        Hand-built deployments (no spec) raise via :meth:`worker_spec`:
+        without a frozen recipe their traces have no stable identity to
+        cache under, and a store keyed on object state would serve stale
+        records.
+        """
+        return (f"{self.worker_spec()!r}|oversample={self.oversample_factor!r}|"
+                f"{pair.metric.name}|{pair.device.device_id}|{pair.parameters!r}")
+
     def load(self, pair: TracePair) -> TimeSeries:
         """Generate the reference trace for one measurement point.
 

@@ -111,6 +111,18 @@ class SamplingPolicy(abc.ABC):
     #: Human-readable policy name used in reports.
     name: str = "policy"
 
+    def cache_token(self) -> str:
+        """Canonical parameter string for content-addressed record caching.
+
+        The default serialises every instance attribute in sorted order,
+        which is exact for the built-in policies (their attributes are
+        floats, strings and frozen dataclasses).  Policies holding
+        attributes without deterministic reprs must override this.
+        """
+        fields = ", ".join(f"{key}={value!r}"
+                           for key, value in sorted(vars(self).items()))
+        return f"{type(self).__name__}({fields})"
+
     @abc.abstractmethod
     def collect(self, reference: TimeSeries) -> PolicyResult:
         """Collect samples from the underlying signal ``reference``.
@@ -492,6 +504,10 @@ class PolicySuite:
                     headroom=self.headroom)),
         ]
 
+    def cache_token(self) -> str:
+        """Canonical parameter string for content-addressed record caching."""
+        return repr(self)
+
 
 @dataclass(frozen=True)
 class StaticPolicySuite:
@@ -514,3 +530,13 @@ class StaticPolicySuite:
 
     def build(self, reference_interval: float) -> list[SamplingPolicy]:
         return list(self.policies)
+
+    def cache_token(self) -> str:
+        """Canonical parameter string for content-addressed record caching.
+
+        Composed from the per-policy tokens rather than ``repr(self)``:
+        plain policy objects repr with memory addresses, which would make
+        every run a cache miss.
+        """
+        tokens = ", ".join(policy.cache_token() for policy in self.policies)
+        return f"{type(self).__name__}({tokens})"

@@ -1,0 +1,58 @@
+"""Generic columnar record storage: sinks, block formats and the store.
+
+The fleet pipelines produce *columnar blocks* -- struct-of-arrays chunks
+of homogeneous outcome rows -- and stream them into a
+:class:`RecordSink`.  The Nyquist survey's
+:class:`~repro.analysis.survey.RecordBlock` and the policy survey's
+:class:`~repro.pipeline.evaluation.PolicyRecordBlock` are two such block
+types; this package holds the storage machinery they share, so a new
+record-producing pipeline only has to define its block class.
+
+Layout:
+
+* :mod:`repro.records.blocks` -- :class:`BlockSchema`-driven
+  serialisation (:class:`ColumnarBlock`), the quarantine failure records
+  and the block-type registry.
+* :mod:`repro.records.rcb` -- the ``.rcb`` memory-mapped binary block
+  format: loads are zero-copy ``np.memmap`` views, writes deterministic
+  byte for byte.  npz/csv remain as legacy paths behind the same
+  sniffing.
+* :mod:`repro.records.sinks` -- :class:`MemoryRecordSink` and
+  :class:`SpillingRecordSink` (one file per block, numerically ordered).
+* :mod:`repro.records.store` -- :class:`RecordStore`, the
+  content-addressed cache behind ``run_survey(..., store=...)``
+  incremental reruns, keyed by :class:`PairFingerprint`.
+"""
+
+from .blocks import (BlockSchema, ColumnarBlock, ColumnSpec, FailureRecord,
+                     FailureRecordBlock, ScalarSpec, _BLOCK_TYPES,
+                     _ensure_registry, register_block_type,
+                     registered_block_types)
+from .rcb import (RCB_FORMAT, RCB_MAGIC, BlockFileRef, load_rcb_any,
+                  read_rcb_header)
+from .sinks import MemoryRecordSink, RecordSink, SpillingRecordSink
+from .store import (STORE_SCHEMA_VERSION, PairFingerprint, RecordStore,
+                    fingerprint_slice)
+
+__all__ = [
+    "ColumnSpec",
+    "ScalarSpec",
+    "BlockSchema",
+    "ColumnarBlock",
+    "FailureRecord",
+    "FailureRecordBlock",
+    "RecordSink",
+    "MemoryRecordSink",
+    "SpillingRecordSink",
+    "register_block_type",
+    "registered_block_types",
+    "RCB_MAGIC",
+    "RCB_FORMAT",
+    "BlockFileRef",
+    "read_rcb_header",
+    "load_rcb_any",
+    "STORE_SCHEMA_VERSION",
+    "PairFingerprint",
+    "RecordStore",
+    "fingerprint_slice",
+]

@@ -1,37 +1,25 @@
-"""Generic columnar record storage: the sink layer shared by every survey.
-
-The fleet pipelines produce *columnar blocks* -- struct-of-arrays chunks of
-homogeneous outcome rows -- and stream them into a :class:`RecordSink`.
-The Nyquist survey's :class:`~repro.analysis.survey.RecordBlock` and the
-policy survey's :class:`~repro.pipeline.evaluation.PolicyRecordBlock` are
-two such block types; this module holds the storage machinery they share,
-so a new record-producing pipeline only has to define its block class.
+"""Column-spec-driven block serialisation and the block-type registry.
 
 A block class participates by subclassing :class:`ColumnarBlock` with a
 :class:`BlockSchema` (``_SCHEMA``) describing its block-level scalars and
 per-row columns -- the schema drives one shared implementation of the
-``save_npz``/``load_npz`` and ``save_csv``/``load_csv`` round trips, the
-``sniff_npz``/``sniff_csv`` classmethods a spill directory is re-opened
-with, and the dtype/shape validation of ``__post_init__`` -- and by
-registering via :func:`register_block_type`.  The first schema column
-doubles as the row counter of spill files (both existing block types lead
-with ``device_ids``), so adding a new record-producing pipeline is a
-schema declaration plus whatever view/constructor helpers it wants.
-
-:class:`MemoryRecordSink` keeps blocks in RAM; :class:`SpillingRecordSink`
-streams each block to one ``records-NNNNN.npz``/``.csv`` file so memory
-stays bounded by a single block regardless of fleet size, and re-opens an
-existing directory (resuming its row count) for later aggregation.
+``save_npz``/``load_npz``, ``save_csv``/``load_csv`` and
+``save_rcb``/``load_rcb`` round trips, the ``sniff_npz``/``sniff_csv``/
+``sniff_rcb`` classmethods a spill directory is re-opened with, and the
+dtype/shape validation of ``__post_init__`` -- and by registering via
+:func:`register_block_type`.  The first schema column doubles as the row
+counter of spill files (the existing block types lead with
+``device_ids``), so adding a new record-producing pipeline is a schema
+declaration plus whatever view/constructor helpers it wants.
 """
 
 from __future__ import annotations
 
 import csv
 import zipfile
-from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, ClassVar, Iterator, Literal, Self, Sequence
+from typing import Any, ClassVar, Iterator, Literal, Mapping, Self, Sequence
 
 import numpy as np
 
@@ -42,9 +30,6 @@ __all__ = [
     "ColumnarBlock",
     "FailureRecord",
     "FailureRecordBlock",
-    "RecordSink",
-    "MemoryRecordSink",
-    "SpillingRecordSink",
     "register_block_type",
     "registered_block_types",
 ]
@@ -119,7 +104,8 @@ class ScalarSpec:
     member, as a leading ``# {label}={value}`` comment line in csv files
     (so zero-row blocks round-trip without losing them), and repeated as
     the first csv data columns (the historical row format, which also
-    keeps the files greppable).
+    keeps the files greppable).  The rcb header carries them in its JSON
+    ``scalars`` mapping.
     """
 
     name: str
@@ -167,7 +153,10 @@ class ColumnarBlock:
 
     Subclasses are frozen dataclasses whose fields are the schema's
     scalars (strings) followed by its columns (1-D arrays); ``_SCHEMA``
-    drives validation, the npz/csv round trips and spill-file sniffing.
+    drives validation, the npz/csv/rcb round trips and spill-file
+    sniffing.  Blocks loaded from ``.rcb`` files hold zero-copy
+    ``np.memmap``-backed views, so re-opening a finished survey touches
+    only the pages an aggregation actually reads.
     """
 
     _SCHEMA: ClassVar[BlockSchema]
@@ -255,6 +244,17 @@ class ColumnarBlock:
                                      f"data row {line_number}: {error}") from error
         return cls(**scalars, **columns)
 
+    def save_rcb(self, path: Path) -> None:
+        """Write the block as one memory-mappable ``.rcb`` file."""
+        from .rcb import write_rcb
+        write_rcb(self, path)
+
+    @classmethod
+    def load_rcb(cls, path: Path) -> Self:
+        """Load an ``.rcb`` file as zero-copy ``np.memmap``-backed views."""
+        from .rcb import read_rcb
+        return read_rcb(cls, path)
+
     # ---------------------- spill-type sniffing ------------------------
     @classmethod
     def sniff_npz(cls, member_names: Sequence[str]) -> bool:
@@ -266,6 +266,13 @@ class ColumnarBlock:
         """True when a csv spill file's leading lines carry this schema's header."""
         header = ",".join(cls._SCHEMA.csv_header)
         return any(line.rstrip("\r\n") == header for line in head_lines)
+
+    @classmethod
+    def sniff_rcb(cls, header: Mapping[str, Any]) -> bool:
+        """True when a parsed rcb header describes exactly this schema."""
+        members = (set(header.get("scalars", {}))
+                   | {column["name"] for column in header.get("columns", ())})
+        return members == set(cls._SCHEMA.member_names)
 
 
 #: Block classes that spill files may contain, in registration order.
@@ -290,11 +297,11 @@ def _ensure_registry() -> None:
     """Import the built-in block-type modules so sniffing can see them.
 
     ``repro.records`` deliberately does not import the block modules at
-    module level (they import *this* module); the lazy import here only
+    module level (they import *this* package); the lazy import here only
     runs when a caller re-opens a spill directory without naming a type.
     """
-    from .analysis import survey as _survey  # noqa: F401
-    from .pipeline import evaluation as _evaluation  # noqa: F401
+    from ..analysis import survey as _survey  # noqa: F401
+    from ..pipeline import evaluation as _evaluation  # noqa: F401
 
 
 # ----------------------------------------------------------------------
@@ -340,10 +347,10 @@ class FailureRecord:
 class FailureRecordBlock(ColumnarBlock):
     """Columnar chunk of quarantined failures, one row per failed unit.
 
-    Flows through the same :class:`RecordSink` machinery as the outcome
-    blocks (quarantined runs spill failures next to their records), so it
-    follows the sink conventions: ``device_ids`` leads the schema and is
-    the row counter of spill files.
+    Flows through the same :class:`~repro.records.RecordSink` machinery
+    as the outcome blocks (quarantined runs spill failures next to their
+    records), so it follows the sink conventions: ``device_ids`` leads
+    the schema and is the row counter of spill files.
     """
 
     device_ids: np.ndarray
@@ -388,157 +395,3 @@ class FailureRecordBlock(ColumnarBlock):
                 message=str(self.messages[index]),
                 provenance=str(self.provenances[index]),
             )
-
-
-class RecordSink(ABC):
-    """Streaming destination for columnar record blocks.
-
-    The producing pipeline pushes blocks as it creates them and the
-    aggregations pull them back with :meth:`blocks`; a sink therefore
-    decides the memory/durability trade-off (RAM vs disk) without the
-    rest of the pipeline caring.
-    """
-
-    @abstractmethod
-    def append(self, block: "ColumnarBlock") -> None:
-        """Accept the next chunk of outcome rows."""
-
-    @abstractmethod
-    def blocks(self) -> Iterator:
-        """Stream the stored chunks back in append order."""
-
-    @property
-    @abstractmethod
-    def rows(self) -> int:
-        """Total rows stored so far."""
-
-
-class MemoryRecordSink(RecordSink):
-    """Keeps every block in RAM (the default for paper-scale runs)."""
-
-    def __init__(self) -> None:
-        self._blocks: list = []
-        self._rows = 0
-
-    def append(self, block: "ColumnarBlock") -> None:
-        self._blocks.append(block)
-        self._rows += len(block)
-
-    def blocks(self) -> Iterator:
-        return iter(self._blocks)
-
-    @property
-    def rows(self) -> int:
-        return self._rows
-
-
-class SpillingRecordSink(RecordSink):
-    """Streams every block straight to disk; memory stays O(one block).
-
-    Each appended block becomes one ``records-NNNNN.npz`` (or ``.csv``)
-    file under ``directory``; aggregations stream the files back one at a
-    time, so neither writing nor reading ever holds more than a single
-    ``chunk_size`` block in memory.  Opening a sink on a directory that
-    already contains record files resumes from them, which is how a
-    spilled run is re-opened in a later process (e.g.
-    ``SurveyResult(sink=SpillingRecordSink(path))`` or
-    ``PolicySurveyResult(sink=SpillingRecordSink(path))``).
-
-    ``block_type`` names the block class the sink stores.  When omitted it
-    is inferred: from the first appended block on a fresh directory, or by
-    sniffing the first existing spill file on re-open -- so one sink class
-    serves every registered block type.
-    """
-
-    _FMTS = ("npz", "csv")
-
-    def __init__(self, directory: Path | str, fmt: Literal["npz", "csv"] = "npz",
-                 block_type: type | None = None) -> None:
-        if fmt not in self._FMTS:
-            raise ValueError(f"unknown spill format {fmt!r}; choose 'npz' or 'csv'")
-        self.directory = Path(directory)
-        self.fmt = fmt
-        self.directory.mkdir(parents=True, exist_ok=True)
-        self._block_type = block_type
-        self._files: list[Path] = sorted(self.directory.glob(f"records-*.{fmt}"))
-        self._rows = sum(self._count_rows(path) for path in self._files)
-
-    # ------------------------------------------------------------------
-    @property
-    def block_type(self) -> type | None:
-        """The block class this sink stores (None until known)."""
-        return self._block_type
-
-    def _sniff_type(self, path: Path) -> type:
-        """Infer the block class of an existing spill file."""
-        _ensure_registry()
-        if self.fmt == "npz":
-            with np.load(path) as data:
-                members = tuple(data.files)
-            for cls in _BLOCK_TYPES:
-                if cls.sniff_npz(members):
-                    return cls
-        else:
-            with path.open() as handle:
-                head = tuple(handle.readline() for _ in range(4))
-            for cls in _BLOCK_TYPES:
-                if cls.sniff_csv(head):
-                    return cls
-        raise ValueError(
-            f"spill file {path} does not match any registered record block type "
-            f"({[cls.__name__ for cls in _BLOCK_TYPES]}); the file is corrupt or "
-            "from an incompatible version")
-
-    def _resolve_type(self) -> type:
-        if self._block_type is None:
-            if not self._files:
-                raise ValueError(
-                    f"empty spill directory {self.directory} and no block_type given; "
-                    "append a block first or pass block_type=")
-            self._block_type = self._sniff_type(self._files[0])
-        return self._block_type
-
-    def _count_rows(self, path: Path) -> int:
-        """Row count of one spill file without loading its full columns.
-
-        npz members decompress lazily, so touching only ``device_ids``
-        skips the wide float columns; for csv a line count suffices
-        (comment lines carry block-level scalars, not rows).  Keeps
-        re-opening a 100k+-row spill directory cheap.
-        """
-        if self.fmt == "npz":
-            with np.load(path) as data:
-                return int(data["device_ids"].shape[0])
-        with path.open() as handle:
-            return max(sum(1 for line in handle if not line.startswith("#")) - 1, 0)
-
-    def _load(self, path: Path) -> "ColumnarBlock":
-        cls = self._resolve_type()
-        loader = getattr(cls, f"load_{self.fmt}")
-        return loader(path)
-
-    def append(self, block: "ColumnarBlock") -> None:
-        if self._block_type is None:
-            self._block_type = self._sniff_type(self._files[0]) if self._files \
-                else type(block)
-        if not isinstance(block, self._block_type):
-            raise ValueError(
-                f"sink at {self.directory} stores {self._block_type.__name__} blocks; "
-                f"cannot append a {type(block).__name__}")
-        path = self.directory / f"records-{len(self._files):05d}.{self.fmt}"
-        getattr(block, f"save_{self.fmt}")(path)
-        self._files.append(path)
-        self._rows += len(block)
-
-    def blocks(self) -> Iterator:
-        for path in self._files:
-            yield self._load(path)
-
-    @property
-    def rows(self) -> int:
-        return self._rows
-
-    @property
-    def files(self) -> list[Path]:
-        """The spill files written so far, in append order."""
-        return list(self._files)

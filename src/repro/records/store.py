@@ -1,0 +1,207 @@
+"""Content-addressed persistent record store for incremental reruns.
+
+A :class:`RecordStore` is a directory of published survey results keyed
+by :class:`PairFingerprint` -- a sha256 digest over everything that can
+change a record slice's bytes: the code schema version, which fan-out
+produced it (survey vs policy survey), the slice address (metric, offset,
+limit, chunk size), the estimator/policy/accountant parameters, and one
+*content token* per pair (trace-file bytes for measured fleets, the
+generative spec identity for synthetic ones).  Two runs that agree on the
+fingerprint are guaranteed byte-identical record blocks, so
+``run_survey(..., store=...)`` serves hits straight from the store as
+memory-mapped ``.rcb`` blocks and recomputes only the misses.
+
+Entries are published atomically: blocks and metadata are staged in a
+scratch directory next to the entry and renamed into place in one
+``os.rename``, so concurrent writers race benignly (the loser discards
+its staging copy) and readers never observe a half-written entry.
+Quarantined slices are never handed to :meth:`RecordStore.put` -- a
+salvaged block is not the byte-identical answer a healthy rerun would
+produce, so caching it would launder the failure into future runs.
+
+Everything in this module derives cache identity from hashed content
+only: no ``id()``, no wall-clock, and every directory listing is wrapped
+in ``sorted(...)`` (the repro-lint RL008 contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .rcb import load_rcb_any
+
+__all__ = ["STORE_SCHEMA_VERSION", "PairFingerprint", "RecordStore",
+           "fingerprint_slice"]
+
+#: Version of the record *semantics* baked into every fingerprint.  Bump
+#: it whenever a block schema, estimator default or classification rule
+#: changes meaning, and every pre-existing store entry silently becomes
+#: a miss instead of serving stale bytes.
+STORE_SCHEMA_VERSION = "records/1"
+
+#: Format tag of the store directory layout itself.
+_STORE_FORMAT = "repro-record-store/1"
+
+
+@dataclass(frozen=True)
+class PairFingerprint:
+    """Identity of one record slice: what produced it, from what inputs.
+
+    ``params_token`` is the canonical string of the estimator (or policy
+    suite + cost accountant) parameters; ``content_digest`` is a sha256
+    over the ordered per-pair content tokens of the slice (see
+    ``BaseTraceSource.pair_content_token``).  The slice address is part
+    of the key because records are cached at ``batch_offsets``
+    granularity -- the unit both fan-outs already compute and spill.
+    """
+
+    kind: str
+    metric_name: str
+    offset: int
+    limit: int
+    chunk_size: int
+    params_token: str
+    content_digest: str
+    schema_version: str = STORE_SCHEMA_VERSION
+
+    @property
+    def digest(self) -> str:
+        """The sha256 hex key this fingerprint addresses in a store."""
+        payload = "\n".join((
+            self.schema_version, self.kind, self.metric_name,
+            str(self.offset), str(self.limit), str(self.chunk_size),
+            self.params_token, self.content_digest))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def fingerprint_slice(kind: str, source: Any, metric_name: str, offset: int,
+                      limit: int, chunk_size: int, params_token: str,
+                      ) -> PairFingerprint:
+    """Fingerprint one (metric, offset, limit) slice of ``source``.
+
+    Raises ``ValueError`` for sources that cannot vouch for their
+    content (anything not implementing ``pair_content_token``), because a
+    cache keyed on an unstable identity would serve wrong answers.
+    """
+    token_of = getattr(source, "pair_content_token", None)
+    if token_of is None:
+        raise ValueError(
+            f"{type(source).__name__} does not implement pair_content_token(); "
+            "it cannot be fingerprinted for a RecordStore")
+    pairs = source.pairs_for_metric(metric_name)[offset:offset + limit]
+    hasher = hashlib.sha256()
+    for pair in pairs:
+        hasher.update(token_of(pair).encode("utf-8"))
+        hasher.update(b"\n")
+    return PairFingerprint(kind=kind, metric_name=metric_name, offset=offset,
+                           limit=limit, chunk_size=chunk_size,
+                           params_token=params_token,
+                           content_digest=hasher.hexdigest())
+
+
+class RecordStore:
+    """A content-addressed, atomically-published cache of record blocks.
+
+    Layout::
+
+        <directory>/store.json                    format tag
+        <directory>/objects/<aa>/<digest>/meta.json
+        <directory>/objects/<aa>/<digest>/block-NNNNN.rcb
+
+    where ``<aa>`` is the digest's first two hex characters (the usual
+    fan-out that keeps any one directory small) and the blocks are the
+    slice's record blocks in production order.  :meth:`get` returns them
+    as mmap-backed views; :meth:`put` publishes a new entry atomically
+    and is idempotent -- republishing an existing digest is a no-op, and
+    two processes publishing the same digest race benignly.
+    """
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        marker_path = self.directory / "store.json"
+        if marker_path.exists():
+            try:
+                tag = json.loads(marker_path.read_text()).get("format")
+            except (OSError, json.JSONDecodeError) as error:
+                raise ValueError(
+                    f"corrupt record store marker {marker_path}: {error}") from error
+            if tag != _STORE_FORMAT:
+                raise ValueError(f"record store {self.directory} has format "
+                                 f"{tag!r}, expected {_STORE_FORMAT!r}")
+        else:
+            marker_path.write_text(
+                json.dumps({"format": _STORE_FORMAT,
+                            "schema_version": STORE_SCHEMA_VERSION},
+                           sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    def _entry_dir(self, fingerprint: PairFingerprint) -> Path:
+        digest = fingerprint.digest
+        return self.directory / "objects" / digest[:2] / digest
+
+    def __contains__(self, fingerprint: PairFingerprint) -> bool:
+        return (self._entry_dir(fingerprint) / "meta.json").exists()
+
+    def get(self, fingerprint: PairFingerprint) -> list[Any] | None:
+        """The slice's blocks as mmap-backed views, or None on a miss."""
+        entry = self._entry_dir(fingerprint)
+        if not (entry / "meta.json").exists():
+            return None
+        return [load_rcb_any(path) for path in sorted(entry.glob("block-*.rcb"))]
+
+    def put(self, fingerprint: PairFingerprint, blocks: Sequence[Any]) -> None:
+        """Publish the slice's blocks under ``fingerprint`` atomically."""
+        entry = self._entry_dir(fingerprint)
+        if (entry / "meta.json").exists():
+            return
+        staging = entry.parent / (entry.name + ".staging")
+        if staging.exists():
+            shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        for index, block in enumerate(blocks):
+            block.save_rcb(staging / f"block-{index:05d}.rcb")
+        meta = {
+            "digest": fingerprint.digest,
+            "kind": fingerprint.kind,
+            "metric_name": fingerprint.metric_name,
+            "offset": fingerprint.offset,
+            "limit": fingerprint.limit,
+            "chunk_size": fingerprint.chunk_size,
+            "schema_version": fingerprint.schema_version,
+            "blocks": len(blocks),
+            "rows": sum(len(block) for block in blocks),
+        }
+        (staging / "meta.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n")
+        try:
+            os.rename(staging, entry)
+        except OSError:
+            # Another writer published this digest first; both copies are
+            # byte-identical by construction, so drop ours.
+            shutil.rmtree(staging, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterable[Path]:
+        """The published entry directories, in digest order."""
+        objects = self.directory / "objects"
+        if not objects.is_dir():
+            return []
+        return [entry
+                for shard in sorted(objects.iterdir())
+                for entry in sorted(shard.iterdir())
+                if (entry / "meta.json").exists()]
+
+    @property
+    def rows(self) -> int:
+        """Total record rows published in the store."""
+        total = 0
+        for entry in self.entries():
+            total += int(json.loads((entry / "meta.json").read_text())["rows"])
+        return total

@@ -163,6 +163,12 @@ class FleetDataset(BaseTraceSource):
         """Picklable worker address: the config the fleet regenerates from."""
         return self.config
 
+    def pair_content_token(self, pair: TracePair) -> str:
+        """Identity of one synthetic trace: the config plus the pair's
+        generative parameters (every trace is a pure function of both)."""
+        return (f"{self.config!r}|{pair.metric.name}|{pair.device.device_id}|"
+                f"{pair.parameters!r}")
+
     # ------------------------------------------------------------------
     def load(self, pair: TracePair, interval: float | None = None) -> TimeSeries:
         """Generate the trace for one pair.

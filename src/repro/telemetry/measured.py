@@ -34,6 +34,7 @@ byte-identical survey records.  For genuinely measured data the manifest's
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import zipfile
 from dataclasses import dataclass
@@ -300,6 +301,26 @@ class MeasuredFleetDataset(BaseTraceSource):
 
     def worker_spec(self) -> MeasuredSourceSpec:
         return MeasuredSourceSpec(str(self.directory))
+
+    def pair_content_token(self, pair: MeasuredPair) -> str:
+        """Identity of one recorded trace: a sha256 over its file bytes.
+
+        Measured traces live in mutable files, so the content token hashes
+        the bytes themselves (plus the manifest facts the loader validates
+        against) -- re-recording a trace invalidates every cached record
+        built from it, while renaming the fleet directory does not.
+        """
+        path = self.directory / pair.file
+        digest = hashlib.sha256()
+        try:
+            with path.open("rb") as handle:
+                for chunk in iter(lambda: handle.read(1 << 20), b""):
+                    digest.update(chunk)
+        except OSError as error:
+            raise ValueError(
+                f"corrupt or truncated trace file {path}: {error}") from error
+        return (f"{pair.metric_name}|{pair.device.device_id}|{pair.file}|"
+                f"{pair.interval!r}|{pair.length}|sha256:{digest.hexdigest()}")
 
     # ------------------------------------------------------------------
     def load(self, pair: MeasuredPair, interval: float | None = None) -> TimeSeries:

@@ -123,6 +123,8 @@ class TraceSource(Protocol):
 
     def worker_spec(self) -> WorkerSpec: ...
 
+    def pair_content_token(self, pair: Any) -> str: ...
+
     def __len__(self) -> int: ...
 
 
@@ -156,6 +158,21 @@ class BaseTraceSource(ABC):
     @abstractmethod
     def worker_spec(self) -> WorkerSpec:
         """Picklable spec from which a survey worker re-opens this source."""
+
+    def pair_content_token(self, pair: Any) -> str:
+        """Deterministic string identifying one pair's trace *content*.
+
+        The :class:`~repro.records.RecordStore` fingerprints a record
+        slice over these tokens: two runs whose tokens (and parameters)
+        agree are served the cached bytes, so a token must change whenever
+        the pair's trace data can.  The default derives identity from the
+        worker-spec repr plus the pair's key -- exact for sources whose
+        traces are a pure function of a frozen spec (synthetic fleets,
+        deployments).  Sources reading mutable inputs (trace files)
+        override it with a content hash.
+        """
+        metric_name, device_id = pair.key
+        return f"{self.worker_spec()!r}|{metric_name}|{device_id}"
 
     # ------------------------------------------------------------------
     # Shared machinery

@@ -32,9 +32,10 @@ from repro.analysis.survey import RecordBlock
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 LIBRARY = "src/repro/core/fixture.py"
-IO_MODULE = "src/repro/records.py"
+IO_MODULE = "src/repro/records/sinks.py"
 RECORD_MODULE = "src/repro/analysis/survey.py"
 QUARANTINE_MODULE = "src/repro/analysis/policy_survey.py"
+STORE_MODULE = "src/repro/records/store.py"
 TEST_ZONE = "tests/core/test_fixture.py"
 
 
@@ -211,7 +212,45 @@ CASES = [
               "    except OSError:\n"
               "        sleep(retry.delay(1))\n"
               "        return task()\n"),
+    Case("store-key-from-id", "RL008", STORE_MODULE,
+         bad="def key(block):\n"
+             "    return str(id(block))\n",
+         good="import hashlib\n"
+              "def key(payload):\n"
+              "    return hashlib.sha256(payload).hexdigest()\n"),
+    Case("store-key-from-wallclock", "RL008", STORE_MODULE,
+         bad="import time\n"
+             "def entry_name(digest):\n"
+             "    return f'{digest}-{time.time()}'\n",
+         good="def entry_name(digest):\n"
+              "    return digest\n"),
+    Case("store-key-from-uuid", "RL008", STORE_MODULE,
+         bad="import uuid\n"
+             "def entry_name():\n"
+             "    return uuid.uuid4().hex\n",
+         good="def entry_name(digest):\n"
+              "    return digest\n"),
+    Case("store-unsorted-listing", "RL008", STORE_MODULE,
+         bad="def blocks(entry):\n"
+             "    return [path for path in entry.glob('block-*.rcb')]\n",
+         good="def blocks(entry):\n"
+              "    return sorted(entry.glob('block-*.rcb'))\n"),
+    Case("store-unsorted-scandir", "RL008", STORE_MODULE,
+         bad="import os\n"
+             "def entries(root):\n"
+             "    return list(os.listdir(root))\n",
+         good="import os\n"
+              "def entries(root):\n"
+              "    return sorted(os.listdir(root))\n"),
 ]
+
+
+def test_rl008_is_scoped_to_store_modules() -> None:
+    # The same unsorted listing is fine outside the store/cache modules
+    # (RL006 covers record modules with its own iteration rules).
+    bad = case_by_label("store-unsorted-listing").bad
+    assert "RL008" not in rule_ids(lint_sources({LIBRARY: bad}))
+    assert "RL008" not in rule_ids(lint_sources({TEST_ZONE: bad}))
 
 
 def case_by_label(label: str) -> Case:
@@ -377,10 +416,10 @@ def test_rl005_registered_real_class_is_clean() -> None:
 # ----------------------------------------------------------------------
 # Catalogue, rendering, entry point, end to end
 # ----------------------------------------------------------------------
-def test_rule_catalogue_lists_all_seven_rules() -> None:
+def test_rule_catalogue_lists_all_eight_rules() -> None:
     triples = rule_catalogue()
     assert [rule_id for rule_id, _, _ in triples] == [
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"]
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007", "RL008"]
     assert {rule.id for rule in RULES} == set(
         rule_id for rule_id, _, _ in triples) - {"RL005"}
     for _, name, rationale in triples:

@@ -19,9 +19,9 @@ import pytest
 
 from repro.analysis.survey import RecordBlock
 from repro.pipeline.evaluation import PolicyRecordBlock
-from repro.records import (BlockSchema, ColumnSpec, FailureRecord,
+from repro.records import (RCB_MAGIC, BlockSchema, ColumnSpec, FailureRecord,
                            FailureRecordBlock, ScalarSpec, SpillingRecordSink,
-                           registered_block_types)
+                           read_rcb_header, registered_block_types)
 
 # ----------------------------------------------------------------------
 # One sample block per registered type (NaNs included to pin bit-exact
@@ -108,14 +108,14 @@ def empty_block(request):
 
 # ----------------------------------------------------------------------
 class TestRoundTrips:
-    @pytest.mark.parametrize("fmt", ["npz", "csv"])
+    @pytest.mark.parametrize("fmt", ["npz", "csv", "rcb"])
     def test_round_trip_is_lossless(self, block, fmt, tmp_path):
         path = tmp_path / f"block.{fmt}"
         getattr(block, f"save_{fmt}")(path)
         loaded = getattr(type(block), f"load_{fmt}")(path)
         assert_blocks_equal(block, loaded)
 
-    @pytest.mark.parametrize("fmt", ["npz", "csv"])
+    @pytest.mark.parametrize("fmt", ["npz", "csv", "rcb"])
     def test_zero_row_block_keeps_scalars(self, empty_block, fmt, tmp_path):
         path = tmp_path / f"empty.{fmt}"
         getattr(empty_block, f"save_{fmt}")(path)
@@ -167,6 +167,58 @@ class TestCorruption:
         with pytest.raises(ValueError, match=str(path)):
             type(block).load_npz(path)
 
+    def test_truncated_rcb_raises_value_error_naming_path(self, block, tmp_path):
+        path = tmp_path / "block.rcb"
+        block.save_rcb(path)
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ValueError, match=str(path)):
+            type(block).load_rcb(path)
+
+    def test_rcb_truncated_inside_header_raises_value_error(self, block, tmp_path):
+        path = tmp_path / "block.rcb"
+        block.save_rcb(path)
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(ValueError, match=str(path)):
+            type(block).load_rcb(path)
+
+    def test_rcb_bad_magic_raises_value_error(self, block, tmp_path):
+        path = tmp_path / "block.rcb"
+        block.save_rcb(path)
+        data = bytearray(path.read_bytes())
+        assert data[:4] == RCB_MAGIC
+        data[:4] = b"JUNK"
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match=str(path)):
+            type(block).load_rcb(path)
+
+    def test_rcb_garbled_header_json_raises_value_error(self, block, tmp_path):
+        path = tmp_path / "block.rcb"
+        block.save_rcb(path)
+        data = bytearray(path.read_bytes())
+        data[8] = 0xFF  # first header byte: no longer valid UTF-8 JSON
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match=str(path)):
+            type(block).load_rcb(path)
+
+    def test_rcb_missing_member_raises_value_error(self, block, tmp_path):
+        import json
+        import struct
+        path = tmp_path / "block.rcb"
+        block.save_rcb(path)
+        data = path.read_bytes()
+        (header_len,) = struct.unpack("<I", data[4:8])
+        header = json.loads(data[8:8 + header_len])
+        header["columns"] = header["columns"][1:]
+        raw = json.dumps(header, sort_keys=True,
+                         separators=(",", ":")).encode("ascii")
+        # Pad the shrunken header with whitespace (still valid JSON) so
+        # the data region keeps its original offsets; only the member
+        # entry is gone.
+        raw = raw.ljust(header_len, b" ")
+        path.write_bytes(data[:8] + raw + data[8 + header_len:])
+        with pytest.raises(ValueError, match=str(path)):
+            type(block).load_rcb(path)
+
     def test_empty_csv_raises_value_error(self, block, tmp_path):
         path = tmp_path / "empty.csv"
         path.write_text("")
@@ -216,7 +268,7 @@ class TestSniffing:
         assert RecordBlock in registered
         assert PolicyRecordBlock in registered
 
-    @pytest.mark.parametrize("fmt", ["npz", "csv"])
+    @pytest.mark.parametrize("fmt", ["npz", "csv", "rcb"])
     def test_sniffing_tells_the_types_apart(self, block, fmt, tmp_path):
         sink = SpillingRecordSink(tmp_path / "spool", fmt=fmt)
         sink.append(block)
@@ -232,6 +284,8 @@ class TestSniffing:
             if fmt == "npz":
                 with np.load(sink.files[0]) as data:
                     assert not other.sniff_npz(tuple(data.files))
+            elif fmt == "rcb":
+                assert not other.sniff_rcb(read_rcb_header(sink.files[0]))
             else:
                 head = sink.files[0].read_text().splitlines()[:4]
                 assert not other.sniff_csv(head)
