@@ -80,15 +80,16 @@ def main() -> None:
     ingested = ingest_dump(dump, fleet_dir, memory_budget_samples=args.memory_budget)
     ingest_seconds = time.perf_counter() - start
     summary = json.loads((fleet_dir / "manifest.json").read_text())["ingest"]
+    stats = ingested.ingest_stats  # run counters live on the dataset, not the manifest
     print(format_table([{
         "updates": summary["updates"],
         "lines_per_second": lines / ingest_seconds,
-        "peak_buffered": summary["peak_buffered_samples"],
-        "budget": summary["memory_budget_samples"],
-        "spilled_samples": summary["spilled_samples"],
-        "spill_writes": summary["spill_writes"],
+        "peak_buffered": stats.peak_buffered_samples,
+        "budget": stats.memory_budget_samples,
+        "spilled_samples": stats.spilled_samples,
+        "spill_writes": stats.spill_writes,
     }]))
-    assert summary["peak_buffered_samples"] <= args.memory_budget
+    assert stats.peak_buffered_samples <= args.memory_budget
     print(f"  -> {len(ingested)} pairs in {fleet_dir} "
           f"({ingest_seconds:.2f}s; peak accumulator stayed within budget)\n")
 

@@ -243,6 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "'quarantine' skips malformed lines, ingests every "
                              "healthy update and records the skipped line numbers "
                              "in the manifest")
+    ingest.add_argument("--workers", type=_positive_int, default=1,
+                        help="parse the dump in N parallel worker processes, "
+                             "routing updates to N shards by a stable hash of "
+                             "their (metric, device) key; the output directory "
+                             "is byte-identical to --workers 1 (default: 1, "
+                             "serial). Each shard gets --memory-budget / N")
+
+    store_cmd = subparsers.add_parser(
+        "store",
+        help="record-store maintenance (verify published blocks)",
+        description="Maintenance commands for a content-addressed record "
+                    "store created with 'survey --store' or 'policies "
+                    "--store'.")
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="re-hash every published block against its recorded digest",
+        description="Re-read every published .rcb block in the store and "
+                    "compare its sha256 against the digest recorded at "
+                    "publication time, reporting any bit-rot, truncation or "
+                    "missing files.  Exits non-zero when problems are found.")
+    store_verify.add_argument("directory", type=Path, help="record-store directory")
 
     export_dump = subparsers.add_parser(
         "export-dump",
@@ -493,21 +515,29 @@ def _command_ingest(args: argparse.Namespace) -> int:
                               memory_budget_samples=args.memory_budget,
                               min_samples=args.min_samples,
                               trace_format=args.trace_format,
-                              on_error=args.on_error)
-    except ValueError as error:
+                              on_error=args.on_error,
+                              workers=args.workers)
+    except (ValueError, BatchExecutionError) as error:
         # Malformed updates (reported with file + line), a used destination
-        # directory, or an empty dump -- report cleanly, no traceback.
+        # directory, an empty dump, or a sharded run whose worker pool
+        # failed -- report cleanly, no traceback.
         print(f"error: {error}", file=sys.stderr)
         return 1
     manifest = json.loads((args.directory / "manifest.json").read_text())
     summary = manifest["ingest"]
+    stats = dataset.ingest_stats
+    assert stats is not None  # always attached by ingest_dump
     print(f"Ingested {len(dataset)} (metric, device) pairs "
           f"({len(dataset.metric_names())} metrics) from "
           f"{summary['updates']} updates into {args.directory}")
-    print(f"  peak in-memory accumulator: {summary['peak_buffered_samples']} samples "
-          f"(budget {summary['memory_budget_samples']}); "
-          f"{summary['spilled_samples']} samples spilled to scratch in "
-          f"{summary['spill_writes']} writes")
+    if stats.workers > 1:
+        print(f"  sharded ingest: {stats.workers} workers over {stats.ranges} "
+              f"byte range(s), {len(stats.shards)} shards "
+              f"(per-shard budget {stats.shards[0].memory_budget_samples} samples)")
+    print(f"  peak in-memory accumulator: {stats.peak_buffered_samples} samples "
+          f"(budget {stats.memory_budget_samples}); "
+          f"{stats.spilled_samples} samples spilled to scratch in "
+          f"{stats.spill_writes} writes")
     if summary["pairs_skipped"]:
         print(f"  skipped {len(summary['pairs_skipped'])} pairs below "
               f"--min-samples {args.min_samples}:")
@@ -641,6 +671,29 @@ def _command_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_store(args: argparse.Namespace) -> int:
+    # Only 'verify' exists today; argparse enforces store_command.
+    try:
+        store = RecordStore(args.directory)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    verification = store.verify()
+    print(f"Record store {args.directory}: {verification.entries} entr"
+          f"{'y' if verification.entries == 1 else 'ies'}, "
+          f"{verification.blocks} block file(s) re-hashed")
+    for note in verification.unverified:
+        print(f"  unverified: {note}")
+    if verification.problems:
+        print(f"BIT ROT: {len(verification.problems)} problem(s) found:",
+              file=sys.stderr)
+        for problem in verification.problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("All published blocks match their recorded digests.")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -654,6 +707,7 @@ def main(argv: list[str] | None = None) -> int:
         "windowed": _command_windowed,
         "adaptive": _command_adaptive,
         "estimate": _command_estimate,
+        "store": _command_store,
     }
     return handlers[args.command](args)
 

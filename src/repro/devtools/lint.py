@@ -101,6 +101,7 @@ IO_MODULES = frozenset({
     "src/repro/records/store.py",
     "src/repro/telemetry/measured.py",
     "src/repro/telemetry/ingest.py",
+    "src/repro/telemetry/shard.py",
 })
 
 #: Modules whose code computes cache/store keys; RL008's hashed-content-
@@ -123,6 +124,7 @@ QUARANTINE_MODULES = frozenset({
     "src/repro/analysis/survey.py",
     "src/repro/analysis/policy_survey.py",
     "src/repro/telemetry/ingest.py",
+    "src/repro/telemetry/shard.py",
     "src/repro/faults/execution.py",
 })
 

@@ -126,8 +126,14 @@ def run_batch_tasks(worker_fn: Callable[[Any], Any], tasks: Sequence[Any],
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if not tasks:
+        return
     retry = retry if retry is not None else RetryPolicy()
-    pool = ProcessPoolExecutor(max_workers=workers)
+    # Never spawn more processes than there are tasks: a short batch list
+    # (e.g. a sharded ingest of a tiny dump) should not pay the fork and
+    # teardown cost of idle workers.
+    pool_size = min(workers, len(tasks))
+    pool = ProcessPoolExecutor(max_workers=pool_size)
     try:
         futures: dict[int, Future] = {index: pool.submit(worker_fn, task)
                                       for index, task in enumerate(tasks)}
@@ -141,7 +147,7 @@ def run_batch_tasks(worker_fn: Callable[[Any], Any], tasks: Sequence[Any],
                 # every task whose work was lost; the batch being waited
                 # on is the prime suspect and is charged the retry.
                 pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = ProcessPoolExecutor(max_workers=pool_size)
                 exhausted = attempts[index] >= retry.max_attempts
                 if not exhausted:
                     sleep(retry.delay(attempts[index]))

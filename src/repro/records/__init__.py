@@ -32,7 +32,7 @@ from .rcb import (RCB_FORMAT, RCB_MAGIC, BlockFileRef, load_rcb_any,
                   read_rcb_header)
 from .sinks import MemoryRecordSink, RecordSink, SpillingRecordSink
 from .store import (STORE_SCHEMA_VERSION, PairFingerprint, RecordStore,
-                    fingerprint_slice)
+                    StoreVerification, fingerprint_slice)
 
 __all__ = [
     "ColumnSpec",
@@ -54,5 +54,6 @@ __all__ = [
     "STORE_SCHEMA_VERSION",
     "PairFingerprint",
     "RecordStore",
+    "StoreVerification",
     "fingerprint_slice",
 ]

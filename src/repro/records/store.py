@@ -37,7 +37,7 @@ from typing import Any, Iterable, Sequence
 from .rcb import load_rcb_any
 
 __all__ = ["STORE_SCHEMA_VERSION", "PairFingerprint", "RecordStore",
-           "fingerprint_slice"]
+           "StoreVerification", "fingerprint_slice"]
 
 #: Version of the record *semantics* baked into every fingerprint.  Bump
 #: it whenever a block schema, estimator default or classification rule
@@ -105,6 +105,37 @@ def fingerprint_slice(kind: str, source: Any, metric_name: str, offset: int,
                            content_digest=hasher.hexdigest())
 
 
+def _sha256_file(path: Path) -> str:
+    """The sha256 hex digest of a file's bytes, read in bounded chunks."""
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreVerification:
+    """Result of :meth:`RecordStore.verify`: a bit-rot audit of the store.
+
+    ``problems`` lists every mismatch found (each naming the offending
+    path): a block whose bytes no longer hash to the digest recorded at
+    publication time, a missing or unreadable file, or a block-count
+    mismatch against the entry's metadata.  ``unverified`` lists entries
+    published before per-block digests were recorded -- they cannot be
+    audited, only re-published.
+    """
+
+    entries: int
+    blocks: int
+    problems: tuple[str, ...]
+    unverified: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+
 class RecordStore:
     """A content-addressed, atomically-published cache of record blocks.
 
@@ -165,8 +196,13 @@ class RecordStore:
         if staging.exists():
             shutil.rmtree(staging)
         staging.mkdir(parents=True)
+        block_digests = []
         for index, block in enumerate(blocks):
-            block.save_rcb(staging / f"block-{index:05d}.rcb")
+            block_path = staging / f"block-{index:05d}.rcb"
+            block.save_rcb(block_path)
+            # Digest of the bytes as published: verify() re-hashes the
+            # files later and any divergence is bit-rot by definition.
+            block_digests.append(_sha256_file(block_path))
         meta = {
             "digest": fingerprint.digest,
             "kind": fingerprint.kind,
@@ -176,6 +212,7 @@ class RecordStore:
             "chunk_size": fingerprint.chunk_size,
             "schema_version": fingerprint.schema_version,
             "blocks": len(blocks),
+            "block_digests": block_digests,
             "rows": sum(len(block) for block in blocks),
         }
         (staging / "meta.json").write_text(
@@ -205,3 +242,51 @@ class RecordStore:
         for entry in self.entries():
             total += int(json.loads((entry / "meta.json").read_text())["rows"])
         return total
+
+    # ------------------------------------------------------------------
+    def verify(self) -> StoreVerification:
+        """Re-hash every published block against its recorded digest.
+
+        Publication is atomic, so any divergence found here happened
+        *after* the entry was published -- disk bit-rot, truncation, or
+        someone editing the store by hand.  Nothing is repaired: a bad
+        entry should be deleted so the next run recomputes and
+        re-publishes it.
+        """
+        entries = 0
+        blocks = 0
+        problems: list[str] = []
+        unverified: list[str] = []
+        for entry in self.entries():
+            entries += 1
+            meta_path = entry / "meta.json"
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as error:
+                problems.append(f"{meta_path}: unreadable metadata ({error})")
+                continue
+            block_paths = sorted(entry.glob("block-*.rcb"))
+            declared = meta.get("blocks")
+            if declared != len(block_paths):
+                problems.append(f"{entry}: metadata declares {declared} block "
+                                f"file(s) but {len(block_paths)} are present")
+            digests = meta.get("block_digests")
+            if digests is None:
+                unverified.append(f"{entry}: published before per-block digests "
+                                  "were recorded; delete it to re-publish "
+                                  "verifiably")
+                continue
+            for block_path, expected in zip(block_paths, digests):
+                blocks += 1
+                try:
+                    actual = _sha256_file(block_path)
+                except OSError as error:
+                    problems.append(f"{block_path}: unreadable ({error})")
+                    continue
+                if actual != expected:
+                    problems.append(f"{block_path}: sha256 {actual[:12]}... does "
+                                    f"not match the published digest "
+                                    f"{str(expected)[:12]}... (bit rot)")
+        return StoreVerification(entries=entries, blocks=blocks,
+                                 problems=tuple(problems),
+                                 unverified=tuple(unverified))

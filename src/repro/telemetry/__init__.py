@@ -3,8 +3,9 @@
 from .dataset import PAPER_PAIR_COUNT, DatasetConfig, FleetDataset, TraceBatch, TracePair
 from .fleet import DEFAULT_ROLE_MIX, build_fleet, devices_by_role
 from .ingest import (EXPORT_FORMATS, GNMI_FORMAT, METRIC_PATHS, SNMP_FORMAT,
-                     PairAccumulator, RawUpdate, TelemetryDump, export_gnmi_dump,
-                     export_snmp_dump, ingest_dump, open_export, sniff_format)
+                     IngestStats, PairAccumulator, RawUpdate, ShardIngestStats,
+                     TelemetryDump, export_gnmi_dump, export_snmp_dump,
+                     ingest_dump, open_export, sniff_format)
 from .irregular import add_timing_jitter, drop_samples, duplicate_samples, make_irregular
 from .measured import (MeasuredDevice, MeasuredFleetDataset, MeasuredPair,
                        MeasuredParameters, MeasuredSourceSpec, export_traces)
@@ -13,6 +14,7 @@ from .metrics import (FIGURE4_METRICS, FIGURE5_ORDER, METRIC_CATALOG, MetricFami
 from .models import generate_trace
 from .profiles import DeviceProfile, DeviceRole, MetricParameters, draw_metric_parameters
 from .source import BaseTraceSource, TraceSource, WorkerSpec
+from .shard import ByteRange, plan_byte_ranges, shard_of_key
 
 __all__ = [
     "DatasetConfig", "FleetDataset", "TracePair", "TraceBatch", "PAPER_PAIR_COUNT",
@@ -21,6 +23,8 @@ __all__ = [
     "MeasuredSourceSpec", "export_traces",
     "GNMI_FORMAT", "SNMP_FORMAT", "EXPORT_FORMATS", "METRIC_PATHS",
     "TelemetryDump", "RawUpdate", "PairAccumulator",
+    "IngestStats", "ShardIngestStats",
+    "ByteRange", "plan_byte_ranges", "shard_of_key",
     "open_export", "sniff_format", "ingest_dump",
     "export_gnmi_dump", "export_snmp_dump",
     "build_fleet", "devices_by_role", "DEFAULT_ROLE_MIX",

@@ -37,7 +37,11 @@ never on their order -- pairs land in the manifest in canonical
 conflicting duplicate timestamps (a retried poll reporting a different
 value) resolve to the smallest value -- so re-ingesting a shuffled copy
 of a dump produces an identical fleet directory.  Malformed input fails
-loudly with a ``ValueError`` naming the file and line.
+loudly with a ``ValueError`` naming the file and line.  The same
+set-determinism is what lets ``ingest_dump(workers=N)`` hand the dump to
+the sharded pipeline (:mod:`repro.telemetry.shard`) -- byte ranges parsed
+in parallel, updates routed to per-shard accumulators by a stable
+sha256 pair hash -- and still publish a byte-identical directory.
 
 :func:`export_gnmi_dump` / :func:`export_snmp_dump` are the round-trip
 emitters (also exposed as :class:`~repro.telemetry.source.BaseTraceSource`
@@ -62,9 +66,10 @@ import json
 import math
 import os
 import shutil
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator, Literal, Sequence
+from typing import (TYPE_CHECKING, Any, Callable, Iterator, Literal, Sequence)
 
 import numpy as np
 
@@ -74,6 +79,9 @@ from ..records import FailureRecord, FailureRecordBlock, RecordSink
 from .measured import (MANIFEST_FORMAT, MANIFEST_NAME, TRACE_FORMATS,
                        MeasuredFleetDataset, _save_trace_csv, _save_trace_npz)
 from .source import TraceSource
+
+if TYPE_CHECKING:
+    from ..faults.execution import RetryPolicy
 
 __all__ = [
     "GNMI_FORMAT",
@@ -88,6 +96,8 @@ __all__ = [
     "open_export",
     "sniff_format",
     "PairAccumulator",
+    "IngestStats",
+    "ShardIngestStats",
     "ingest_dump",
     "export_gnmi_dump",
     "export_snmp_dump",
@@ -271,6 +281,29 @@ def _parse_snmp_row(row: list[str], header: list[str], metrics: list[str],
     return updates
 
 
+def _validate_snmp_header(header: list[str], path: Path,
+                          header_line: int) -> list[str]:
+    """Validate an SNMP header row and resolve its column metric names.
+
+    Shared by the serial reader and the sharded planner (which parses the
+    header once in the parent before fanning ranges out), so both paths
+    reject a broken header with the same error.
+    """
+    if (len(header) < 3 or header[0].strip() != "timestamp"
+            or header[1].strip() != "device"):
+        raise ValueError(
+            f"{path}, line {header_line}: SNMP header must be 'timestamp,device' "
+            f"followed by at least one metric column, got {','.join(header)!r}")
+    metrics = [metric_from_path(cell.strip()) for cell in header[2:]]
+    seen: set[str] = set()
+    for metric in metrics:
+        if metric in seen:
+            raise ValueError(f"{path}, line {header_line}: duplicate metric "
+                             f"column {metric!r}")
+        seen.add(metric)
+    return metrics
+
+
 def _iter_snmp_updates(path: Path,
                        record_failure: FailureCallback | None = None,
                        ) -> Iterator[RawUpdate]:
@@ -292,19 +325,7 @@ def _iter_snmp_updates(path: Path,
         if header is None:
             raise ValueError(f"{path}, line 1: empty SNMP export (missing "
                              "'timestamp,device,<metric...>' header)")
-        header_line = reader.line_num
-        if (len(header) < 3 or header[0].strip() != "timestamp"
-                or header[1].strip() != "device"):
-            raise ValueError(
-                f"{path}, line {header_line}: SNMP header must be 'timestamp,device' "
-                f"followed by at least one metric column, got {','.join(header)!r}")
-        metrics = [metric_from_path(cell.strip()) for cell in header[2:]]
-        seen: set[str] = set()
-        for metric in metrics:
-            if metric in seen:
-                raise ValueError(f"{path}, line {header_line}: duplicate metric "
-                                 f"column {metric!r}")
-            seen.add(metric)
+        metrics = _validate_snmp_header(header, path, reader.line_num)
         for row in reader:
             line_number = reader.line_num
             if not row:
@@ -367,8 +388,26 @@ class TelemetryDump:
         return _UPDATE_ITERATORS[self.format](self.path, record_failure)
 
 
+def _has_content(path: Path) -> bool:
+    """True when ``path`` holds at least one non-whitespace byte."""
+    try:
+        with path.open("rb") as handle:
+            while chunk := handle.read(1 << 16):
+                if chunk.strip():
+                    return True
+    except OSError as error:
+        raise ValueError(f"cannot read telemetry export {path}: {error}") from error
+    return False
+
+
 def open_export(path: Path | str, fmt: str | None = None) -> TelemetryDump:
-    """Open a raw monitoring export, sniffing the wire format when not given."""
+    """Open a raw monitoring export, sniffing the wire format when not given.
+
+    An empty (or whitespace-only) file is rejected up front with a
+    ``ValueError`` naming the path, whether the format was sniffed or
+    given explicitly -- there is nothing to ingest either way, and the
+    eager check beats an obscure downstream parse failure.
+    """
     path = Path(path)
     if fmt is None:
         fmt = sniff_format(path)
@@ -377,6 +416,9 @@ def open_export(path: Path | str, fmt: str | None = None) -> TelemetryDump:
                          f"{EXPORT_FORMATS} (or omit it to sniff)")
     elif not path.is_file():
         raise ValueError(f"cannot read telemetry export {path}: no such file")
+    elif not _has_content(path):
+        raise ValueError(f"{path}: empty file (or whitespace only); "
+                         f"no {fmt} telemetry to ingest")
     return TelemetryDump(path, fmt)
 
 
@@ -430,6 +472,40 @@ class PairAccumulator:
             self.peak_buffered_samples = self.buffered_samples
         if self.buffered_samples >= self.memory_budget_samples:
             self._spill_down_to(self.memory_budget_samples // 2)
+
+    def extend(self, key: tuple[str, str], times: Sequence[float] | np.ndarray,
+               values: Sequence[float] | np.ndarray) -> None:
+        """Append many samples for one pair, honouring the memory budget.
+
+        Equivalent to calling :meth:`add` per sample (same counters, same
+        budget-bounded peak) but amortised for the sharded importer's
+        part-file chunks: samples are appended in budget-sized slices
+        with one spill check per slice instead of per sample.
+        """
+        chunk_times = np.asarray(times, dtype=np.float64)
+        chunk_values = np.asarray(values, dtype=np.float64)
+        if chunk_times.shape != chunk_values.shape or chunk_times.ndim != 1:
+            raise ValueError("times and values must be equal-length 1-D arrays")
+        buffered_times = self._times.get(key)
+        if buffered_times is None:
+            self._index[key] = len(self._index)
+            buffered_times = self._times[key] = []
+            self._values[key] = []
+        buffered_values = self._values[key]
+        position = 0
+        count = int(chunk_times.size)
+        while position < count:
+            room = max(1, self.memory_budget_samples - self.buffered_samples)
+            take = min(count - position, room)
+            buffered_times.extend(chunk_times[position:position + take].tolist())
+            buffered_values.extend(chunk_values[position:position + take].tolist())
+            position += take
+            self.buffered_samples += take
+            self.total_samples += take
+            if self.buffered_samples > self.peak_buffered_samples:
+                self.peak_buffered_samples = self.buffered_samples
+            if self.buffered_samples >= self.memory_budget_samples:
+                self._spill_down_to(self.memory_budget_samples // 2)
 
     def _spill_down_to(self, target: int) -> None:
         # Largest buffers first: fewest files touched per spill round, and
@@ -557,6 +633,46 @@ def _finish_pair(metric: str, device: str, times: np.ndarray, values: np.ndarray
 
 
 # ----------------------------------------------------------------------
+# Run statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardIngestStats:
+    """One shard's accumulator counters from a sharded (``workers > 1``) ingest."""
+
+    shard: int
+    updates: int
+    pairs: int
+    memory_budget_samples: int
+    peak_buffered_samples: int
+    spilled_samples: int
+    spill_writes: int
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """Run statistics of one :func:`ingest_dump` call.
+
+    These are properties of *how* the run executed (buffering peaks,
+    spill traffic, worker fan-out), not of the ingested data, so they
+    live on the returned dataset's ``ingest_stats`` attribute rather
+    than in the manifest -- the manifest stays byte-identical across
+    worker counts.  For a sharded run ``peak_buffered_samples`` is the
+    largest *per-shard* accumulator peak (each shard gets
+    ``memory_budget_samples / workers``) and ``shards`` carries the
+    per-shard breakdown; serial runs leave ``shards`` empty.
+    """
+
+    workers: int
+    memory_budget_samples: int
+    updates: int
+    peak_buffered_samples: int
+    spilled_samples: int
+    spill_writes: int
+    ranges: int = 1
+    shards: tuple[ShardIngestStats, ...] = field(default=())
+
+
+# ----------------------------------------------------------------------
 # The importer
 # ----------------------------------------------------------------------
 def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
@@ -565,7 +681,11 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
                 min_samples: int = 2,
                 trace_format: Literal["npz", "csv"] = "npz",
                 on_error: Literal["raise", "quarantine"] = "raise",
-                failure_sink: RecordSink | None = None) -> MeasuredFleetDataset:
+                failure_sink: RecordSink | None = None,
+                workers: int = 1,
+                retry: "RetryPolicy | None" = None,
+                retry_sleep: Callable[[float], None] = time.sleep,
+                ) -> MeasuredFleetDataset:
     """Stream one raw monitoring export into a measured-fleet directory.
 
     Parameters
@@ -579,8 +699,12 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         it contains one trace file per ingested pair plus a
         ``manifest.json`` that :class:`MeasuredFleetDataset` (and hence
         ``repro-monitor survey --from-dir``) opens unchanged; ingest
-        provenance (per-pair gap/jitter statistics and the stream-level
-        accumulator counters) is recorded under its ``ingest`` keys.
+        provenance (per-pair gap/jitter statistics, the update count and
+        quarantined lines) is recorded under its ``ingest`` keys.
+        Run-dependent counters (buffering peaks, spill traffic) are *not*
+        in the manifest -- they come back on the dataset's
+        ``ingest_stats`` attribute -- so the directory's bytes depend
+        only on the dump's update set and the ingest parameters.
 
         The build is *atomic*: everything is staged in a sibling
         ``<directory>.partial`` working directory and only published --
@@ -611,12 +735,30 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         Destination for the quarantined-failure blocks (in-memory or
         spilling); pass one to retain per-line failure records beyond
         the manifest's line-number accounting.
+    workers:
+        ``1`` (default) ingests serially in-process.  ``N > 1`` runs the
+        sharded pipeline (:mod:`repro.telemetry.shard`): the dump is
+        split into line-aligned byte ranges parsed in parallel, updates
+        are routed to ``N`` shards by a stable sha256 hash of their
+        ``(metric, device)`` key, and each shard runs its own
+        accumulator + finishing pass with a ``memory_budget_samples /
+        N`` budget.  The published directory is **byte-identical** to a
+        ``workers=1`` run for any worker count.
+    retry, retry_sleep:
+        Fault policy for the sharded pipeline's process pools (see
+        :func:`repro.faults.execution.run_batch_tasks`); ignored when
+        ``workers=1``.  ``retry_sleep`` is injectable so tests skip the
+        real backoff waits.
 
     Raises
     ------
     ValueError
         On malformed input (naming the file and line), a used destination
         directory, or a dump with no ingestible pairs.
+
+    The returned dataset carries the run's accumulator counters (peak
+    buffered samples, spill traffic, worker fan-out) on its
+    ``ingest_stats`` attribute -- see :class:`IngestStats`.
     """
     if not isinstance(dump, TelemetryDump):
         dump = open_export(dump, fmt)
@@ -629,6 +771,8 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         raise ValueError("min_samples must be >= 2 (a lone sample has no interval)")
     if on_error not in ("raise", "quarantine"):
         raise ValueError(f"on_error must be 'raise' or 'quarantine', got {on_error!r}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if failure_sink is not None and failure_sink.rows > 0:
         raise ValueError(
             f"failure_sink already holds {failure_sink.rows} records; ingest_dump "
@@ -649,9 +793,15 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
         raise ValueError(f"cannot create ingest staging directory {staging}: "
                          f"{error}") from error
     try:
-        failures = _ingest_into(dump, staging, staging / MANIFEST_NAME,
-                                memory_budget_samples, min_samples, trace_format,
-                                on_error)
+        if workers == 1:
+            failures, stats = _ingest_into(dump, staging, staging / MANIFEST_NAME,
+                                           memory_budget_samples, min_samples,
+                                           trace_format, on_error)
+        else:
+            from .shard import _sharded_ingest_into
+            failures, stats = _sharded_ingest_into(
+                dump, staging, staging / MANIFEST_NAME, memory_budget_samples,
+                min_samples, trace_format, on_error, workers, retry, retry_sleep)
     except BaseException:
         # A failed ingest (malformed dump, write error) only ever costs
         # the staging directory; the destination is untouched.
@@ -660,7 +810,9 @@ def ingest_dump(dump: Path | str | TelemetryDump, directory: Path | str,
     _publish_staging(staging, directory)
     if failure_sink is not None and failures:
         failure_sink.append(FailureRecordBlock.from_failures(failures))
-    return MeasuredFleetDataset(directory)
+    dataset = MeasuredFleetDataset(directory)
+    dataset.ingest_stats = stats
+    return dataset
 
 
 def _publish_staging(staging: Path, directory: Path) -> None:
@@ -683,16 +835,16 @@ def _publish_staging(staging: Path, directory: Path) -> None:
 
 def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
                  memory_budget_samples: int, min_samples: int,
-                 trace_format: str, on_error: str) -> list[FailureRecord]:
-    """The accumulate -> finish -> manifest body of :func:`ingest_dump`.
+                 trace_format: str, on_error: str,
+                 ) -> tuple[list[FailureRecord], IngestStats]:
+    """The serial accumulate -> finish -> manifest body of :func:`ingest_dump`.
 
     Builds the fleet into ``directory`` (the staging area) and returns
     the quarantined parse failures (empty in ``raise`` mode, which
-    aborts on the first one instead).
+    aborts on the first one instead) plus the run statistics.
     """
     save = _save_trace_npz if trace_format == "npz" else _save_trace_csv
     entries: list[dict] = []
-    metrics: list[str] = []
     skipped: list[dict] = []
     failures: list[FailureRecord] = []
 
@@ -723,26 +875,51 @@ def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
                 continue
             file_name = f"traces/pair-{len(entries):05d}.{trace_format}"
             save(directory / file_name, trace)
-            if metric not in metrics:
-                metrics.append(metric)
             entries.append({"metric": metric, "device": device,
                             "interval": trace.interval, "length": len(trace),
                             "file": file_name, "ingest": stats})
-        summary = {
-            "source": str(dump.path), "format": dump.format,
-            "updates": accumulator.total_samples,
-            "memory_budget_samples": accumulator.memory_budget_samples,
-            "peak_buffered_samples": accumulator.peak_buffered_samples,
-            "spilled_samples": accumulator.spilled_samples,
-            "spill_writes": accumulator.spill_writes,
-            "pairs_skipped": skipped,
-            "quarantined_lines": [
-                int(failure.provenance.rsplit(":", 1)[1]) for failure in failures],
-        }
+        run_stats = IngestStats(
+            workers=1,
+            memory_budget_samples=accumulator.memory_budget_samples,
+            updates=accumulator.total_samples,
+            peak_buffered_samples=accumulator.peak_buffered_samples,
+            spilled_samples=accumulator.spilled_samples,
+            spill_writes=accumulator.spill_writes)
+    _write_manifest(dump, manifest_path, trace_format, entries, skipped,
+                    run_stats.updates, memory_budget_samples, failures,
+                    min_samples)
+    return failures, run_stats
+
+
+def _write_manifest(dump: TelemetryDump, manifest_path: Path, trace_format: str,
+                    entries: list[dict], skipped: list[dict], updates: int,
+                    memory_budget_samples: int, failures: list[FailureRecord],
+                    min_samples: int) -> None:
+    """Write the measured-fleet manifest for a finished ingest.
+
+    Shared by the serial and sharded paths, so the manifest bytes are a
+    pure function of the merged pair entries -- every summary field here
+    is determined by the dump's update set and the ingest *parameters*,
+    never by how the run executed (those counters live in
+    :class:`IngestStats`), which is what makes ``workers=N`` output
+    byte-identical to serial output.
+    """
     if not entries:
         raise ValueError(
             f"{dump.path}: all {len(skipped)} pairs fell below min_samples="
             f"{min_samples}; nothing to ingest")
+    metrics: list[str] = []
+    for entry in entries:
+        if entry["metric"] not in metrics:
+            metrics.append(entry["metric"])
+    summary = {
+        "source": str(dump.path), "format": dump.format,
+        "updates": updates,
+        "memory_budget_samples": memory_budget_samples,
+        "pairs_skipped": skipped,
+        "quarantined_lines": [
+            int(failure.provenance.rsplit(":", 1)[1]) for failure in failures],
+    }
     # A raw stream carries no nominal duration; the longest pair span is
     # the faithful reconstruction (see the module docstring).
     trace_duration = max(entry["interval"] * entry["length"] for entry in entries)
@@ -750,7 +927,6 @@ def _ingest_into(dump: TelemetryDump, directory: Path, manifest_path: Path,
                 "trace_duration": trace_duration, "metrics": metrics,
                 "pairs": entries, "ingest": summary}
     manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
-    return failures
 
 
 # ----------------------------------------------------------------------

@@ -39,13 +39,16 @@ import json
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 import numpy as np
 
 from ..signals.timeseries import TimeSeries
 from .metrics import METRIC_CATALOG, MetricFamily, MetricSpec
 from .source import BaseTraceSource, TraceSource
+
+if TYPE_CHECKING:
+    from .ingest import IngestStats
 
 __all__ = [
     "MANIFEST_NAME",
@@ -235,6 +238,12 @@ class MeasuredFleetDataset(BaseTraceSource):
     interval), so truncated or corrupted recordings fail loudly with the
     offending path instead of skewing the survey.
     """
+
+    #: Run statistics attached by :func:`~repro.telemetry.ingest.ingest_dump`
+    #: on the dataset it returns (``None`` for datasets opened from disk):
+    #: how the run executed -- buffering peaks, spill traffic, worker
+    #: fan-out -- which deliberately never lands in the manifest.
+    ingest_stats: "IngestStats | None" = None
 
     def __init__(self, directory: Path | str) -> None:
         self.directory = Path(directory)

@@ -139,6 +139,18 @@ class TestOpenExport:
         path.write_text("")
         with pytest.raises(ValueError, match="empty file"):
             open_export(path)
+        # An explicit format must not skip the emptiness check: there is
+        # still nothing to ingest, and the error still names the path.
+        with pytest.raises(ValueError, match=r"empty\.jsonl.*empty file"):
+            open_export(path, GNMI_FORMAT)
+
+    def test_whitespace_only_file_rejected(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text(" \n\t\n   \n")
+        with pytest.raises(ValueError, match=r"blank\.csv.*empty file"):
+            sniff_format(path)
+        with pytest.raises(ValueError, match="whitespace only"):
+            open_export(path, SNMP_FORMAT)
 
     def test_catalogue_paths_round_trip(self):
         for name, token in METRIC_PATHS.items():
@@ -234,8 +246,14 @@ class TestBoundedMemory:
         summary = json.loads(
             (tmp_path / "bounded" / "manifest.json").read_text())["ingest"]
         assert summary["memory_budget_samples"] == 128
-        assert 0 < summary["peak_buffered_samples"] <= 128
-        assert summary["spilled_samples"] > 0
+        # Run-dependent counters live on the returned dataset's stats, not
+        # in the manifest (whose bytes depend only on the update set).
+        stats = bounded.ingest_stats
+        assert stats.workers == 1 and stats.shards == ()
+        assert stats.memory_budget_samples == 128
+        assert 0 < stats.peak_buffered_samples <= 128
+        assert stats.spilled_samples > 0 and stats.spill_writes > 0
+        assert "peak_buffered_samples" not in summary
         assert_same_fleet(bounded, unbounded)
 
     def test_scratch_files_are_cleaned_up(self, gnmi_dump, tmp_path):

@@ -377,3 +377,76 @@ class TestSpillFileOrdering:
         reopened = SpillingRecordSink(tmp_path / "spool", fmt=None)
         assert reopened.fmt == "rcb"
         assert reopened.rows == 1
+
+
+# ----------------------------------------------------------------------
+class TestStoreVerify:
+    """``store.verify()`` / ``repro-monitor store verify``: the bit-rot audit.
+
+    Every ``put`` records a sha256 per published block file; verify
+    re-hashes the lot and reports anything the disk changed since
+    publication.  Entries from before digests were recorded are
+    reported as unverified, not as failures.
+    """
+
+    @pytest.fixture()
+    def populated(self, dataset, store):
+        run_survey(dataset, store=store, chunk_size=4)
+        return store
+
+    def test_clean_store_verifies_ok(self, populated):
+        report = populated.verify()
+        assert report.ok
+        assert report.entries > 0 and report.blocks >= report.entries
+        assert report.problems == () and report.unverified == ()
+
+    def test_bit_flip_is_reported_with_the_block_path(self, populated):
+        victim = next(next(iter(populated.entries())).glob("block-*.rcb"))
+        raw = bytearray(victim.read_bytes())
+        raw[-1] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        report = populated.verify()
+        assert not report.ok
+        assert len(report.problems) == 1
+        assert str(victim) in report.problems[0]
+        assert "bit rot" in report.problems[0]
+
+    def test_missing_block_file_is_a_count_mismatch(self, populated):
+        entry = next(iter(populated.entries()))
+        next(entry.glob("block-*.rcb")).unlink()
+        report = populated.verify()
+        assert not report.ok
+        assert any("declares" in problem and str(entry) in problem
+                   for problem in report.problems)
+
+    def test_predigest_entries_are_unverified_not_failed(self, populated):
+        import json as _json
+        entry = next(iter(populated.entries()))
+        meta_path = entry / "meta.json"
+        meta = _json.loads(meta_path.read_text())
+        del meta["block_digests"]
+        meta_path.write_text(_json.dumps(meta))
+        report = populated.verify()
+        assert report.ok  # legacy entries are a warning, not bit rot
+        assert len(report.unverified) == 1
+        assert str(entry) in report.unverified[0]
+
+    def test_cli_store_verify_round_trip(self, populated, capsys):
+        from repro.cli import main
+        assert main(["store", "verify", str(populated.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "match their recorded digests" in out
+        victim = next(next(iter(populated.entries())).glob("block-*.rcb"))
+        raw = bytearray(victim.read_bytes())
+        raw[0] ^= 0xFF
+        victim.write_bytes(bytes(raw))
+        assert main(["store", "verify", str(populated.directory)]) == 1
+        captured = capsys.readouterr()
+        assert "BIT ROT" in captured.err
+
+    def test_cli_store_verify_rejects_non_store(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "not-a-store").mkdir()
+        (tmp_path / "not-a-store" / "store.json").write_text("{}")
+        assert main(["store", "verify", str(tmp_path / "not-a-store")]) == 1
+        assert capsys.readouterr().err
