@@ -45,6 +45,9 @@ BENCH_CHAOS_JSON = OUTPUT_DIR / "BENCH_chaos.json"
 #: Cold/warm trajectory of the persistent record store.
 BENCH_STORE_JSON = OUTPUT_DIR / "BENCH_store.json"
 
+#: Per-cell ordering verdicts of the (scenario x fabric x policy) matrix.
+BENCH_SCENARIOS_JSON = OUTPUT_DIR / "BENCH_scenarios.json"
+
 
 def update_bench_json(section: str, payload: dict, path: Path = BENCH_JSON) -> None:
     """Merge one benchmark's numbers into a trajectory JSON file.

@@ -21,6 +21,10 @@ provides:
 * :mod:`repro.faults` -- fault-isolated execution (bounded retry, broken-
   pool recovery, quarantine failure records) and the seeded deterministic
   fault-injection (chaos) layer.
+* :mod:`repro.scenarios` -- adversarial workload transforms (regime
+  shifts, counter pathologies, blackout/backfill) and the
+  (scenario x fabric x policy) matrix harness that maps where the
+  paper's cost ordering holds and where it inverts.
 
 Quickstart::
 
@@ -32,7 +36,7 @@ Quickstart::
     print(estimate.nyquist_rate, estimate.reduction_ratio)
 """
 
-from . import analysis, core, faults, network, pipeline, signals, telemetry
+from . import analysis, core, faults, network, pipeline, scenarios, signals, telemetry
 from .core import (AdaptiveSamplingController, ControllerConfig, DualRateAliasingDetector,
                    NyquistEstimate, NyquistEstimator, estimate_nyquist_rate,
                    nyquist_round_trip, oversampling_ratio)
@@ -44,6 +48,7 @@ __version__ = "0.1.0"
 __all__ = [
     "__version__",
     "signals", "core", "telemetry", "network", "pipeline", "analysis", "faults",
+    "scenarios",
     "TimeSeries", "IrregularTimeSeries", "Spectrum",
     "NyquistEstimator", "NyquistEstimate", "estimate_nyquist_rate", "oversampling_ratio",
     "nyquist_round_trip", "AdaptiveSamplingController", "ControllerConfig",

@@ -15,7 +15,7 @@
 """
 
 from .adaptive import (AdaptiveRun, AdaptiveSamplingController, ControllerConfig,
-                       ControllerMode, WindowDecision, adaptive_sample)
+                       ControllerMode, ModeTransition, WindowDecision, adaptive_sample)
 from .batch import batch_estimate
 from .aliasing import (AliasingVerdict, DualRateAliasingDetector, compare_spectra,
                        detect_aliasing)
@@ -46,7 +46,7 @@ __all__ = [
     "AliasingVerdict", "DualRateAliasingDetector", "detect_aliasing", "compare_spectra",
     # adaptive
     "AdaptiveSamplingController", "ControllerConfig", "ControllerMode",
-    "AdaptiveRun", "WindowDecision", "adaptive_sample",
+    "AdaptiveRun", "WindowDecision", "ModeTransition", "adaptive_sample",
     # reconstruction / errors
     "RoundTripResult", "nyquist_round_trip", "reconstruct", "upsample_to_length",
     "ReconstructionError", "compare", "l2_distance", "rmse", "nrmse", "max_abs_error",

@@ -39,6 +39,7 @@ __all__ = [
     "ControllerMode",
     "ControllerConfig",
     "WindowDecision",
+    "ModeTransition",
     "AdaptiveRun",
     "AdaptiveSamplingController",
     "adaptive_sample",
@@ -139,6 +140,31 @@ class WindowDecision:
         return self.window_end - self.window_start
 
 
+@dataclass(frozen=True)
+class ModeTransition:
+    """One probe/steady mode change of the adaptive controller.
+
+    Emitted by :meth:`AdaptiveSamplingController.run` whenever processing
+    a window leaves the controller in a different mode than it entered
+    with.  The transition takes effect at the window's *end* (the next
+    window is the first sampled under the new mode), so ``time`` is the
+    earliest instant the behaviour change is observable.  These are the
+    ground truth the scenario matrix measures re-probe latency against --
+    directly, instead of inferring mode changes from nrmse drift.
+    """
+
+    time: float
+    from_mode: ControllerMode
+    to_mode: ControllerMode
+    window_start: float
+    window_end: float
+
+    @property
+    def kind(self) -> str:
+        """``"re-probe"`` (steady -> probe) or ``"settle"`` (probe -> steady)."""
+        return "re-probe" if self.to_mode is ControllerMode.PROBE else "settle"
+
+
 @dataclass
 class AdaptiveRun:
     """Full record of an adaptive-sampling run over a reference trace."""
@@ -146,6 +172,7 @@ class AdaptiveRun:
     reference: TimeSeries
     decisions: list[WindowDecision] = field(default_factory=list)
     collected: list[TimeSeries] = field(default_factory=list)
+    transitions: list[ModeTransition] = field(default_factory=list)
 
     @property
     def total_samples_collected(self) -> int:
@@ -174,6 +201,10 @@ class AdaptiveRun:
         """(window_start, rate the controller sampled at) pairs."""
         return [(decision.window_start, decision.sampling_rate)
                 for decision in self.decisions]
+
+    def reprobe_transitions(self) -> list[ModeTransition]:
+        """The steady -> probe transitions (aliasing re-detected mid-run)."""
+        return [t for t in self.transitions if t.kind == "re-probe"]
 
     def collected_series(self) -> TimeSeries:
         """All collected samples concatenated into one (possibly uneven-rate) view.
@@ -382,8 +413,14 @@ class AdaptiveSamplingController:
         for window in reference.iter_windows(window_duration, step):
             if len(window) < 2:
                 continue
+            mode_before = self.mode
             decision = self.process_window(window)
             run.decisions.append(decision)
+            if self.mode is not mode_before:
+                run.transitions.append(ModeTransition(
+                    time=decision.window_end, from_mode=mode_before,
+                    to_mode=self.mode, window_start=decision.window_start,
+                    window_end=decision.window_end))
             collected = resample_to_rate(window, decision.sampling_rate, anti_alias=False)
             run.collected.append(collected)
         return run

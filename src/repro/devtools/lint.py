@@ -102,6 +102,7 @@ IO_MODULES = frozenset({
     "src/repro/telemetry/measured.py",
     "src/repro/telemetry/ingest.py",
     "src/repro/telemetry/shard.py",
+    "src/repro/scenarios/backfill.py",
 })
 
 #: Modules whose code computes cache/store keys; RL008's hashed-content-
@@ -116,6 +117,8 @@ RECORD_MODULES = frozenset(IO_MODULES | {
     "src/repro/analysis/survey.py",
     "src/repro/analysis/policy_survey.py",
     "src/repro/pipeline/evaluation.py",
+    "src/repro/scenarios/matrix.py",
+    "src/repro/scenarios/transforms.py",
 })
 
 #: Pipeline modules whose except handlers isolate batch/parse failures;

@@ -28,13 +28,15 @@ from .execution import (RETRYABLE_EXCEPTIONS, BatchExecutionError, RetryPolicy,
                         run_batch_tasks)
 from .inject import (FaultInjectingSourceSpec, FaultInjectingTraceSource,
                      corrupt_dump_lines, faulty_export)
-from .plan import DATA_FAULT_KINDS, FAULT_KINDS, RAISING_FAULT_KINDS, FaultPlan
+from .plan import (DATA_FAULT_KINDS, FAULT_KINDS, RAISING_FAULT_KINDS, FaultPlan,
+                   stable_digest)
 
 __all__ = [
     "FAULT_KINDS",
     "RAISING_FAULT_KINDS",
     "DATA_FAULT_KINDS",
     "FaultPlan",
+    "stable_digest",
     "FaultInjectingSourceSpec",
     "FaultInjectingTraceSource",
     "faulty_export",

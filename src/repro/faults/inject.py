@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterator, Literal, Sequence
 
+from ..signals.distortions import apply_data_fault
 from ..signals.timeseries import TimeSeries
 from ..telemetry.source import BaseTraceSource, TraceBatch, TraceSource, WorkerSpec
 from .plan import FaultPlan
@@ -113,25 +114,16 @@ class FaultInjectingTraceSource(BaseTraceSource):
 
     def _distort(self, trace: TimeSeries, kind: str, metric_name: str,
                  device_id: str) -> TimeSeries:
-        """Apply one data-degrading fault kind to a loaded trace."""
-        values = trace.values.copy()
-        rows = values.shape[0]
-        rng = self.plan.rng_for(metric_name, device_id)
-        if kind == "counter-wrap":
-            # A counter reset mid-trace: everything after the wrap point
-            # re-baselines to the trace's starting level.
-            position = int(rng.integers(rows // 4, 3 * rows // 4)) if rows >= 4 else 0
-            values[position:] -= values[position] - values[0]
-        else:
-            width = max(1, int(self.plan.blackout_fraction * rows))
-            start = int(rng.integers(0, max(rows - width, 1)))
-            if kind == "device-reboot":
-                # The device restarts: the window reports the boot-time level.
-                values[start:start + width] = values[0]
-            else:  # blackout with late backfill
-                # The collector lost the device for a window and backfilled
-                # it afterwards with the last value seen before the gap.
-                values[start:start + width] = values[start]
+        """Apply one data-degrading fault kind to a loaded trace.
+
+        Placement is drawn from the plan's per-pair RNG; the distortion
+        itself is the shared pure function in
+        :mod:`repro.signals.distortions`, so a fault-injected pair and a
+        :mod:`repro.scenarios` workload pair degrade identically.
+        """
+        values = apply_data_fault(kind, trace.values,
+                                  self.plan.rng_for(metric_name, device_id),
+                                  window_fraction=self.plan.blackout_fraction)
         return TimeSeries(values, trace.interval, start_time=trace.start_time,
                           name=trace.name)
 

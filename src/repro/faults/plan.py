@@ -23,7 +23,21 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["FAULT_KINDS", "RAISING_FAULT_KINDS", "DATA_FAULT_KINDS", "FaultPlan"]
+__all__ = ["FAULT_KINDS", "RAISING_FAULT_KINDS", "DATA_FAULT_KINDS", "FaultPlan",
+           "stable_digest"]
+
+
+def stable_digest(seed: int, *parts: str) -> int:
+    """Stable 64-bit digest of ``(seed, *parts)``.
+
+    The process-independent RNG root shared by every layer that needs a
+    per-(metric, device) decision to come out identical in the parent and
+    in pool workers: :class:`FaultPlan` assignments and the seeded
+    placements of :mod:`repro.scenarios` transforms.  Built on
+    :mod:`hashlib`, never the builtin ``hash()`` (randomised per process).
+    """
+    payload = ":".join((str(seed), *parts)).encode()
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 #: Fault kinds that make the affected pair *fail to load* (quarantine
 #: candidates): an unreadable/corrupt trace file, a file cut short, and a
@@ -107,8 +121,7 @@ class FaultPlan:
     # ------------------------------------------------------------------
     def _digest(self, *parts: str) -> int:
         """Stable 64-bit digest of ``(seed, *parts)`` -- the plan's only RNG root."""
-        payload = ":".join((str(self.seed), *parts)).encode()
-        return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+        return stable_digest(self.seed, *parts)
 
     def kind_for(self, metric_name: str, device_id: str) -> str | None:
         """The fault this pair suffers, or ``None`` for a healthy pair."""

@@ -1,13 +1,15 @@
-"""Datacenter network substrate: topologies, monitoring deployment and cost model."""
+"""Network substrate: topologies, monitoring deployment and cost model."""
 
 from .cost import CostBreakdown, CostModel, TelemetryCostAccountant
 from .monitoring import (DeploymentSpec, DeploymentTraceSource, MonitoredPoint,
                          MonitoringDeployment)
-from .topology import (NodeRole, TopologySpec, attach_collector, build_fat_tree,
-                       build_leaf_spine, servers, switches)
+from .topology import (FabricSpec, FatTreeSpec, NodeRole, TopologySpec, WanRingSpec,
+                       attach_collector, build_fat_tree, build_leaf_spine,
+                       build_wan_ring, servers, switches)
 
 __all__ = [
-    "NodeRole", "TopologySpec", "build_leaf_spine", "build_fat_tree",
+    "NodeRole", "TopologySpec", "FatTreeSpec", "WanRingSpec", "FabricSpec",
+    "build_leaf_spine", "build_fat_tree", "build_wan_ring",
     "switches", "servers", "attach_collector",
     "CostModel", "CostBreakdown", "TelemetryCostAccountant",
     "MonitoredPoint", "MonitoringDeployment",

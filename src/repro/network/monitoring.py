@@ -34,8 +34,8 @@ from ..telemetry.profiles import (DeviceProfile, DeviceRole, MetricParameters,
                                   draw_metric_parameters)
 from ..telemetry.source import BaseTraceSource
 from .cost import CostModel, TelemetryCostAccountant
-from .topology import (NodeRole, TopologySpec, attach_collector, build_leaf_spine,
-                       servers, switches)
+from .topology import (FabricSpec, NodeRole, TopologySpec, WanRingSpec,
+                       attach_collector, servers, switches)
 
 __all__ = ["MonitoredPoint", "MonitoringDeployment", "DeploymentSpec",
            "DeploymentTraceSource"]
@@ -53,6 +53,7 @@ _ROLE_MAP = {
     NodeRole.AGGREGATION: DeviceRole.AGGREGATION_SWITCH,
     NodeRole.LEAF: DeviceRole.TOR_SWITCH,
     NodeRole.EDGE: DeviceRole.TOR_SWITCH,
+    NodeRole.POP: DeviceRole.AGGREGATION_SWITCH,
     NodeRole.SERVER: DeviceRole.SERVER,
 }
 
@@ -169,7 +170,7 @@ class MonitoringDeployment:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class DeploymentSpec:
-    """Picklable recipe for a leaf-spine monitoring deployment.
+    """Picklable recipe for a monitoring deployment on any supported fabric.
 
     This is the deployment counterpart of
     :class:`~repro.telemetry.dataset.DatasetConfig`: a hashable worker
@@ -181,7 +182,10 @@ class DeploymentSpec:
     Attributes
     ----------
     topology:
-        The leaf-spine fabric parameters.
+        The fabric parameters: a leaf-spine
+        :class:`~repro.network.topology.TopologySpec` (the default), a
+        multi-tier Clos :class:`~repro.network.topology.FatTreeSpec`, or
+        a :class:`~repro.network.topology.WanRingSpec`.
     trace_duration / seed / broadband_fraction:
         Passed to :class:`MonitoringDeployment`.
     oversample_factor:
@@ -189,11 +193,14 @@ class DeploymentSpec:
         traces are generated (sampling policies need headroom to probe
         above today's rate).
     with_collector:
-        Attach a telemetry collector to the spines (the hop-count anchor
-        of the cost model).
+        Attach a telemetry collector (the hop-count anchor of the cost
+        model).  Datacenter fabrics attach it to every spine/core; a WAN
+        ring attaches it at the spec's ``collector_site`` gateway, which
+        makes hop counts -- and transmission prices -- asymmetric across
+        sites.
     """
 
-    topology: TopologySpec = TopologySpec()
+    topology: FabricSpec = TopologySpec()
     trace_duration: float = 43200.0
     seed: int = 11
     broadband_fraction: float = 0.11
@@ -206,8 +213,13 @@ class DeploymentSpec:
 
     def build_topology(self) -> tuple[nx.Graph, str | None]:
         """The fabric graph plus the collector node name (None if detached)."""
-        graph = build_leaf_spine(self.topology)
-        collector = attach_collector(graph) if self.with_collector else None
+        graph = self.topology.build()
+        if not self.with_collector:
+            return graph, None
+        if isinstance(self.topology, WanRingSpec):
+            collector = attach_collector(graph, [self.topology.gateway()])
+        else:
+            collector = attach_collector(graph)
         return graph, collector
 
     def open(self) -> "DeploymentTraceSource":

@@ -1,4 +1,4 @@
-"""Datacenter topologies: leaf-spine and folded-Clos (fat-tree) fabrics.
+"""Network topologies: leaf-spine, folded-Clos (fat-tree) and WAN-ring fabrics.
 
 The paper's cost argument is about fleet scale: every polled sample is
 collected on a device, crosses the fabric to a collector, and lands in a
@@ -7,6 +7,13 @@ here produce :class:`networkx.Graph` objects whose nodes are switches,
 servers and collectors (tagged with a ``role`` attribute) and whose edges
 carry link capacities; :mod:`repro.network.cost` walks them to price
 telemetry movement.
+
+Each fabric also has a frozen, picklable spec (:class:`TopologySpec`,
+:class:`FatTreeSpec`, :class:`WanRingSpec`) with a ``build()`` method, so
+deployment specs shipped to survey workers can describe *any* fabric, not
+just leaf-spine.  WAN rings are deliberately asymmetric: the collector
+sits at one site, so hop counts (and therefore transmission prices) vary
+per device -- the placement-sensitivity knob the scenario matrix turns.
 """
 
 from __future__ import annotations
@@ -19,8 +26,12 @@ import networkx as nx
 __all__ = [
     "NodeRole",
     "TopologySpec",
+    "FatTreeSpec",
+    "WanRingSpec",
+    "FabricSpec",
     "build_leaf_spine",
     "build_fat_tree",
+    "build_wan_ring",
     "switches",
     "servers",
     "attach_collector",
@@ -35,10 +46,11 @@ class NodeRole:
     CORE = "core"
     AGGREGATION = "aggregation"
     EDGE = "edge"
+    POP = "pop"
     SERVER = "server"
     COLLECTOR = "collector"
 
-    SWITCH_ROLES = (SPINE, LEAF, CORE, AGGREGATION, EDGE)
+    SWITCH_ROLES = (SPINE, LEAF, CORE, AGGREGATION, EDGE, POP)
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,101 @@ class TopologySpec:
             raise ValueError("spine/leaf/server counts must be positive")
         if self.leaf_uplink_gbps <= 0 or self.server_link_gbps <= 0:
             raise ValueError("link capacities must be positive")
+
+    def build(self) -> nx.Graph:
+        """Build this fabric (see :func:`build_leaf_spine`)."""
+        return build_leaf_spine(self)
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Parameters of a k-ary fat-tree (multi-tier folded Clos) fabric.
+
+    Attributes
+    ----------
+    k:
+        Fat-tree arity (even, >= 2): (k/2)^2 cores, k pods of k/2
+        aggregation + k/2 edge switches, k/2 servers per edge switch.
+    server_link_gbps / fabric_link_gbps:
+        Link capacities recorded on the edges.
+    """
+
+    k: int = 4
+    server_link_gbps: float = 25.0
+    fabric_link_gbps: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError("k must be an even integer >= 2")
+        if self.server_link_gbps <= 0 or self.fabric_link_gbps <= 0:
+            raise ValueError("link capacities must be positive")
+
+    def build(self) -> nx.Graph:
+        """Build this fabric (see :func:`build_fat_tree`)."""
+        return build_fat_tree(self.k, server_link_gbps=self.server_link_gbps,
+                              fabric_link_gbps=self.fabric_link_gbps)
+
+
+@dataclass(frozen=True)
+class WanRingSpec:
+    """Parameters of a WAN ring: sites of PoP routers joined in a cycle.
+
+    Unlike the datacenter fabrics, a WAN ring has no central tier to hang
+    a collector from: the collector lives at *one* site (``collector_site``),
+    so devices at the far side of the ring pay up to ``num_sites // 2``
+    more transit hops per sample than local ones.  That asymmetry is the
+    point -- it is what makes hop-priced transmission cost sensitive to
+    placement in the scenario matrix.
+
+    Attributes
+    ----------
+    num_sites:
+        Sites on the ring (>= 1; a single-site "ring" is a degenerate
+        but valid deployment -- one PoP, zero transit hops).
+    routers_per_site:
+        PoP routers at each site, connected in a full mesh locally; the
+        first router of each site is the site's ring gateway.
+    servers_per_site:
+        Hosts attached round-robin to the site's routers.
+    collector_site:
+        Index of the site the collector attaches to.
+    ring_link_gbps / site_link_gbps / server_link_gbps:
+        Capacities of inter-site, intra-site and server links.
+    """
+
+    num_sites: int = 6
+    routers_per_site: int = 2
+    servers_per_site: int = 4
+    collector_site: int = 0
+    ring_link_gbps: float = 40.0
+    site_link_gbps: float = 100.0
+    server_link_gbps: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_sites < 1:
+            raise ValueError("num_sites must be >= 1")
+        if self.routers_per_site < 1:
+            raise ValueError("routers_per_site must be >= 1")
+        if self.servers_per_site < 0:
+            raise ValueError("servers_per_site must be >= 0")
+        if not 0 <= self.collector_site < self.num_sites:
+            raise ValueError(f"collector_site {self.collector_site} outside "
+                             f"[0, {self.num_sites})")
+        if min(self.ring_link_gbps, self.site_link_gbps,
+               self.server_link_gbps) <= 0:
+            raise ValueError("link capacities must be positive")
+
+    def build(self) -> nx.Graph:
+        """Build this fabric (see :func:`build_wan_ring`)."""
+        return build_wan_ring(self)
+
+    def gateway(self) -> str:
+        """Name of the collector site's ring gateway router."""
+        return f"pop-{self.collector_site}-0"
+
+
+#: Any frozen fabric spec with a ``build()`` method.
+FabricSpec = TopologySpec | FatTreeSpec | WanRingSpec
 
 
 def build_leaf_spine(spec: TopologySpec | None = None) -> nx.Graph:
@@ -130,6 +237,37 @@ def build_fat_tree(k: int = 4, server_link_gbps: float = 25.0,
                 server = f"server-{pod}-{edge_index}-{server_index}"
                 graph.add_node(server, role=NodeRole.SERVER, pod=pod)
                 graph.add_edge(server, edge, capacity_gbps=server_link_gbps)
+    return graph
+
+
+def build_wan_ring(spec: WanRingSpec | None = None) -> nx.Graph:
+    """Build a WAN ring: full-mesh PoP sites joined in a cycle.
+
+    Site ``i``'s gateway router ``pop-i-0`` connects to the gateways of
+    sites ``i-1`` and ``i+1`` (mod ``num_sites``); a single-site spec has
+    no ring links at all.  Servers attach round-robin to their site's
+    routers.  Node attributes: ``role`` and ``site``; edge attributes:
+    ``capacity_gbps``.
+    """
+    spec = spec or WanRingSpec()
+    graph = nx.Graph(kind="wan_ring", spec=spec)
+    gateways: list[str] = []
+    for site in range(spec.num_sites):
+        routers = [f"pop-{site}-{i}" for i in range(spec.routers_per_site)]
+        for name in routers:
+            graph.add_node(name, role=NodeRole.POP, site=site)
+        for left, right in itertools.combinations(routers, 2):
+            graph.add_edge(left, right, capacity_gbps=spec.site_link_gbps)
+        gateways.append(routers[0])
+        for server_index in range(spec.servers_per_site):
+            server = f"server-{site}-{server_index}"
+            router = routers[server_index % spec.routers_per_site]
+            graph.add_node(server, role=NodeRole.SERVER, site=site)
+            graph.add_edge(server, router, capacity_gbps=spec.server_link_gbps)
+    if spec.num_sites > 1:
+        for site, gateway in enumerate(gateways):
+            neighbour = gateways[(site + 1) % spec.num_sites]
+            graph.add_edge(gateway, neighbour, capacity_gbps=spec.ring_link_gbps)
     return graph
 
 

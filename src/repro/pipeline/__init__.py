@@ -2,8 +2,9 @@
 
 from .evaluation import (CostQualityEvaluator, PointEvaluation, PolicyRecordBlock,
                          PolicySummary)
-from .events import (DetectionOutcome, EventKind, InjectedEvent, ThresholdDetector,
-                     inject_event, score_detection)
+from .events import (DetectionOutcome, EventKind, InjectedEvent, ModeTransition,
+                     ThresholdDetector, inject_event, reprobe_latency,
+                     resettle_latency, score_detection)
 from .policies import (AdaptiveDualRatePolicy, FixedRatePolicy, NyquistStaticPolicy,
                        PolicyBatchEvaluation, PolicyResult, PolicySuite, SamplingPolicy,
                        StaticPolicySuite)
@@ -14,6 +15,7 @@ __all__ = [
     "NyquistStaticPolicy", "AdaptiveDualRatePolicy", "PolicySuite", "StaticPolicySuite",
     "EventKind", "InjectedEvent", "inject_event", "ThresholdDetector",
     "DetectionOutcome", "score_detection",
+    "ModeTransition", "reprobe_latency", "resettle_latency",
     "CostQualityEvaluator", "PointEvaluation", "PolicyRecordBlock", "PolicySummary",
     "AposterioriRetention", "RetentionDecision", "RetentionReport",
 ]

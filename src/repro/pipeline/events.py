@@ -6,6 +6,13 @@ on important insights").  To quantify that fear, this module injects the
 kinds of events §4.2 discusses -- fail-stop level shifts, link flaps
 (bursts of FCS errors), transient spikes -- into reference traces and
 scores how quickly each sampling policy's collected stream reveals them.
+
+The adaptive controller is itself an event source: its probe/settle mode
+changes (:class:`~repro.core.adaptive.ModeTransition`, re-exported here)
+are how the scenario matrix *measures* re-probe latency after a regime
+shift -- :func:`reprobe_latency` and :func:`resettle_latency` score the
+transition stream against the known shift time, instead of inferring the
+controller's reaction from nrmse drift.
 """
 
 from __future__ import annotations
@@ -13,13 +20,16 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from ..core.adaptive import ModeTransition
 from ..signals.timeseries import TimeSeries
 
 __all__ = ["EventKind", "InjectedEvent", "inject_event", "ThresholdDetector",
-           "DetectionOutcome", "score_detection"]
+           "DetectionOutcome", "score_detection", "ModeTransition",
+           "reprobe_latency", "resettle_latency"]
 
 
 class EventKind(enum.Enum):
@@ -148,3 +158,42 @@ def score_detection(policy_name: str, collected: TimeSeries, event: InjectedEven
         return DetectionOutcome(policy_name, detected=False, latency=math.inf)
     return DetectionOutcome(policy_name, detected=True,
                             latency=max(when - event.start_time, 0.0))
+
+
+# ----------------------------------------------------------------------
+# Adaptive-controller transition scoring
+# ----------------------------------------------------------------------
+def reprobe_latency(transitions: Sequence[ModeTransition],
+                    shift_time: float) -> float | None:
+    """Seconds from a regime shift to the controller's first re-probe.
+
+    The latency is measured to the first steady -> probe transition at or
+    after ``shift_time``; ``None`` means the controller never noticed
+    (it stayed steady for the rest of the run -- either the shift was
+    invisible at its settled rate, or the run ended first).  A controller
+    still in its initial probe phase at ``shift_time`` has latency 0: it
+    is already probing.
+    """
+    for transition in transitions:
+        if transition.kind == "re-probe" and transition.time >= shift_time:
+            return transition.time - shift_time
+    return None
+
+
+def resettle_latency(transitions: Sequence[ModeTransition],
+                     shift_time: float) -> float | None:
+    """Seconds from a regime shift to the controller settling again.
+
+    Measured to the first probe -> steady transition *after* the first
+    post-shift re-probe: the full disruption window during which the
+    controller pays dual-stream probing cost.  ``None`` when the
+    controller never re-probed or never re-settled before the run ended.
+    """
+    noticed = reprobe_latency(transitions, shift_time)
+    if noticed is None:
+        return None
+    reprobe_time = shift_time + noticed
+    for transition in transitions:
+        if transition.kind == "settle" and transition.time > reprobe_time:
+            return transition.time - shift_time
+    return None

@@ -414,9 +414,20 @@ class AdaptiveDualRatePolicy(SamplingPolicy):
         self.config = config or ControllerConfig()
         self.name = name or "adaptive-dual-rate"
 
-    def collect(self, reference: TimeSeries) -> PolicyResult:
+    def run_controller(self, reference: TimeSeries) -> AdaptiveRun:
+        """Run a fresh controller over ``reference`` and return the full record.
+
+        This is the policy's underlying state-machine run, including the
+        probe/settle :class:`~repro.core.adaptive.ModeTransition` stream
+        (``run.transitions``) that re-probe latency after a regime shift
+        is measured from.  :meth:`collect` uses exactly this run, so the
+        transitions correspond sample-for-sample to the policy's cost.
+        """
         controller = AdaptiveSamplingController(config=self.config)
-        run: AdaptiveRun = controller.run(reference, self.window_duration)
+        return controller.run(reference, self.window_duration)
+
+    def collect(self, reference: TimeSeries) -> PolicyResult:
+        run: AdaptiveRun = self.run_controller(reference)
         collected = run.collected_series()
         samples = run.total_samples_collected
         rates = [decision.sampling_rate for decision in run.decisions]

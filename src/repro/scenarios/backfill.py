@@ -1,0 +1,106 @@
+"""Late backfill: blackout-window telemetry arriving out of order at ingest.
+
+A partition does two things to an archive.  It flattens the affected
+samples (the collector backfills the gap with the last value it saw --
+:class:`~repro.scenarios.transforms.BlackoutWindow` models that), and it
+*reorders arrival*: when connectivity returns, the buffered window drains
+after updates that were produced later.  This module fabricates that
+second half as a gNMI dump whose blackout-window updates are deferred to
+the stream's end, so the streaming importer meets a realistic out-of-order
+archive.
+
+The importer's contract (``repro.telemetry.ingest``: output depends only
+on the update *set*) is exactly what makes late backfill safe -- ingesting
+an in-order dump, a late-backfill dump, or an arbitrarily shuffled dump of
+the same fleet produces byte-identical directories.  The scenario suite
+pins that property with hypothesis-driven shuffles.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..signals.timeseries import TimeSeries
+from ..telemetry.ingest import path_for_metric
+from ..telemetry.source import TraceSource
+from .transforms import BlackoutWindow
+
+__all__ = ["export_backfill_dump", "shuffled_dump"]
+
+
+def _update_lines(order: int, pair: Any,
+                  trace: TimeSeries) -> Iterator[tuple[float, int, str]]:
+    """(timestamp, tiebreak, line) updates of one pair, gNMI JSON-lines shaped.
+
+    Identical line bytes to ``export_gnmi_dump``'s emitter: repr floats
+    for exact round-trips, json-encoded device and path.
+    """
+    device_json = json.dumps(pair.key[1])
+    path_json = json.dumps(path_for_metric(pair.key[0]))
+    times = trace.times()
+    for index in range(len(trace)):
+        yield (float(times[index]), order,
+               f'{{"timestamp": {float(times[index])!r}, "device": {device_json}, '
+               f'"path": {path_json}, "value": {float(trace.values[index])!r}}}\n')
+
+
+def export_backfill_dump(source: TraceSource, path: Path | str,
+                         blackout: BlackoutWindow,
+                         metrics: Sequence[str] | None = None) -> tuple[Path, int]:
+    """Write ``source`` as a gNMI dump whose blackout window arrives late.
+
+    Updates outside the blackout window are emitted globally time-ordered
+    (the normal append-only log); updates whose timestamp falls inside
+    ``blackout.time_bounds(trace duration)`` are held back and appended
+    after the entire in-order stream, themselves time-ordered -- the
+    buffered site draining once the partition heals.  Returns the dump
+    path and how many updates arrived late.
+
+    The dump contains exactly the same update *set* as
+    ``export_gnmi_dump`` would emit, so ingesting it reproduces the
+    in-order fleet bit for bit.
+    """
+    path = Path(path)
+    metric_names = list(metrics) if metrics is not None else source.metric_names()
+
+    live_streams = []
+    late_streams = []
+    order = 0
+    for metric_name in metric_names:
+        for pair, trace in source.traces(metric_name):
+            start, stop = blackout.time_bounds(trace.duration)
+            updates = list(_update_lines(order, pair, trace))
+            live = [u for u in updates if not start <= u[0] - trace.start_time < stop]
+            late = [u for u in updates if start <= u[0] - trace.start_time < stop]
+            live_streams.append(live)
+            late_streams.append(late)
+            order += 1
+
+    deferred = sum(len(stream) for stream in late_streams)
+    with path.open("w") as handle:
+        for _, _, line in heapq.merge(*live_streams):
+            handle.write(line)
+        for _, _, line in heapq.merge(*late_streams):
+            handle.write(line)
+    return path, deferred
+
+
+def shuffled_dump(src: Path | str, dst: Path | str, seed: int) -> Path:
+    """Copy a JSON-lines dump with its lines in a seeded random order.
+
+    The adversarial arrival order for ingest-invariance tests: same
+    update set, no order guarantee at all.
+    """
+    src, dst = Path(src), Path(dst)
+    lines = src.read_text().splitlines(keepends=True)
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(len(lines))
+    with dst.open("w") as handle:
+        for index in permutation:
+            handle.write(lines[int(index)])
+    return dst

@@ -2,6 +2,7 @@
 
 from .timeseries import TimeSeries, IrregularTimeSeries
 from .spectrum import Spectrum, SpectrumBatch
+from .distortions import blackout_backfill, counter_wrap, reboot_window
 from . import generators, noise, filters
 
 __all__ = [
@@ -9,6 +10,9 @@ __all__ = [
     "IrregularTimeSeries",
     "Spectrum",
     "SpectrumBatch",
+    "counter_wrap",
+    "reboot_window",
+    "blackout_backfill",
     "generators",
     "noise",
     "filters",

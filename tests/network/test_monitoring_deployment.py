@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.network.monitoring import MonitoringDeployment
-from repro.network.topology import TopologySpec, build_leaf_spine, servers, switches
+from repro.network.monitoring import DeploymentSpec, MonitoringDeployment
+from repro.network.topology import (FatTreeSpec, TopologySpec, WanRingSpec,
+                                    build_leaf_spine, servers, switches)
 
 
 @pytest.fixture(scope="module")
@@ -61,3 +62,55 @@ class TestDeployment:
         for point, trace in pairs:
             assert point.metric.name == "Link util"
             assert len(trace) > 0
+
+
+class TestFabricDeployments:
+    """DeploymentSpec over the non-leaf-spine fabrics: every cell of the
+    scenario matrix must come out hop-priced on its own topology."""
+
+    def test_fat_tree_spec_opens_and_prices_hops(self):
+        spec = DeploymentSpec(topology=FatTreeSpec(k=2), trace_duration=3600.0,
+                              seed=7, oversample_factor=2.0)
+        source = spec.open()
+        assert len(source.pairs()) > 0
+        accountant = source.accountant()
+        devices = {pair.key[1] for pair in source.pairs()}
+        assert all(accountant.hops(device) >= 1 for device in devices)
+
+    def test_wan_ring_hop_pricing_is_asymmetric(self):
+        """Far-side devices pay more transit hops than collector-site ones."""
+        spec = DeploymentSpec(
+            topology=WanRingSpec(num_sites=4, routers_per_site=1, servers_per_site=1),
+            trace_duration=3600.0, seed=7, oversample_factor=2.0)
+        source = spec.open()
+        accountant = source.accountant()
+        assert [accountant.hops(f"pop-{site}-0") for site in range(4)] == [1, 2, 3, 2]
+        near = accountant.price_samples("pop-0-0", 1000)
+        far = accountant.price_samples("pop-2-0", 1000)
+        assert far.transmission == 3 * near.transmission
+
+    def test_single_device_wan_deployment_serves_pairs(self):
+        """One router, no servers: degenerate but fully functional."""
+        spec = DeploymentSpec(
+            topology=WanRingSpec(num_sites=1, routers_per_site=1, servers_per_site=0),
+            trace_duration=3600.0, seed=7, oversample_factor=2.0)
+        source = spec.open()
+        pairs = source.pairs()
+        assert pairs
+        assert {pair.key[1] for pair in pairs} == {"pop-0-0"}
+        trace = source.load(pairs[0])
+        assert len(trace) > 0
+        assert source.accountant().hops("pop-0-0") == 1
+
+    def test_wan_ring_spec_survives_worker_round_trip(self):
+        import pickle
+
+        spec = DeploymentSpec(
+            topology=WanRingSpec(num_sites=2, routers_per_site=1, servers_per_site=1),
+            trace_duration=3600.0, seed=7, oversample_factor=2.0)
+        source = spec.open()
+        clone = pickle.loads(pickle.dumps(source.worker_spec())).open()
+        pair, other = source.pairs()[0], clone.pairs()[0]
+        assert pair.key == other.key
+        np.testing.assert_array_equal(source.load(pair).values,
+                                      clone.load(other).values)

@@ -5,8 +5,9 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
-from repro.network.topology import (NodeRole, TopologySpec, attach_collector, build_fat_tree,
-                                    build_leaf_spine, servers, switches)
+from repro.network.topology import (FatTreeSpec, NodeRole, TopologySpec, WanRingSpec,
+                                    attach_collector, build_fat_tree, build_leaf_spine,
+                                    build_wan_ring, servers, switches)
 
 
 class TestLeafSpine:
@@ -100,3 +101,78 @@ class TestCollector:
         collector = attach_collector(graph)
         lengths = nx.single_source_shortest_path_length(graph, collector)
         assert set(lengths) == set(graph.nodes)
+
+
+class TestFatTreeSpec:
+    def test_build_matches_builder(self):
+        spec = FatTreeSpec(k=4, server_link_gbps=10.0, fabric_link_gbps=40.0)
+        graph = spec.build()
+        reference = build_fat_tree(4, server_link_gbps=10.0, fabric_link_gbps=40.0)
+        assert set(graph.nodes) == set(reference.nodes)
+        assert set(graph.edges) == set(reference.edges)
+
+    def test_smallest_legal_arity(self):
+        graph = FatTreeSpec(k=2).build()
+        assert nx.is_connected(graph)
+        assert len(servers(graph)) == 2  # k pods x k/2 edges x k/2 servers
+
+    @pytest.mark.parametrize("kwargs", [
+        {"k": 0}, {"k": 3}, {"k": -4},
+        {"server_link_gbps": 0.0}, {"fabric_link_gbps": -1.0},
+    ])
+    def test_spec_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FatTreeSpec(**kwargs)
+
+
+class TestWanRing:
+    def test_sites_form_a_ring_of_gateways(self):
+        spec = WanRingSpec(num_sites=4, routers_per_site=2, servers_per_site=1)
+        graph = build_wan_ring(spec)
+        gateways = [f"pop-{site}-0" for site in range(4)]
+        for site, gateway in enumerate(gateways):
+            assert graph.has_edge(gateway, gateways[(site + 1) % 4])
+        assert nx.is_connected(graph)
+
+    def test_single_site_ring_is_degenerate_but_valid(self):
+        """A one-site 'ring' must not self-loop: one PoP, zero transit hops."""
+        spec = WanRingSpec(num_sites=1, routers_per_site=1, servers_per_site=2)
+        graph = build_wan_ring(spec)
+        assert not any(u == v for u, v in graph.edges)
+        assert nx.is_connected(graph)
+        assert len(servers(graph)) == 2
+        assert spec.gateway() == "pop-0-0"
+
+    def test_single_device_deployment(self):
+        """The smallest fabric of all: one router, nothing else."""
+        graph = build_wan_ring(WanRingSpec(num_sites=1, routers_per_site=1,
+                                           servers_per_site=0))
+        assert list(graph.nodes) == ["pop-0-0"]
+        assert len(graph.edges) == 0
+
+    def test_hop_counts_are_asymmetric_from_the_collector_site(self):
+        """The point of the WAN column: distance to the collector depends on
+        ring position, unlike the leaf-spine fabrics."""
+        spec = WanRingSpec(num_sites=4, routers_per_site=1, servers_per_site=1)
+        graph = build_wan_ring(spec)
+        collector = attach_collector(graph, [spec.gateway()])
+        lengths = nx.single_source_shortest_path_length(graph, collector)
+        pop_hops = [lengths[f"pop-{site}-0"] for site in range(4)]
+        server_hops = [lengths[f"server-{site}-0"] for site in range(4)]
+        assert pop_hops == [1, 2, 3, 2]
+        assert server_hops == [2, 3, 4, 3]
+        assert len(set(pop_hops)) > 1
+
+    def test_servers_round_robin_across_site_routers(self):
+        graph = build_wan_ring(WanRingSpec(num_sites=1, routers_per_site=2,
+                                           servers_per_site=4))
+        for index in range(4):
+            assert graph.has_edge(f"server-0-{index}", f"pop-0-{index % 2}")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_sites": 0}, {"routers_per_site": 0}, {"servers_per_site": -1},
+        {"collector_site": 6}, {"collector_site": -1}, {"ring_link_gbps": 0.0},
+    ])
+    def test_spec_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WanRingSpec(**kwargs)

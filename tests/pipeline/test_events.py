@@ -7,9 +7,15 @@ import math
 import numpy as np
 import pytest
 
+from repro.core.adaptive import ControllerMode
 from repro.core.resampling import resample_to_rate
-from repro.pipeline.events import (EventKind, ThresholdDetector, inject_event, score_detection)
+from repro.pipeline.events import (EventKind, ModeTransition, ThresholdDetector,
+                                   inject_event, reprobe_latency, resettle_latency,
+                                   score_detection)
+from repro.pipeline.policies import AdaptiveDualRatePolicy
+from repro.scenarios import RegimeShift
 from repro.signals.generators import sine
+from repro.signals.timeseries import TimeSeries
 from repro.signals.noise import add_white_noise
 
 
@@ -89,3 +95,64 @@ class TestDetection:
         modified, event = inject_event(baseline_trace, EventKind.STEP, 10000.0, magnitude=0.01)
         detector = ThresholdDetector(sigma_multiplier=10.0, min_threshold=5.0)
         assert detector.detection_time(modified, event) is None
+
+
+class TestModeTransitionScoring:
+    """reprobe/resettle latency from the controller's transition stream."""
+
+    @staticmethod
+    def _transition(time, kind):
+        frm, to = ((ControllerMode.STEADY, ControllerMode.PROBE)
+                   if kind == "re-probe"
+                   else (ControllerMode.PROBE, ControllerMode.STEADY))
+        return ModeTransition(time=time, from_mode=frm, to_mode=to,
+                              window_start=time - 100.0, window_end=time)
+
+    def test_kind_property(self):
+        assert self._transition(100.0, "re-probe").kind == "re-probe"
+        assert self._transition(100.0, "settle").kind == "settle"
+
+    def test_reprobe_latency_first_transition_at_or_after_shift(self):
+        transitions = [self._transition(100.0, "settle"),
+                       self._transition(400.0, "re-probe"),
+                       self._transition(900.0, "re-probe")]
+        assert reprobe_latency(transitions, 250.0) == pytest.approx(150.0)
+        # A transition exactly at the shift counts: latency zero.
+        assert reprobe_latency(transitions, 400.0) == pytest.approx(0.0)
+
+    def test_reprobe_latency_none_when_never_noticed(self):
+        transitions = [self._transition(100.0, "settle")]
+        assert reprobe_latency(transitions, 250.0) is None
+        assert reprobe_latency([], 250.0) is None
+        # Pre-shift re-probes do not count.
+        assert reprobe_latency([self._transition(100.0, "re-probe")], 250.0) is None
+
+    def test_resettle_latency_measures_the_full_disruption_window(self):
+        transitions = [self._transition(300.0, "settle"),
+                       self._transition(500.0, "re-probe"),
+                       self._transition(800.0, "settle")]
+        assert resettle_latency(transitions, 250.0) == pytest.approx(550.0)
+
+    def test_resettle_latency_none_without_reprobe_or_resettle(self):
+        assert resettle_latency([self._transition(300.0, "settle")], 250.0) is None
+        assert resettle_latency([self._transition(500.0, "re-probe")], 250.0) is None
+
+    def test_controller_emits_reprobe_on_a_real_regime_shift(self):
+        """End to end: a settled controller meets a mid-trace regime shift
+        and the transition stream records a measurable re-probe."""
+        quiet = sine(1.0 / 1800.0, duration=4 * 3600.0, sampling_rate=0.5,
+                     amplitude=5.0, offset=20.0)
+        shifted = RegimeShift(shift_fraction=0.5, frequency_fraction=0.8,
+                              amplitude=4.0, seed=1)
+        values = shifted.apply(quiet.values, quiet.interval, "Link util", "leaf-0")
+        trace = TimeSeries(values, quiet.interval, name="Link util")
+        policy = AdaptiveDualRatePolicy(window_duration=1800.0)
+        run = policy.run_controller(trace)
+        assert run.transitions, "controller never changed mode"
+        shift_time = 0.5 * trace.duration
+        latency = reprobe_latency(run.transitions, shift_time)
+        assert latency is not None
+        assert 0.0 <= latency <= trace.duration / 2
+        # The same stream is exposed on the run record.
+        assert run.reprobe_transitions() == [t for t in run.transitions
+                                             if t.kind == "re-probe"]

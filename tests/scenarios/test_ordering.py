@@ -1,0 +1,105 @@
+"""The matrix's load-bearing cells, pinned.
+
+Two kinds of pin, deliberately different in strength:
+
+* The **stationary leaf-spine** cell is the paper's own operating point.
+  It must reproduce fixed > nyquist-static > adaptive-dual-rate
+  *bit for bit* against the golden summary (``repr`` floats -- any change
+  in any layer of the policy stack shows up here first, on purpose).
+* The **inversion cells** (flap-churn on every fabric, per
+  ``BENCH_scenarios.json``) are asserted by *direction only*: the
+  adaptive leg must cost at least as much as nyquist-static.  Their
+  magnitudes are trajectories, not contracts.
+
+Both run the exact presets from :mod:`repro.scenarios.presets`, the same
+ones the bench freezes into ``BENCH_scenarios.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import evaluate_cell
+from repro.scenarios.matrix import ADAPTIVE, FIXED, NYQUIST_STATIC
+from repro.scenarios.presets import default_fabrics, default_scenarios, paper_suite
+
+GOLDEN = Path(__file__).with_name("golden_stationary.json")
+
+SCENARIOS = {scenario.name: scenario for scenario in default_scenarios()}
+
+
+def _cell(scenario_name: str, fabric_name: str):
+    spec = default_fabrics()[fabric_name]
+    source = spec.open()
+    return evaluate_cell(SCENARIOS[scenario_name], fabric_name, source,
+                         source.accountant(), paper_suite())
+
+
+@pytest.fixture(scope="module")
+def stationary():
+    return _cell("stationary", "leaf-spine")
+
+
+class TestGoldenStationary:
+    def test_reproduces_the_golden_summary_bit_for_bit(self, stationary):
+        golden = json.loads(GOLDEN.read_text())
+        assert stationary.scenario == golden["scenario"]
+        assert stationary.fabric == golden["fabric"]
+        assert stationary.points == golden["points"]
+        assert stationary.verdict == golden["verdict"]
+        assert stationary.holds_paper_ordering is golden["holds_paper_ordering"]
+        for field in ("relative_costs", "total_costs", "mean_nrmse", "worst_nrmse"):
+            measured = {key: repr(value)
+                        for key, value in sorted(getattr(stationary, field).items())}
+            assert measured == golden[field], f"{field} drifted from golden"
+
+    def test_paper_ordering_holds(self, stationary):
+        relative = stationary.relative_costs
+        assert relative[FIXED] == 1.0
+        assert relative[NYQUIST_STATIC] < 1.0
+        assert relative[ADAPTIVE] < relative[NYQUIST_STATIC]
+        assert stationary.holds_paper_ordering
+
+    def test_no_shift_means_no_reaction_measurement(self, stationary):
+        assert stationary.shift_time_s is None
+        assert stationary.reprobe_latency_s is None
+        assert stationary.resettle_latency_s is None
+
+
+class TestInversionCells:
+    """flap-churn: recurring regime churn from inside the controller's
+    first window.  The controller never gets a quiet window to settle in,
+    so the adaptive leg inverts -- direction asserted, never magnitude."""
+
+    @pytest.mark.parametrize("fabric_name", ["leaf-spine", "wan-ring"])
+    def test_flap_churn_inverts_the_adaptive_leg(self, fabric_name):
+        cell = _cell("flap-churn", fabric_name)
+        assert not cell.holds_paper_ordering
+        assert cell.relative_costs[ADAPTIVE] >= cell.relative_costs[NYQUIST_STATIC]
+        assert ADAPTIVE in cell.verdict and cell.verdict.startswith("inversion")
+        # The flap onset is a real shift: recorded even when the
+        # controller's reaction is unmeasurable because churn pre-dates
+        # its first settle.
+        assert cell.shift_time_s == pytest.approx(0.3 * 12 * 3600.0)
+
+    def test_incident_reprobe_latency_is_measured(self):
+        """The contrast cell: a post-settle shift keeps the ordering AND
+        yields a measured steady -> probe transition latency."""
+        cell = _cell("incident", "leaf-spine")
+        assert cell.holds_paper_ordering
+        assert cell.shift_time_s == pytest.approx(0.55 * 12 * 3600.0)
+        assert cell.reprobe_latency_s is not None
+        assert cell.reprobe_latency_s > 0.0
+        assert cell.reprobe_fraction is not None
+        assert cell.reprobe_fraction > 0.0
+        # Re-probing shows up in the rate trajectory: the recorded pair
+        # raises its rate after the shift.
+        rates_before = [rate for t, rate in cell.adaptive_rate_trajectory
+                        if t < cell.shift_time_s]
+        rates_after = [rate for t, rate in cell.adaptive_rate_trajectory
+                       if t >= cell.shift_time_s]
+        assert rates_before and rates_after
+        assert max(rates_after) > min(rates_before)
